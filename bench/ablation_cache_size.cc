@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: scaled vs full-size caches. The paper scales the caches to
+ * 2KB/4KB to keep a realistic ratio between problem size and cache
+ * size (Section 2.3) and reports that with the full 64KB/256KB caches
+ * "the absolute execution times decreased ... the relative gains from
+ * the various techniques were similar", with somewhat higher hit
+ * rates. This bench checks both claims.
+ */
+
+#include "common.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    printRunHeader("Ablation: scaled (2KB/4KB) vs full (64KB/256KB) "
+                   "caches");
+
+    MemConfig full = MemConfig::fullSizeCaches();
+    for (auto &[name, factory] : workloads()) {
+        RunResult sc_s = runExperiment(factory, Technique::sc());
+        RunResult rc_s = runExperiment(factory, Technique::rc());
+        RunResult sc_f = runExperiment(factory, Technique::sc(), full);
+        RunResult rc_f = runExperiment(factory, Technique::rc(), full);
+        std::printf("%-6s scaled: exec %9llu  rd-hit %4.1f%%  wr-hit "
+                    "%4.1f%%  RC speedup %4.2f\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(sc_s.execTime),
+                    sc_s.readHitPct, sc_s.writeHitPct,
+                    speedup(rc_s, sc_s));
+        std::printf("%-6s full:   exec %9llu  rd-hit %4.1f%%  wr-hit "
+                    "%4.1f%%  RC speedup %4.2f\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(sc_f.execTime),
+                    sc_f.readHitPct, sc_f.writeHitPct,
+                    speedup(rc_f, sc_f));
+    }
+    std::printf("\nPaper (Section 2.3 footnote): full-cache hit rates "
+                "MP3D 82/75, LU 76/99,\nPTHOR 86/52; relative technique "
+                "gains similar to the scaled caches. MP3D\ngains least "
+                "from larger caches since most of its misses are "
+                "inherent\ncommunication misses.\n");
+    return 0;
+}

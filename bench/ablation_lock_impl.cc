@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: software test&test&set spin locks vs DASH's queue-based
+ * hardware locks, under increasing contention. With t&t&s every
+ * release invalidates all spinners, who then race ownership of the
+ * lock line; a queued lock hands off to exactly one waiter with a
+ * single grant message. DASH provided the queued locks precisely
+ * because of this difference.
+ */
+
+#include "common.hh"
+#include "tango/sync.hh"
+
+using namespace benchutil;
+
+namespace {
+
+class LockStress : public Workload
+{
+  public:
+    LockStress(bool queued, unsigned contenders)
+        : queued(queued), contenders(contenders)
+    {}
+
+    std::string name() const override { return "lock-stress"; }
+
+    void
+    setup(Machine &m) override
+    {
+        auto &mem = m.memory();
+        lk = sync::allocLock(mem);
+        counter = mem.allocRoundRobin(lineBytes);
+        bar = sync::allocBarrier(mem);
+    }
+
+    SimProcess
+    run(Env env) override
+    {
+        co_await env.barrier(bar, env.nprocs());
+        if (env.pid() < contenders) {
+            for (int i = 0; i < 40; ++i) {
+                if (queued)
+                    co_await env.lockQueued(lk);
+                else
+                    co_await env.lock(lk);
+                auto v = co_await env.read<std::uint64_t>(counter);
+                co_await env.compute(10);
+                co_await env.write<std::uint64_t>(counter, v + 1);
+                if (queued)
+                    co_await env.unlockQueued(lk);
+                else
+                    co_await env.unlock(lk);
+            }
+        }
+        co_await env.barrier(bar, env.nprocs());
+    }
+
+    void
+    verify(Machine &m) override
+    {
+        auto v = m.memory().load<std::uint64_t>(counter);
+        if (v != 40ull * contenders)
+            fatal("lock stress lost updates: %llu != %llu",
+                  static_cast<unsigned long long>(v),
+                  40ull * contenders);
+    }
+
+  private:
+    bool queued;
+    unsigned contenders;
+    Addr lk = 0, counter = 0, bar = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    printRunHeader("Ablation: test&test&set vs DASH queue-based locks");
+
+    std::printf("%-11s %-8s %12s %14s\n", "contenders", "lock",
+                "exec cycles", "lock retries");
+    for (unsigned contenders : {1u, 2u, 4u, 8u, 16u}) {
+        for (bool queued : {false, true}) {
+            Machine m(makeMachineConfig(Technique::rc()));
+            LockStress w(queued, contenders);
+            RunResult r = m.run(w);
+            std::printf("%-11u %-8s %12llu %14llu\n", contenders,
+                        queued ? "queued" : "t&t&s",
+                        static_cast<unsigned long long>(r.execTime),
+                        static_cast<unsigned long long>(r.lockRetries));
+        }
+    }
+    std::printf(
+        "\nTwo classic effects appear. The queued lock never retries "
+        "(each release\nsends exactly one grant) and serves waiters "
+        "FIFO-fairly, at the cost of a\ncross-node handoff on every "
+        "transfer. Test&test&set has a retry storm that\ngrows with "
+        "contention - but it is *unfair* in a way that helps "
+        "throughput:\nthe releasing node usually re-acquires its own "
+        "dirty lock line in 2 cycles,\nso the lock migrates rarely. "
+        "DASH shipped queued locks for the fairness and\nthe traffic "
+        "reduction, not raw single-lock throughput.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: problem size vs cache size - the paper's Section 2.3
+ * methodology discussion. The authors scaled the caches to 2KB/4KB so
+ * that a simulatable problem size produces the miss behavior of a
+ * production-size problem on full caches. Sweeping MP3D's particle
+ * count on the fixed scaled caches shows how the miss rates (and with
+ * them every technique tradeoff) depend on that ratio.
+ */
+
+#include "apps/mp3d.hh"
+#include "common.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    printRunHeader(
+        "Ablation: MP3D problem size vs (scaled) cache size");
+
+    std::printf("%-10s %12s %8s %8s %10s %8s\n", "particles",
+                "SC exec", "rd-hit", "wr-hit", "cycles/", "RC");
+    std::printf("%-10s %12s %8s %8s %10s %8s\n", "", "", "", "",
+                "particle", "speedup");
+
+    const std::uint32_t steps = quickMode() ? 1 : 3;
+    for (std::uint32_t particles :
+         {2500u, 5000u, 10000u, 20000u}) {
+        Mp3dConfig c;
+        c.particles = particles;
+        c.steps = steps;
+
+        Machine m1(makeMachineConfig(Technique::sc()));
+        Mp3d w1(c);
+        RunResult sc = m1.run(w1);
+        Machine m2(makeMachineConfig(Technique::rc()));
+        Mp3d w2(c);
+        RunResult rc = m2.run(w2);
+
+        std::printf("%-10u %12llu %7.1f%% %7.1f%% %10.1f %7.2fx\n",
+                    particles,
+                    static_cast<unsigned long long>(sc.execTime),
+                    sc.readHitPct, sc.writeHitPct,
+                    static_cast<double>(sc.execTime) * 16.0 /
+                        (static_cast<double>(particles) * steps),
+                    speedup(rc, sc));
+    }
+    std::printf(
+        "\nWith 10,000+ particles the per-particle footprint swamps "
+        "the scaled caches\nand the hit rates flatten at their "
+        "communication-limited floor - exactly the\nregime the paper "
+        "targets ('the caches are expected to miss on each "
+        "particle').\nBelow that, the problem starts fitting and the "
+        "techniques matter less.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark binaries.
+ *
+ * Every binary runs the paper's three benchmarks (MP3D, LU, PTHOR at
+ * their Section 2 data-set sizes) under a set of technique
+ * configurations and prints the corresponding table or figure in the
+ * paper's normalized format, next to the paper's published values where
+ * we have them. Set DASHSIM_QUICK=1 in the environment to run the
+ * scaled-down test data sets instead (useful for smoke testing).
+ */
+
+#ifndef BENCH_COMMON_HH
+#define BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "core/report.hh"
+
+namespace benchutil {
+
+using namespace dashsim;
+
+inline bool
+quickMode()
+{
+    const char *q = std::getenv("DASHSIM_QUICK");
+    return q && q[0] == '1';
+}
+
+inline std::vector<std::pair<std::string, WorkloadFactory>>
+workloads()
+{
+    return quickMode() ? testWorkloads() : paperWorkloads();
+}
+
+/** Run one app under several techniques; first entry is the baseline. */
+inline std::vector<BreakdownRow>
+runSeries(const WorkloadFactory &factory,
+          const std::vector<std::pair<std::string, Technique>> &configs)
+{
+    std::vector<BreakdownRow> rows;
+    rows.reserve(configs.size());
+    for (const auto &[label, t] : configs)
+        rows.push_back({label, runExperiment(factory, t)});
+    return rows;
+}
+
+/**
+ * Also drop the series as CSV under ./bench_csv/ for plotting; set
+ * DASHSIM_NO_CSV=1 to suppress.
+ */
+inline void
+emitCsv(const std::string &file, const std::string &title,
+        const std::vector<BreakdownRow> &rows)
+{
+    const char *no = std::getenv("DASHSIM_NO_CSV");
+    if (no && no[0] == '1')
+        return;
+    (void)std::system("mkdir -p bench_csv");
+    writeCsv("bench_csv/" + file, title, rows);
+}
+
+/** "paper X / measured Y" line for a headline speedup. */
+inline void
+printHeadline(const char *what, double paper, double measured)
+{
+    std::printf("  %-44s %s\n", what,
+                paperVsMeasured(paper, measured).c_str());
+}
+
+inline void
+printRunHeader(const char *title)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s%s\n", title,
+                quickMode() ? "   [QUICK data sets]" : "");
+    std::printf("==================================================="
+                "=========================\n\n");
+}
+
+} // namespace benchutil
+
+#endif // BENCH_COMMON_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 2: effect of caching shared data. For each application, run
+ * with shared data uncached (the baseline bar, normalized to 100) and
+ * with hardware coherent caches, under sequential consistency, and
+ * print the busy / read / write / sync breakdown plus the Section 3
+ * shared-reference hit rates.
+ */
+
+#include "common.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    printRunHeader("Figure 2: Effect of caching shared data");
+
+    // Paper's cached-bar totals (uncached = 100).
+    const double paper_total[3] = {45.2, 36.6, 41.5};
+    int i = 0;
+    for (auto &[name, factory] : workloads()) {
+        auto rows = runSeries(factory, {
+            {"No Cache", Technique::noCache()},
+            {"Cache", Technique::sc()},
+        });
+        printBreakdown(std::cout, name + " (Figure 2)", rows, 0, false);
+        emitCsv(name + "_fig2.csv", name + " fig2", rows);
+
+        const RunResult &cached = rows[1].result;
+        printHeadline("speedup from coherent caches",
+                      100.0 / paper_total[i],
+                      speedup(cached, rows[0].result));
+        std::printf("  shared-read hit rate  %5.1f%%  "
+                    "(paper: %s)\n", cached.readHitPct,
+                    i == 0 ? "80%" : i == 1 ? "66%" : "77%");
+        std::printf("  shared-write hit rate %5.1f%%  "
+                    "(paper: %s)\n", cached.writeHitPct,
+                    i == 0 ? "75%" : i == 1 ? "97%" : "47%");
+        std::printf("  processor utilization %5.1f%%  (paper: %s)\n\n",
+                    100.0 * cached.utilization(),
+                    i == 0 ? "~17%" : i == 1 ? "~26%" : "~16%");
+        ++i;
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 4: effect of software-controlled non-binding prefetching,
+ * without and with prefetch, under both SC and RC. A new "prefetch
+ * overhead" section appears in the bars (extra instructions, buffer
+ * stalls, and primary-cache fill stalls).
+ */
+
+#include "common.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    printRunHeader("Figure 4: Effect of prefetching");
+
+    // Paper: combined RC+PF speedup over plain SC.
+    const double paper_rcpf[3] = {2.3, 1.6, 1.6};
+    // Paper: SC+PF bar totals (SC = 100): 62.4 / 61.5 / 71.9.
+    const double paper_scpf[3] = {100.0 / 62.4, 100.0 / 61.5,
+                                  100.0 / 71.9};
+
+    int i = 0;
+    for (auto &[name, factory] : workloads()) {
+        auto rows = runSeries(factory, {
+            {"Normal SC", Technique::sc()},
+            {"Prefetch SC", Technique::scPrefetch()},
+            {"Normal RC", Technique::rc()},
+            {"Prefetch RC", Technique::rcPrefetch()},
+        });
+        printBreakdown(std::cout, name + " (Figure 4)", rows, 0, false);
+        emitCsv(name + "_fig4.csv", name + " fig4", rows);
+
+        printHeadline("SC+PF speedup over SC", paper_scpf[i],
+                      speedup(rows[1].result, rows[0].result));
+        printHeadline("RC+PF speedup over SC", paper_rcpf[i],
+                      speedup(rows[3].result, rows[0].result));
+
+        const RunResult &pf = rows[3].result;
+        double coverage =
+            pf.prefetchesIssued
+                ? 100.0 *
+                      static_cast<double>(pf.prefetchesIssued -
+                                          pf.prefetchesDropped) /
+                      static_cast<double>(pf.prefetchesIssued)
+                : 0.0;
+        std::printf("  prefetches issued %llu, dropped-in-cache %llu "
+                    "(%.0f%% go to memory), demand-combined %llu\n\n",
+                    static_cast<unsigned long long>(pf.prefetchesIssued),
+                    static_cast<unsigned long long>(pf.prefetchesDropped),
+                    coverage,
+                    static_cast<unsigned long long>(
+                        pf.prefetchesCombined));
+        ++i;
+    }
+    std::printf("Expected shape: prefetching cuts read stall "
+                "substantially for the regular\napplications (MP3D, "
+                "LU) and less for pointer-chasing PTHOR (56%% "
+                "coverage in\nthe paper); LU pays a visible prefetch-"
+                "overhead section; combined with RC the\nwrite stall "
+                "is gone and the benefit is pure read-latency "
+                "hiding.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 6: combining the schemes - 1/2/4 contexts (4-cycle switch)
+ * under SC, under RC, and under RC with prefetching. The headline
+ * findings: RC helps multiple contexts by removing write stalls and
+ * lengthening run lengths; adding prefetching to 4 contexts is often
+ * counterproductive.
+ */
+
+#include "common.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    printRunHeader("Figure 6: Combining the schemes (switch = 4 cycles)");
+
+    // Paper: overall best-combination speedups quoted in Section 7.
+    const double paper_rc4[3] = {3.0, 1.7, 1.3};
+
+    int i = 0;
+    for (auto &[name, factory] : workloads()) {
+        auto rows = runSeries(factory, {
+            {"SC 1ctx", Technique::sc()},
+            {"SC 2ctx", Technique::multiContext(2, 4)},
+            {"SC 4ctx", Technique::multiContext(4, 4)},
+            {"RC 1ctx", Technique::rc()},
+            {"RC 2ctx", Technique::multiContext(2, 4, Consistency::RC)},
+            {"RC 4ctx", Technique::multiContext(4, 4, Consistency::RC)},
+            {"RC+PF 1ctx", Technique::rcPrefetch()},
+            {"RC+PF 2ctx",
+             Technique::multiContext(2, 4, Consistency::RC, true)},
+            {"RC+PF 4ctx",
+             Technique::multiContext(4, 4, Consistency::RC, true)},
+        });
+        printBreakdown(std::cout, name + " (Figure 6)", rows, 0, true);
+        emitCsv(name + "_fig6.csv", name + " fig6", rows);
+
+        printHeadline("RC 4ctx speedup over SC 1ctx", paper_rc4[i],
+                      speedup(rows[5].result, rows[0].result));
+
+        double rc4 = static_cast<double>(rows[5].result.execTime);
+        double rc4pf = static_cast<double>(rows[8].result.execTime);
+        std::printf("  adding prefetch to RC 4ctx: %+.1f%% execution "
+                    "time (paper: positive, i.e. worse)\n",
+                    100.0 * (rc4pf - rc4) / rc4);
+        double rc1pf = static_cast<double>(rows[6].result.execTime);
+        double rc2pf = static_cast<double>(rows[7].result.execTime);
+        std::printf("  prefetch with 2 contexts vs 1: %+.1f%% "
+                    "(paper: 2ctx+PF beats 1ctx+PF)\n\n",
+                    100.0 * (rc2pf - rc1pf) / rc1pf);
+        ++i;
+    }
+    std::printf("Expected shape: SC->RC improves every context count; "
+                "fewer contexts are\nneeded under RC because run "
+                "lengths grow; prefetch plus 4 contexts is\n"
+                "counterproductive (both schemes chase the same "
+                "latency and only add\noverhead).\n");
+    return 0;
+}

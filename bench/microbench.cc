@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's own primitives:
+ * event-queue throughput, cache probes, directory-protocol walks, and
+ * end-to-end simulated-cycles-per-host-second on a small workload.
+ * These measure the *simulator*, not the simulated machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/lu.hh"
+#include "core/experiment.hh"
+#include "mem/mem_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace dashsim;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_PrimaryCacheProbe(benchmark::State &state)
+{
+    PrimaryCache pc(CacheGeometry{2 * 1024});
+    Rng rng(1);
+    for (int i = 0; i < 128; ++i)
+        pc.fill(rng.below(1 << 20) << lineShift);
+    std::uint64_t hits = 0;
+    for (auto _ : state)
+        hits += pc.probe((rng.below(1 << 20)) << lineShift) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_PrimaryCacheProbe);
+
+void
+BM_DirectoryReadWalk(benchmark::State &state)
+{
+    EventQueue eq;
+    SharedMemory mem(16);
+    MemConfig cfg;
+    MemorySystem ms(eq, mem, cfg);
+    Addr base = mem.allocRoundRobin(1 << 20);
+    Rng rng(2);
+    Tick t = 0;
+    for (auto _ : state) {
+        Addr a = base + (rng.below((1 << 20) / 16) << lineShift);
+        auto o = ms.read(static_cast<NodeId>(rng.below(16)), a, t);
+        benchmark::DoNotOptimize(o.complete);
+        t += 4;
+        if (eq.pending() > 100000) {
+            state.PauseTiming();
+            eq.run();
+            t = eq.now();
+            state.ResumeTiming();
+        }
+    }
+}
+BENCHMARK(BM_DirectoryReadWalk);
+
+void
+BM_SimulatedCyclesPerSecond(benchmark::State &state)
+{
+    std::uint64_t simulated = 0;
+    for (auto _ : state) {
+        LuConfig lc;
+        lc.n = 48;
+        Machine m(makeMachineConfig(Technique::rc()));
+        Lu w(lc);
+        RunResult r = m.run(w);
+        simulated += r.execTime;
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatedCyclesPerSecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table 2: general statistics for the benchmarks (useful cycles, shared
+ * references, synchronization counts, and shared-data size), gathered
+ * from a base-configuration run (coherent caches, SC, 16 processors).
+ */
+
+#include "common.hh"
+
+using namespace benchutil;
+
+int
+main()
+{
+    printRunHeader("Table 2: General statistics for the benchmarks");
+
+    std::vector<RunResult> results;
+    for (auto &[name, factory] : workloads())
+        results.push_back(runExperiment(factory, Technique::sc()));
+
+    printTable2(std::cout, results);
+
+    std::printf("Paper's values (16 processors, Section 2.2):\n");
+    std::printf("  MP3D : useful 5774K, reads 1170K, writes 530K, "
+                "locks 0, barriers 448, data 401KB\n");
+    std::printf("  LU   : useful 27861K, reads 5543K, writes 2727K, "
+                "locks 3184, barriers 29, data 653KB\n");
+    std::printf("  PTHOR: useful 19031K, reads 3774K, writes 454K, "
+                "locks 75878, barriers 2016, data 2925KB\n");
+    std::printf("\nOur re-implementations reproduce the structure and "
+                "data-set sizes; reference\ncounts match in ratio "
+                "(reads:writes, locks per column/queue operation) "
+                "rather\nthan absolutely, since the original sources "
+                "are not public.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Executable reproduction gate: runs the key technique comparisons and
+ * *asserts* the paper's qualitative findings, exiting nonzero if any
+ * shape claim fails. This is the one binary to run when touching the
+ * simulator to check that the reproduction still holds.
+ *
+ * Uses the scaled-down data sets by default so it finishes in seconds;
+ * set DASHSIM_FULL=1 to assert on the paper's full data sets.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hh"
+
+using namespace benchutil;
+
+namespace {
+
+int failures = 0;
+bool fullScale = false;
+
+void
+claim(const char *what, bool ok)
+{
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    if (!ok)
+        ++failures;
+}
+
+/**
+ * A claim whose truth depends on the paper's full data-set sizes (the
+ * multi-context interactions change when the per-process work shrinks
+ * by an order of magnitude); checked only under DASHSIM_FULL=1.
+ */
+void
+claimFullScale(const char *what, bool ok)
+{
+    if (!fullScale) {
+        std::printf("  [skip] %s (full data sets only)\n", what);
+        return;
+    }
+    claim(what, ok);
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *full = std::getenv("DASHSIM_FULL");
+    fullScale = full && full[0] == '1';
+    auto wls = fullScale ? paperWorkloads() : testWorkloads();
+
+    printRunHeader("Reproduction gate: the paper's shape claims");
+
+    for (auto &[name, factory] : wls) {
+        std::printf("%s:\n", name.c_str());
+        RunResult nocache = runExperiment(factory, Technique::noCache());
+        RunResult sc = runExperiment(factory, Technique::sc());
+        RunResult rc = runExperiment(factory, Technique::rc());
+        RunResult scpf = runExperiment(factory, Technique::scPrefetch());
+        RunResult rcpf = runExperiment(factory, Technique::rcPrefetch());
+        RunResult mc4 =
+            runExperiment(factory, Technique::multiContext(4, 4));
+        RunResult rc4 = runExperiment(
+            factory, Technique::multiContext(4, 4, Consistency::RC));
+        RunResult rcpf4 = runExperiment(
+            factory,
+            Technique::multiContext(4, 4, Consistency::RC, true));
+
+        // Section 3: coherent caches are a clear win.
+        claim("coherent caches speed up execution",
+              sc.execTime < nocache.execTime);
+
+        // Section 4: RC removes write stall and never loses.
+        claim("RC eliminates write-miss stall time",
+              rc.bucket(Bucket::Write) == 0);
+        claim("RC is at least as fast as SC",
+              rc.execTime <= 1.02 * sc.execTime);
+
+        // Section 5: prefetching helps under both models and raises
+        // the hit rate; an overhead section appears.
+        claim("prefetching helps under SC",
+              scpf.execTime < 1.02 * sc.execTime);
+        claim("prefetching helps under RC",
+              rcpf.execTime < 1.02 * rc.execTime);
+        claim("prefetching raises the read hit rate",
+              rcpf.readHitPct > rc.readHitPct);
+        claim("prefetch overhead is visible",
+              rcpf.bucket(Bucket::PfOverhead) > 0);
+
+        // Section 6: contexts help (somewhere between a little and a
+        // lot), and combining RC with contexts is the best single
+        // combination.
+        claim("4 contexts do not catastrophically hurt",
+              mc4.execTime < 1.3 * sc.execTime);
+        claimFullScale("RC+4ctx is the best combination tested",
+                       rc4.execTime <= mc4.execTime &&
+                           rc4.execTime <= 1.02 * rcpf4.execTime);
+
+        // Section 6.2: adding prefetch to 4 contexts does not help
+        // (and usually hurts).
+        claimFullScale("prefetch adds nothing on top of 4 contexts",
+                       rcpf4.execTime >= 0.98 * rc4.execTime);
+        std::printf("\n");
+    }
+
+    if (failures) {
+        std::printf("%d shape claim(s) FAILED\n", failures);
+        return 1;
+    }
+    std::printf("All shape claims hold.\n");
+    return 0;
+}

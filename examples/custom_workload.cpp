@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Writing your own workload: a producer/consumer pipeline built from
+ * the public API (coroutines, shared task queues, locks, barriers) and
+ * evaluated under several latency-tolerating techniques.
+ *
+ * Stage 0 processes (producers) generate work items; stage 1 processes
+ * (consumers) pop them from a shared queue, compute on shared data and
+ * accumulate into a lock-protected result. The example shows how the
+ * techniques interact with a pipeline-parallel (rather than
+ * data-parallel) decomposition.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "tango/sync.hh"
+
+using namespace dashsim;
+
+namespace {
+
+class Pipeline : public Workload
+{
+  public:
+    std::string name() const override { return "pipeline"; }
+
+    void
+    setup(Machine &m) override
+    {
+        auto &mem = m.memory();
+        queue = sync::allocTaskQueue(mem, 4096, 0);
+        resultLock = sync::allocLock(mem);
+        result = mem.allocRoundRobin(lineBytes);
+        doneFlag = mem.allocRoundRobin(lineBytes);
+        producersLeft = mem.allocRoundRobin(lineBytes);
+        table = mem.allocRoundRobin(tableWords * 8);
+        for (std::uint32_t i = 0; i < tableWords; ++i)
+            mem.store<std::uint64_t>(table + 8 * i, i * i % 97);
+        mem.store<std::uint32_t>(producersLeft, 0);
+    }
+
+    SimProcess
+    run(Env env) override
+    {
+        const unsigned pid = env.pid();
+        const bool producer = pid % 2 == 0;
+
+        if (producer) {
+            co_await env.fetchAdd(producersLeft, 1);
+            for (int i = 0; i < itemsPerProducer; ++i) {
+                co_await env.compute(40);  // "produce" an item
+                bool ok = false;
+                co_await sync::push(
+                    env, queue,
+                    static_cast<std::uint64_t>(pid * 1000 + i), ok);
+                if (!ok)
+                    fatal("pipeline queue overflow");
+            }
+            // Last producer to finish raises the done flag.
+            auto left = co_await env.fetchAdd(producersLeft,
+                                              0xFFFFFFFFu);  // -1
+            if (left == 1)
+                co_await env.writeRelease<std::uint32_t>(doneFlag, 1);
+        } else {
+            while (true) {
+                std::uint64_t item = 0;
+                bool ok = false;
+                co_await sync::pop(env, queue, item, ok);
+                if (!ok) {
+                    auto done =
+                        co_await env.read<std::uint32_t>(doneFlag);
+                    std::uint32_t len = 0;
+                    co_await sync::lengthEstimate(env, queue, len);
+                    if (done && !len)
+                        break;
+                    co_await env.compute(25);  // poll backoff
+                    continue;
+                }
+                // "Consume": walk the shared table.
+                std::uint64_t acc = 0;
+                for (int k = 0; k < 8; ++k) {
+                    Addr a = table + 8 * ((item + k * 13) % tableWords);
+                    acc += co_await env.read<std::uint64_t>(a);
+                    co_await env.compute(6);
+                }
+                co_await env.lock(resultLock);
+                auto r = co_await env.read<std::uint64_t>(result);
+                co_await env.write<std::uint64_t>(result, r + acc);
+                co_await env.unlock(resultLock);
+            }
+        }
+    }
+
+    void
+    verify(Machine &m) override
+    {
+        // Every producer's items were consumed exactly once: recompute
+        // the expected accumulator on the host.
+        std::uint64_t want = 0;
+        for (unsigned pid = 0; pid < m.numProcesses(); pid += 2) {
+            for (int i = 0; i < itemsPerProducer; ++i) {
+                std::uint64_t item = pid * 1000 + i;
+                for (int k = 0; k < 8; ++k) {
+                    std::uint64_t idx = (item + k * 13) % tableWords;
+                    want += idx * idx % 97;
+                }
+            }
+        }
+        auto got = m.memory().load<std::uint64_t>(result);
+        if (got != want)
+            fatal("pipeline result %llu != %llu",
+                  static_cast<unsigned long long>(got),
+                  static_cast<unsigned long long>(want));
+    }
+
+  private:
+    static constexpr int itemsPerProducer = 40;
+    static constexpr std::uint32_t tableWords = 2048;
+
+    sync::TaskQueue queue;
+    Addr resultLock = 0, result = 0, doneFlag = 0, producersLeft = 0;
+    Addr table = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("custom workload: 8 producers -> shared queue -> 8 "
+                "consumers on 16 nodes\n\n");
+    std::printf("%-22s %12s %8s %8s\n", "technique", "exec cycles",
+                "busy%", "sync%");
+    for (auto t : {Technique::sc(), Technique::rc(),
+                   Technique::rcPrefetch(),
+                   Technique::multiContext(2, 4, Consistency::RC),
+                   Technique::multiContext(4, 4, Consistency::RC)}) {
+        Machine m(makeMachineConfig(t));
+        Pipeline w;
+        RunResult r = m.run(w);
+        std::printf("%-22s %12llu %7.1f%% %7.1f%%\n",
+                    t.label().c_str(),
+                    static_cast<unsigned long long>(r.execTime),
+                    100.0 * r.bucket(Bucket::Busy) / r.totalCycles(),
+                    100.0 *
+                        (r.bucket(Bucket::Sync) +
+                         r.bucket(Bucket::AllIdle)) /
+                        r.totalCycles());
+    }
+    std::printf("\nThe pipeline's lock-protected accumulator "
+                "serializes consumers, so extra\ncontexts help less "
+                "than they do for the data-parallel benchmarks.\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * False sharing under an invalidating directory protocol: sixteen
+ * processors increment private counters that either share cache lines
+ * (packed 4-byte counters, four per 16-byte line) or live on separate
+ * lines (padded). The packed version ping-pongs ownership between the
+ * nodes on every write; the padded version gets an exclusive grant
+ * once and then writes locally forever.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "tango/sync.hh"
+
+using namespace dashsim;
+
+namespace {
+
+class Counters : public Workload
+{
+  public:
+    explicit Counters(bool padded) : padded(padded) {}
+
+    std::string
+    name() const override
+    {
+        return padded ? "padded" : "false-shared";
+    }
+
+    void
+    setup(Machine &m) override
+    {
+        auto &mem = m.memory();
+        stride = padded ? lineBytes : 4;
+        base = mem.allocRoundRobin(16 * lineBytes);
+        bar = sync::allocBarrier(mem);
+    }
+
+    SimProcess
+    run(Env env) override
+    {
+        Addr mine = base + env.pid() * stride;
+        co_await env.barrier(bar, env.nprocs());
+        for (int i = 0; i < iterations; ++i) {
+            auto v = co_await env.read<std::uint32_t>(mine);
+            co_await env.compute(8);
+            co_await env.write<std::uint32_t>(mine, v + 1);
+        }
+        co_await env.barrier(bar, env.nprocs());
+    }
+
+    void
+    verify(Machine &m) override
+    {
+        for (unsigned p = 0; p < m.numProcesses(); ++p) {
+            auto v = m.memory().load<std::uint32_t>(base + p * stride);
+            if (v != iterations)
+                fatal("counter %u is %u, expected %d", p, v,
+                      iterations);
+        }
+    }
+
+    static constexpr int iterations = 200;
+
+  private:
+    bool padded;
+    Addr base = 0, bar = 0;
+    unsigned stride = 4;
+};
+
+void
+runCase(const char *label, bool padded, Consistency cons)
+{
+    MachineConfig cfg = makeMachineConfig(
+        cons == Consistency::SC ? Technique::sc() : Technique::rc());
+    Machine m(cfg);
+    Counters w(padded);
+    RunResult r = m.run(w);
+    std::printf("%-14s %-3s  exec %9llu  invalidations %7llu  "
+                "write-hit %5.1f%%\n",
+                label, cons == Consistency::SC ? "SC" : "RC",
+                static_cast<unsigned long long>(r.execTime),
+                static_cast<unsigned long long>(r.invalidations),
+                r.writeHitPct);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("False sharing on a 16-node directory-coherent "
+                "machine\n");
+    std::printf("(16 counters x %d increments; packed = 4 counters "
+                "per line)\n\n", Counters::iterations);
+    runCase("packed", false, Consistency::SC);
+    runCase("padded", true, Consistency::SC);
+    runCase("packed", false, Consistency::RC);
+    runCase("padded", true, Consistency::RC);
+    std::printf("\nPadding turns every write into a cache hit; the "
+                "packed counters bounce\nline ownership between nodes "
+                "on nearly every access.\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Quickstart: build a 16-node DASH-like machine, write a tiny parallel
+ * workload as a coroutine, and compare sequential and release
+ * consistency on it.
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "tango/sync.hh"
+
+using namespace dashsim;
+
+namespace {
+
+/**
+ * Each process repeatedly updates a strided slice of a shared array and
+ * meets the others at a barrier - a miniature bulk-synchronous kernel.
+ */
+class ArraySweep : public Workload
+{
+  public:
+    std::string name() const override { return "array-sweep"; }
+
+    void
+    setup(Machine &m) override
+    {
+        auto &mem = m.memory();
+        elems = 4096;
+        base = mem.allocRoundRobin(elems * 8);
+        for (std::uint32_t i = 0; i < elems; ++i)
+            mem.store<double>(base + 8 * i, 1.0);
+        bar = sync::allocBarrier(mem);
+    }
+
+    SimProcess
+    run(Env env) override
+    {
+        const unsigned pid = env.pid();
+        const unsigned np = env.nprocs();
+        // Blocked partitioning: each process owns a contiguous slice,
+        // so consecutive elements share cache lines.
+        const std::uint32_t chunk = elems / np;
+        const std::uint32_t lo = pid * chunk;
+        const std::uint32_t hi = pid + 1 == np ? elems : lo + chunk;
+        for (int sweep = 0; sweep < 4; ++sweep) {
+            for (std::uint32_t i = lo; i < hi; ++i) {
+                double v = co_await env.read<double>(base + 8 * i);
+                co_await env.compute(6);
+                co_await env.write<double>(base + 8 * i, v * 1.5 + 1.0);
+            }
+            co_await env.barrier(bar, np);
+        }
+    }
+
+    void
+    verify(Machine &m) override
+    {
+        // After 4 sweeps of x -> 1.5x + 1 starting from 1.0:
+        double want = 1.0;
+        for (int s = 0; s < 4; ++s)
+            want = want * 1.5 + 1.0;
+        for (std::uint32_t i = 0; i < elems; ++i) {
+            double v = m.memory().load<double>(base + 8 * i);
+            if (v != want)
+                fatal("element %u is %f, expected %f", i, v, want);
+        }
+    }
+
+  private:
+    Addr base = 0;
+    Addr bar = 0;
+    std::uint32_t elems = 0;
+};
+
+void
+runAndPrint(const char *label, const Technique &t)
+{
+    Machine m(makeMachineConfig(t));
+    ArraySweep w;
+    RunResult r = m.run(w);
+    std::printf("%-8s exec=%8llu cycles   busy=%5.1f%%   util=%4.1f%%   "
+                "read-hit=%4.1f%%\n",
+                label, static_cast<unsigned long long>(r.execTime),
+                100.0 * r.busyCycles / (double)r.totalCycles(),
+                100.0 * r.utilization(), r.readHitPct);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("dashsim quickstart: 16-node DASH-like multiprocessor\n\n");
+    runAndPrint("SC", Technique::sc());
+    runAndPrint("RC", Technique::rc());
+    runAndPrint("RC 4ctx", Technique::multiContext(4, 4, Consistency::RC));
+    std::printf("\nRelease consistency hides the write latency; multiple"
+                " contexts hide part of the read latency.\n");
+    return 0;
+}

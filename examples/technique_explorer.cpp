@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Technique explorer: run any of the paper's benchmarks under any
+ * technique combination from the command line and print the full
+ * execution-time breakdown.
+ *
+ *     technique_explorer [app] [options]
+ *       app:        mp3d | lu | pthor        (default mp3d)
+ *       --nocache    disable shared-data caching
+ *       --rc         release consistency      (default SC)
+ *       --pf         software prefetching
+ *       --ctx N      hardware contexts (1/2/4)
+ *       --switch N   context-switch cycles (default 4)
+ *       --full-caches use the unscaled 64KB/256KB caches
+ *       --small      scaled-down data sets (fast)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include <iostream>
+
+#include "apps/lu.hh"
+#include "apps/mp3d.hh"
+#include "apps/pthor.hh"
+#include "core/experiment.hh"
+#include "core/inspect.hh"
+#include "core/report.hh"
+
+using namespace dashsim;
+
+int
+main(int argc, char **argv)
+{
+    std::string app = "mp3d";
+    Technique t;
+    bool small = false;
+    MemConfig base;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "mp3d" || a == "lu" || a == "pthor") {
+            app = a;
+        } else if (a == "--nocache") {
+            t.caches = false;
+        } else if (a == "--rc") {
+            t.consistency = Consistency::RC;
+        } else if (a == "--pf") {
+            t.prefetch = true;
+        } else if (a == "--ctx" && i + 1 < argc) {
+            t.contexts = static_cast<std::uint32_t>(atoi(argv[++i]));
+        } else if (a == "--switch" && i + 1 < argc) {
+            t.switchCycles = static_cast<Tick>(atoi(argv[++i]));
+        } else if (a == "--full-caches") {
+            base = MemConfig::fullSizeCaches();
+        } else if (a == "--small") {
+            small = true;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+            return 2;
+        }
+    }
+
+    std::unique_ptr<Workload> w;
+    if (app == "mp3d") {
+        Mp3dConfig c;
+        if (small) {
+            c.particles = 1000;
+            c.steps = 2;
+        }
+        w = std::make_unique<Mp3d>(c);
+    } else if (app == "lu") {
+        LuConfig c;
+        if (small)
+            c.n = 64;
+        w = std::make_unique<Lu>(c);
+    } else {
+        PthorConfig c;
+        if (small) {
+            c.elements = 2000;
+            c.flipflops = 200;
+            c.clockCycles = 2;
+        }
+        w = std::make_unique<Pthor>(c);
+    }
+
+    std::printf("app=%s technique=%s caches=%s\n\n", app.c_str(),
+                t.label().c_str(),
+                base.primary.sizeBytes > 4096 ? "full-size" : "scaled");
+
+    Machine m(makeMachineConfig(t, base));
+    RunResult r = m.run(*w);
+
+    std::printf("execution time      %12llu pclocks  (%.2f ms at "
+                "33MHz)\n",
+                static_cast<unsigned long long>(r.execTime),
+                static_cast<double>(r.execTime) * 30e-6);
+    std::printf("processor util      %11.1f%%\n",
+                100.0 * r.utilization());
+    auto pct = [&](Bucket b) {
+        return 100.0 * r.bucket(b) / r.totalCycles();
+    };
+    std::printf("  busy              %11.1f%%\n", pct(Bucket::Busy));
+    std::printf("  read stall        %11.1f%%\n", pct(Bucket::Read));
+    std::printf("  write stall       %11.1f%%\n", pct(Bucket::Write));
+    std::printf("  sync stall        %11.1f%%\n", pct(Bucket::Sync));
+    std::printf("  prefetch overhead %11.1f%%\n",
+                pct(Bucket::PfOverhead));
+    std::printf("  switching         %11.1f%%\n",
+                pct(Bucket::Switching));
+    std::printf("  all idle          %11.1f%%\n", pct(Bucket::AllIdle));
+    std::printf("  no switch         %11.1f%%\n",
+                pct(Bucket::NoSwitch));
+    std::printf("shared reads        %12llu  (hit %.1f%%)\n",
+                static_cast<unsigned long long>(r.sharedReads),
+                r.readHitPct);
+    std::printf("shared writes       %12llu  (hit %.1f%%)\n",
+                static_cast<unsigned long long>(r.sharedWrites),
+                r.writeHitPct);
+    std::printf("locks/barriers      %12llu / %llu\n",
+                static_cast<unsigned long long>(r.locks),
+                static_cast<unsigned long long>(r.barriers));
+    std::printf("median run length   %12.0f cycles\n",
+                r.medianRunLength);
+    std::printf("avg read-miss lat   %12.0f cycles\n",
+                r.avgReadMissLatency);
+    printInspection(std::cout, inspectMemory(m, r.execTime));
+    if (r.prefetchesIssued) {
+        std::printf("prefetches          %12llu issued, %llu dropped, "
+                    "%llu combined\n",
+                    static_cast<unsigned long long>(r.prefetchesIssued),
+                    static_cast<unsigned long long>(
+                        r.prefetchesDropped),
+                    static_cast<unsigned long long>(
+                        r.prefetchesCombined));
+    }
+    return 0;
+}

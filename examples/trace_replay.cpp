@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Trace-driven simulation: record the reference stream of a benchmark
+ * once, save it to disk, then replay the same stream under different
+ * consistency models - the classic Tango trace workflow.
+ *
+ *     ./trace_replay            # record MP3D (small), replay 4 ways
+ *     ./trace_replay file.dtrc  # reuse/save the trace file
+ */
+
+#include <cstdio>
+
+#include "apps/mp3d.hh"
+#include "core/experiment.hh"
+#include "tango/trace.hh"
+
+using namespace dashsim;
+
+int
+main(int argc, char **argv)
+{
+    const char *path = argc > 1 ? argv[1] : "/tmp/mp3d_small.dtrc";
+
+    Mp3dConfig mc;
+    mc.particles = 2000;
+    mc.steps = 2;
+
+    std::printf("Recording MP3D (%u particles, %u steps) under RC...\n",
+                mc.particles, mc.steps);
+    Machine rec_machine(makeMachineConfig(Technique::rc()));
+    TraceRecorder rec(std::make_unique<Mp3d>(mc));
+    RunResult recorded = rec_machine.run(rec);
+    Trace trace = rec.takeTrace();
+    std::printf("  %zu operations across %zu processes, exec %llu "
+                "cycles\n",
+                trace.totalOps(), trace.procs.size(),
+                static_cast<unsigned long long>(recorded.execTime));
+
+    saveTrace(trace, path);
+    std::printf("  saved to %s\n\n", path);
+
+    std::printf("Replaying the trace under each consistency model:\n");
+    std::printf("%-6s %12s %8s %8s %8s\n", "model", "exec cycles",
+                "busy%", "write%", "vs RC");
+    Tick rc_time = 0;
+    for (auto t : {Technique::rc(), Technique::wc(), Technique::pc(),
+                   Technique::sc()}) {
+        Trace copy = loadTrace(path);
+        Machine m(makeMachineConfig(t));
+        TraceWorkload replay(std::move(copy));
+        RunResult r = m.run(replay);
+        if (!rc_time)
+            rc_time = r.execTime;
+        std::printf("%-6s %12llu %7.1f%% %7.1f%% %7.2fx\n",
+                    t.label().c_str(),
+                    static_cast<unsigned long long>(r.execTime),
+                    100.0 * r.bucket(Bucket::Busy) / r.totalCycles(),
+                    100.0 * r.bucket(Bucket::Write) / r.totalCycles(),
+                    static_cast<double>(r.execTime) /
+                        static_cast<double>(rc_time));
+    }
+    std::printf("\nThe replayed reference stream is fixed, so the "
+                "differences isolate the\nconsistency model's effect "
+                "on the same accesses.\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+#include "apps/lu.hh"
+
+#include <cmath>
+
+#include "sim/random.hh"
+#include "tango/sync.hh"
+
+namespace dashsim {
+
+Lu::Lu(const LuConfig &cfg) : cfg(cfg)
+{
+    fatal_if(cfg.n < 2, "LU needs at least a 2x2 matrix");
+}
+
+void
+Lu::setup(Machine &m)
+{
+    SharedMemory &mem = m.memory();
+    const unsigned nprocs = m.numProcesses();
+    const std::uint32_t n = cfg.n;
+    Rng rng(cfg.seed);
+
+    // Diagonally dominant random matrix: LU without pivoting is stable.
+    original.assign(static_cast<std::size_t>(n) * n, 0.0);
+    for (std::uint32_t j = 0; j < n; ++j) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            double v = rng.uniform() - 0.5;
+            if (i == j)
+                v += static_cast<double>(n);
+            original[static_cast<std::size_t>(j) * n + i] = v;
+        }
+    }
+
+    // Columns interleaved across processes, allocated on the owner's
+    // node (placement directive, Section 2.2). Each process's columns
+    // come from one contiguous block of its node's memory, exactly as
+    // an arena allocator would lay them out - page-aligning every
+    // column individually would make them conflict perfectly in the
+    // direct-mapped caches.
+    colBase.assign(n, 0);
+    const std::size_t col_bytes = static_cast<std::size_t>(n) * 8;
+    std::vector<Addr> block(nprocs, 0);
+    std::vector<std::uint32_t> used(nprocs, 0);
+    for (unsigned p = 0; p < nprocs; ++p) {
+        std::uint32_t cols = n / nprocs + (p < n % nprocs ? 1 : 0);
+        if (cols)
+            block[p] = mem.allocLocal(cols * col_bytes,
+                                      m.nodeOfProcess(p));
+    }
+    for (std::uint32_t j = 0; j < n; ++j) {
+        unsigned p = owner(j, nprocs);
+        colBase[j] = block[p] + used[p]++ * col_bytes;
+        for (std::uint32_t i = 0; i < n; ++i)
+            mem.store<double>(elem(i, j),
+                              original[static_cast<std::size_t>(j) * n + i]);
+    }
+
+    // Produced flags: one cache line per column, on the owner's node so
+    // the release is a local write.
+    flagBase = mem.allocRoundRobin(static_cast<std::size_t>(n) * lineBytes);
+    for (std::uint32_t j = 0; j < n; ++j)
+        mem.store<std::uint32_t>(flagAddr(j), 0);
+
+    barrierAddr = sync::allocBarrier(mem);
+}
+
+SimProcess
+Lu::run(Env env)
+{
+    const unsigned pid = env.pid();
+    const unsigned nprocs = env.nprocs();
+    const std::uint32_t n = cfg.n;
+    const bool pf = env.prefetching();
+    const std::uint32_t dist = cfg.prefetchDistance;
+
+    co_await env.barrier(barrierAddr, nprocs);
+
+    for (std::uint32_t k = 0; k + 1 < n; ++k) {
+        if (owner(k, nprocs) == pid) {
+            // Normalize column k: divide the subdiagonal by the pivot.
+            double pivot = co_await env.read<double>(elem(k, k));
+            co_await env.compute(12);
+            for (std::uint32_t i = k + 1; i < n; ++i) {
+                if (pf && (i - k - 1) % 2 == 0 && i + dist < n)
+                    co_await env.prefetchEx(elem(i + dist, k));
+                double v = co_await env.read<double>(elem(i, k));
+                co_await env.compute(5);
+                co_await env.write<double>(elem(i, k), v / pivot);
+            }
+            // Publish: release write so every earlier store to the
+            // column is visible before the flag flips.
+            co_await env.writeRelease<std::uint32_t>(flagAddr(k), 1);
+        } else {
+            // Wait for the pivot column to be produced (acquire).
+            co_await env.waitFlag(flagAddr(k), 1);
+        }
+
+        // Apply the pivot column to every owned column to its right.
+        for (std::uint32_t j = k + 1; j < n; ++j) {
+            if (owner(j, nprocs) != pid)
+                continue;
+            double mult = co_await env.read<double>(elem(k, j));
+            co_await env.compute(8);
+            for (std::uint32_t i = k + 1; i < n; ++i) {
+                if (pf && (i - k - 1) % 2 == 0 && i + dist < n) {
+                    // Evenly distributed prefetches: pivot column
+                    // read-shared, owned column read-exclusive.
+                    co_await env.prefetch(elem(i + dist, k));
+                    co_await env.prefetchEx(elem(i + dist, j));
+                }
+                double a = co_await env.read<double>(elem(i, k));
+                double b = co_await env.read<double>(elem(i, j));
+                co_await env.compute(6);
+                co_await env.write<double>(elem(i, j), b - a * mult);
+            }
+        }
+    }
+
+    co_await env.barrier(barrierAddr, nprocs);
+}
+
+void
+Lu::verify(Machine &m)
+{
+    SharedMemory &mem = m.memory();
+    const std::uint32_t n = cfg.n;
+    // Check A == L * U on a deterministic sample of entries (plus the
+    // corners), where L is unit lower triangular and U upper.
+    auto check = [&](std::uint32_t r, std::uint32_t c) {
+        double sum = 0.0;
+        for (std::uint32_t t = 0; t <= std::min(r, c); ++t) {
+            double l = t < r ? mem.load<double>(elem(r, t)) : 1.0;
+            double u = mem.load<double>(elem(t, c));
+            sum += l * u;
+        }
+        double a = original[static_cast<std::size_t>(c) * n + r];
+        double tol = 1e-6 * (std::fabs(a) + 1.0);
+        if (std::fabs(sum - a) > tol) {
+            panic("LU verify failed at (%u,%u): %g vs %g", r, c, sum, a);
+        }
+    };
+    Rng s(cfg.seed + 1);
+    for (int t = 0; t < 256; ++t)
+        check(static_cast<std::uint32_t>(s.below(n)),
+              static_cast<std::uint32_t>(s.below(n)));
+    check(0, 0);
+    check(n - 1, n - 1);
+    check(n - 1, 0);
+    check(0, n - 1);
+}
+
+} // namespace dashsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * MP3D: a 3-dimensional particle-based simulator of rarefied hypersonic
+ * flow (McDonald & Baganoff [20]), re-implemented from the structure
+ * the paper describes in Sections 2.2 and 5.2.
+ *
+ * Primary data objects are the *particles* (air molecules) and the
+ * *space cells* (physical space, boundary conditions, and the flying
+ * object). Each time step every particle is moved along its velocity
+ * vector and may collide with the reservoir particle of its space cell
+ * according to a probabilistic model. Particles are statically divided
+ * among the processes and allocated from shared memory on the owning
+ * process's node; space-cell memory is distributed uniformly.
+ *
+ * Prefetch placement (enabled by CpuConfig::prefetch) follows the
+ * paper: a particle record is prefetched exclusively two iterations
+ * before its turn; in the iteration after the prefetch the particle's
+ * stored cell index is read and the space cell is prefetched. Both use
+ * read-exclusive prefetches since the records are modified.
+ */
+
+#ifndef APPS_MP3D_HH
+#define APPS_MP3D_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace dashsim {
+
+/** MP3D problem-size parameters (paper defaults). */
+struct Mp3dConfig
+{
+    std::uint32_t particles = 10000;
+    std::uint32_t cellsX = 14;
+    std::uint32_t cellsY = 24;
+    std::uint32_t cellsZ = 7;
+    std::uint32_t steps = 5;
+    std::uint64_t seed = 0x4d503344;  // "MP3D"
+    double collideProbability = 0.25;
+};
+
+class Mp3d : public Workload
+{
+  public:
+    explicit Mp3d(const Mp3dConfig &cfg = {});
+
+    std::string name() const override { return "MP3D"; }
+    void setup(Machine &m) override;
+    SimProcess run(Env env) override;
+    void verify(Machine &m) override;
+
+    /** Particle record: 32 bytes, two cache lines. */
+    static constexpr unsigned particleBytes = 32;
+    static constexpr unsigned pX = 0, pY = 4, pZ = 8;
+    static constexpr unsigned pVx = 12, pVy = 16, pVz = 20;
+    static constexpr unsigned pCell = 24;
+
+    /** Space-cell record: 48 bytes, three cache lines. */
+    static constexpr unsigned cellBytes = 48;
+    static constexpr unsigned cCount = 0, cColl = 4;
+    static constexpr unsigned cResVx = 8, cResVy = 12, cResVz = 16;
+    static constexpr unsigned cSumVx = 20, cSumVy = 24, cSumVz = 28;
+    static constexpr unsigned cObj = 32;
+
+    std::uint32_t numCells() const
+    {
+        return cfg.cellsX * cfg.cellsY * cfg.cellsZ;
+    }
+
+  private:
+    Addr particleAddr(unsigned pid, std::uint32_t i) const
+    {
+        return particleBase[pid] + static_cast<Addr>(i) * particleBytes;
+    }
+
+    Addr cellAddr(std::uint32_t c) const
+    {
+        return cellBase + static_cast<Addr>(c) * cellBytes;
+    }
+
+    std::uint32_t particlesOf(unsigned pid, unsigned nprocs) const
+    {
+        std::uint32_t per = cfg.particles / nprocs;
+        std::uint32_t extra = cfg.particles % nprocs;
+        return per + (pid < extra ? 1 : 0);
+    }
+
+    Mp3dConfig cfg;
+    std::vector<Addr> particleBase;  ///< per-process particle arrays
+    Addr cellBase = 0;
+    Addr barrierAddr = 0;
+    Addr globalCountAddr = 0;
+};
+
+} // namespace dashsim
+
+#endif // APPS_MP3D_HH

@@ -1,0 +1,453 @@
+#include "apps/pthor.hh"
+
+#include <algorithm>
+
+#include "sim/random.hh"
+
+namespace dashsim {
+
+Pthor::Pthor(const PthorConfig &cfg) : cfg(cfg)
+{
+    fatal_if(cfg.elements < cfg.flipflops + cfg.primaryInputs + 16,
+             "PTHOR circuit too small");
+    fatal_if(cfg.maxFanout == 0 || cfg.maxFanout > 8,
+             "fanout list is inlined in the record: maxFanout in [1,8]");
+    buildCircuit();
+}
+
+std::uint32_t
+Pthor::evalGate(GateType t, std::uint32_t a, std::uint32_t b)
+{
+    switch (t) {
+      case AND:
+        return a & b & 1u;
+      case OR:
+        return (a | b) & 1u;
+      case XOR:
+        return (a ^ b) & 1u;
+      case NAND:
+        return ~(a & b) & 1u;
+      case NOR:
+        return ~(a | b) & 1u;
+      case FF:
+      case INPUT:
+        return a & 1u;
+    }
+    return 0;
+}
+
+void
+Pthor::buildCircuit()
+{
+    const std::uint32_t n = cfg.elements;
+    const std::uint32_t nff = cfg.flipflops;
+    const std::uint32_t nin = cfg.primaryInputs;
+    Rng rng(cfg.seed);
+
+    net.assign(n, HostElem{AND, 0, 0, {}});
+
+    // Element layout: [0, nin) primary inputs, [nin, nin+nff) flip-flops,
+    // the rest combinational gates arranged in levels so the
+    // combinational part is acyclic. Feedback flows only through FFs.
+    const std::uint32_t first_gate = nin + nff;
+    const std::uint32_t ngates = n - first_gate;
+    const std::uint32_t per_level =
+        (ngates + cfg.levels - 1) / cfg.levels;
+
+    auto level_of = [&](std::uint32_t e) -> std::uint32_t {
+        if (e < first_gate)
+            return 0;
+        return 1 + (e - first_gate) / per_level;
+    };
+
+    auto fanout_ok = [&](std::uint32_t src) {
+        return net[src].fanout.size() < cfg.maxFanout;
+    };
+
+    // Pick a source for element e strictly below its level, preferring
+    // sources whose fanout list still has room.
+    auto pick_source = [&](std::uint32_t e) -> std::uint32_t {
+        std::uint32_t lvl = level_of(e);
+        for (int tries = 0; tries < 64; ++tries) {
+            std::uint32_t s;
+            if (lvl <= 1 || rng.chance(0.3)) {
+                s = static_cast<std::uint32_t>(rng.below(first_gate));
+            } else {
+                // Previous combinational levels.
+                std::uint32_t hi =
+                    std::min(first_gate + (lvl - 1) * per_level, n);
+                s = static_cast<std::uint32_t>(rng.below(hi));
+            }
+            if (s != e && fanout_ok(s))
+                return s;
+        }
+        // Fall back to any element below this level even if its fanout
+        // list is full (the extra edge is simply not propagated).
+        return static_cast<std::uint32_t>(rng.below(first_gate));
+    };
+
+    for (std::uint32_t e = 0; e < n; ++e) {
+        HostElem &he = net[e];
+        if (e < nin) {
+            he.type = INPUT;
+            he.in0 = he.in1 = e;
+            continue;
+        }
+        if (e < first_gate) {
+            he.type = FF;
+            continue;  // D input assigned after gates exist
+        }
+        he.type = static_cast<GateType>(rng.below(5));
+        he.in0 = pick_source(e);
+        he.in1 = pick_source(e);
+        if (fanout_ok(he.in0))
+            net[he.in0].fanout.push_back(e);
+        if (he.in1 != he.in0 && fanout_ok(he.in1))
+            net[he.in1].fanout.push_back(e);
+    }
+
+    // Flip-flop D inputs: sampled from the deeper combinational levels,
+    // closing the sequential feedback loops.
+    for (std::uint32_t e = nin; e < first_gate; ++e) {
+        HostElem &he = net[e];
+        for (int tries = 0; tries < 64; ++tries) {
+            std::uint32_t s = first_gate +
+                              static_cast<std::uint32_t>(rng.below(ngates));
+            if (fanout_ok(s)) {
+                he.in0 = he.in1 = s;
+                break;
+            }
+            he.in0 = he.in1 = s;
+        }
+    }
+}
+
+void
+Pthor::setup(Machine &m)
+{
+    SharedMemory &mem = m.memory();
+    const unsigned nprocs = m.numProcesses();
+    setupProcs = nprocs;
+    const std::uint32_t n = cfg.elements;
+    Rng rng(cfg.seed ^ 0x1234);
+
+    // Element records: interleaved ownership (e % nprocs), each
+    // process's elements allocated on its node.
+    elemBase.assign(nprocs, 0);
+    for (unsigned p = 0; p < nprocs; ++p) {
+        std::uint32_t count = n / nprocs + (p < n % nprocs ? 1 : 0);
+        if (count == 0)
+            continue;
+        elemBase[p] = mem.allocLocal(
+            static_cast<std::size_t>(count) * elemBytes,
+            m.nodeOfProcess(p));
+    }
+    for (std::uint32_t e = 0; e < n; ++e) {
+        Addr a = elemAddr(e, nprocs);
+        const HostElem &he = net[e];
+        mem.store<std::uint32_t>(a + eState,
+                                 static_cast<std::uint32_t>(rng.below(2)));
+        mem.store<std::uint32_t>(a + eNext, 0);
+        mem.store<std::uint32_t>(a + eEvals, 0);
+        mem.store<std::uint32_t>(a + eType, he.type);
+        mem.store<std::uint32_t>(a + eIn0, he.in0);
+        mem.store<std::uint32_t>(a + eIn1, he.in1);
+        mem.store<std::uint32_t>(
+            a + eNFan, static_cast<std::uint32_t>(he.fanout.size()));
+        for (std::size_t f = 0; f < he.fanout.size(); ++f)
+            mem.store<std::uint32_t>(a + eFan + 4 * f, he.fanout[f]);
+        mem.store<std::uint32_t>(a + eLock, 0);
+    }
+
+    // Net records (the wires): distributed uniformly round-robin.
+    netBase = mem.allocRoundRobin(static_cast<std::size_t>(n) * netBytes);
+    for (std::uint32_t e = 0; e < n; ++e) {
+        mem.store<std::uint32_t>(netAddr(e) + nValue,
+                                 mem.load<std::uint32_t>(
+                                     elemAddr(e, nprocs) + eState));
+        mem.store<std::uint32_t>(netAddr(e) + nEvents, 0);
+    }
+
+    // queuesPerProcess task queues per process, on its node.
+    queues.clear();
+    for (unsigned p = 0; p < nprocs; ++p)
+        for (std::uint32_t q = 0; q < cfg.queuesPerProcess; ++q)
+            queues.push_back(sync::allocTaskQueue(
+                mem, cfg.queueCapacity, m.nodeOfProcess(p)));
+
+    barrierAddr = sync::allocBarrier(mem);
+    anyWorkAddr = mem.allocRoundRobin(lineBytes);
+    mem.store<std::uint32_t>(anyWorkAddr, 0);
+}
+
+SimProcess
+Pthor::run(Env env)
+{
+    const unsigned pid = env.pid();
+    const unsigned nprocs = env.nprocs();
+    const std::uint32_t n = cfg.elements;
+    const bool pf = env.prefetching();
+    Rng stimulus(cfg.seed ^ (0xabcdull + pid));
+
+    auto addr = [&](std::uint32_t e) { return elemAddr(e, nprocs); };
+    auto naddr = [&](std::uint32_t e) { return netAddr(e); };
+    const std::uint32_t nq = cfg.queuesPerProcess;
+    // Queue q of process p.
+    auto qref = [&](unsigned p, std::uint32_t q) -> sync::TaskQueue & {
+        return queues[p * nq + q % nq];
+    };
+
+    // Activate element e: schedule it onto a task queue. Under the
+    // default owner-push policy the element's owner gets the event (and
+    // is the only evaluator); under the work-stealing ablation we keep
+    // it local and let idle processes steal it.
+    auto activate = [&](std::uint32_t e) -> SubTask {
+        bool ok = false;
+        unsigned target = cfg.workStealing ? pid : e % nprocs;
+        // Spread pushes from different activators over the target's
+        // queues to reduce lock contention.
+        co_await sync::push(env, qref(target, pid),
+                            static_cast<std::uint64_t>(e), ok);
+        if (!ok)
+            panic("PTHOR task queue overflow (capacity %u)",
+                  cfg.queueCapacity);
+    };
+
+    // Evaluate one activated element (the heart of the main loop).
+    // Under work stealing any process may evaluate, so evaluations are
+    // serialized by the per-element lock; under owner-push only the
+    // owner ever touches the mutable lines.
+    auto evaluate = [&](std::uint32_t e) -> SubTask {
+        Addr a = addr(e);
+        if (pf) {
+            // Element record: mutable line read-exclusive, topology and
+            // fanout lines read-shared (grouped by access kind exactly
+            // as the paper describes reorganizing the record).
+            co_await env.prefetchEx(a + eState);
+            co_await env.prefetch(a + eType);
+            co_await env.prefetch(a + eFan);
+        }
+        if (cfg.workStealing)
+            co_await env.lock(a + eLock);
+        co_await env.compute(6);
+        auto type = co_await env.read<std::uint32_t>(a + eType);
+        auto in0 = co_await env.read<std::uint32_t>(a + eIn0);
+        auto in1 = co_await env.read<std::uint32_t>(a + eIn1);
+        if (pf) {
+            co_await env.prefetch(naddr(in0));
+            co_await env.prefetch(naddr(in1));
+        }
+        // Input values arrive through the net records (the wires);
+        // the event counters stand in for Chandy-Misra timestamps.
+        auto v0 = co_await env.read<std::uint32_t>(naddr(in0) + nValue);
+        (void)co_await env.read<std::uint32_t>(naddr(in0) + nEvents);
+        auto v1 = co_await env.read<std::uint32_t>(naddr(in1) + nValue);
+        (void)co_await env.read<std::uint32_t>(naddr(in1) + nEvents);
+        co_await env.compute(16);
+        std::uint32_t out =
+            evalGate(static_cast<GateType>(type), v0, v1);
+        auto old = co_await env.read<std::uint32_t>(a + eState);
+        auto evals = co_await env.read<std::uint32_t>(a + eEvals);
+        (void)co_await env.read<std::uint32_t>(a + eNext);
+        (void)co_await env.read<std::uint32_t>(a + eNFan);
+        co_await env.compute(12);
+        co_await env.write<std::uint32_t>(a + eEvals, evals + 1);
+        if (out != old) {
+            co_await env.write<std::uint32_t>(a + eState, out);
+            // Drive the output wire.
+            auto ev = co_await env.read<std::uint32_t>(naddr(e) +
+                                                       nEvents);
+            co_await env.write<std::uint32_t>(naddr(e) + nValue, out);
+            co_await env.write<std::uint32_t>(naddr(e) + nEvents,
+                                              ev + 1);
+            auto nf = co_await env.read<std::uint32_t>(a + eNFan);
+            for (std::uint32_t f = 0; f < nf; ++f) {
+                auto tgt =
+                    co_await env.read<std::uint32_t>(a + eFan + 4 * f);
+                co_await env.compute(4);
+                co_await activate(tgt);
+            }
+        }
+        co_await env.compute(6);
+        if (cfg.workStealing)
+            co_await env.unlock(a + eLock);
+    };
+
+    co_await env.barrier(barrierAddr, nprocs);
+
+    for (std::uint32_t cycle = 0; cycle < cfg.clockCycles; ++cycle) {
+        // ---- Clock edge, phase A: sample all FF D-inputs. ----
+        for (std::uint32_t e = pid; e < n; e += nprocs) {
+            if (net[e].type != FF)
+                continue;
+            Addr a = addr(e);
+            auto d = co_await env.read<std::uint32_t>(a + eIn0);
+            auto v = co_await env.read<std::uint32_t>(naddr(d) + nValue);
+            co_await env.compute(4);
+            co_await env.write<std::uint32_t>(a + eNext, v);
+        }
+        co_await env.barrier(barrierAddr, nprocs);
+
+        // ---- Clock edge, phase B: commit FF outputs and the stimulus,
+        //      activating fanout of everything that changed. ----
+        for (std::uint32_t e = pid; e < n; e += nprocs) {
+            GateType t = net[e].type;
+            if (t != FF && t != INPUT)
+                continue;
+            Addr a = addr(e);
+            std::uint32_t nv;
+            if (t == FF) {
+                nv = co_await env.read<std::uint32_t>(a + eNext);
+            } else {
+                nv = static_cast<std::uint32_t>(stimulus.below(2));
+                co_await env.compute(2);
+            }
+            auto old = co_await env.read<std::uint32_t>(a + eState);
+            co_await env.compute(4);
+            if (nv != old) {
+                co_await env.write<std::uint32_t>(a + eState, nv);
+                co_await env.write<std::uint32_t>(naddr(e) + nValue, nv);
+                auto nf = co_await env.read<std::uint32_t>(a + eNFan);
+                for (std::uint32_t f = 0; f < nf; ++f) {
+                    auto tgt = co_await env.read<std::uint32_t>(
+                        a + eFan + 4 * f);
+                    co_await env.compute(4);
+                    co_await activate(tgt);
+                }
+            }
+        }
+
+        // ---- Event-processing loop with barrier-based termination. ----
+        bool cycle_done = false;
+        while (!cycle_done) {
+            // Drain our own task queues round-robin.
+            bool drained_any = true;
+            while (drained_any) {
+                drained_any = false;
+                for (std::uint32_t q = 0; q < nq; ++q) {
+                    std::uint64_t item = 0;
+                    bool ok = false;
+                    co_await sync::pop(env, qref(pid, q), item, ok);
+                    if (ok) {
+                        co_await evaluate(
+                            static_cast<std::uint32_t>(item));
+                        drained_any = true;
+                    }
+                }
+            }
+
+            // Out of tasks: spin on the task queues until new work is
+            // scheduled. The spinning shows up as busy time (Section
+            // 2.2); only after several fruitless polls do we fall into
+            // a termination-detection round.
+            bool worked = false;
+            for (std::uint32_t sweep = 0;
+                 sweep < cfg.idlePolls && !worked; ++sweep) {
+                if (cfg.workStealing) {
+                    for (unsigned v = 1; v < nprocs && !worked; ++v) {
+                        unsigned victim = (pid + v) % nprocs;
+                        std::uint32_t len = 0;
+                        co_await sync::lengthEstimate(
+                            env, qref(victim, pid), len);
+                        co_await env.compute(8);
+                        if (!len)
+                            continue;
+                        std::uint64_t item = 0;
+                        bool ok = false;
+                        co_await sync::pop(env, qref(victim, pid), item,
+                                           ok);
+                        if (ok) {
+                            co_await evaluate(
+                                static_cast<std::uint32_t>(item));
+                            worked = true;
+                        }
+                    }
+                }
+                // Poll our own queues (busy-wait loop).
+                for (std::uint32_t q = 0; q < nq; ++q) {
+                    std::uint32_t own = 0;
+                    co_await sync::lengthEstimate(env, qref(pid, q),
+                                                  own);
+                    co_await env.compute(10);
+                    if (own)
+                        worked = true;
+                }
+            }
+            if (worked)
+                continue;
+
+            // Termination round (three barriers; Table 2's barrier
+            // count comes mostly from here).
+            co_await env.barrier(barrierAddr, nprocs);
+            if (pid == 0)
+                co_await env.write<std::uint32_t>(anyWorkAddr, 0);
+            co_await env.barrier(barrierAddr, nprocs);
+            std::uint32_t pending = 0;
+            for (std::uint32_t q = 0; q < nq; ++q) {
+                std::uint32_t len = 0;
+                co_await sync::lengthEstimate(env, qref(pid, q), len);
+                pending += len;
+            }
+            if (pending)
+                co_await env.write<std::uint32_t>(anyWorkAddr, 1);
+            co_await env.barrier(barrierAddr, nprocs);
+            auto any = co_await env.read<std::uint32_t>(anyWorkAddr);
+            if (!any)
+                cycle_done = true;
+        }
+        co_await env.barrier(barrierAddr, nprocs);
+    }
+}
+
+void
+Pthor::verify(Machine &m)
+{
+    SharedMemory &mem = m.memory();
+    const std::uint32_t n = cfg.elements;
+    const unsigned nprocs = setupProcs;
+
+    // All task queues drained.
+    for (const auto &q : queues) {
+        auto head = mem.load<std::uint32_t>(q.headAddr());
+        auto tail = mem.load<std::uint32_t>(q.tailAddr());
+        if (head != tail)
+            panic("PTHOR queue not drained: %u items", tail - head);
+    }
+
+    std::uint64_t total_evals = 0;
+    for (std::uint32_t e = 0; e < n; ++e) {
+        Addr a = elemAddr(e, nprocs);
+        auto st = mem.load<std::uint32_t>(a + eState);
+        if (st > 1)
+            panic("PTHOR element %u has non-binary state %u", e, st);
+        total_evals += mem.load<std::uint32_t>(a + eEvals);
+
+        // Quiescence: a combinational gate whose input edges are both
+        // registered in the sources' fanout lists must agree with its
+        // inputs once the machine stops (every input change reactivates
+        // it, and its final evaluation saw the final input values).
+        const HostElem &he = net[e];
+        if (he.type == FF || he.type == INPUT)
+            continue;
+        auto connected = [&](std::uint32_t src) {
+            const auto &fo = net[src].fanout;
+            return std::find(fo.begin(), fo.end(), e) != fo.end();
+        };
+        if (!connected(he.in0) || !connected(he.in1))
+            continue;  // a dropped edge (full fanout list) breaks the
+                       // guarantee for this gate
+        if (mem.load<std::uint32_t>(a + eEvals) == 0)
+            continue;  // never activated: still holds its initial value
+        auto v0 = mem.load<std::uint32_t>(netAddr(he.in0) + nValue);
+        auto v1 = mem.load<std::uint32_t>(netAddr(he.in1) + nValue);
+        std::uint32_t want = evalGate(he.type, v0, v1);
+        if (st != want) {
+            panic("PTHOR gate %u inconsistent: state %u, inputs say %u",
+                  e, st, want);
+        }
+    }
+    if (total_evals == 0)
+        panic("PTHOR performed no gate evaluations");
+}
+
+} // namespace dashsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * PTHOR: a parallel distributed-time logic simulator in the style of
+ * Soule & Gupta's Chandy-Misra simulator [27] (paper Section 2.2).
+ *
+ * The circuit is a synthetic RISC-processor-like netlist of 11,000
+ * two-input gates: flip-flops, primary inputs, and combinational gates
+ * arranged in levels. Element records and per-process task queues live
+ * in shared memory; each process repeatedly pops an activated element
+ * from its own task queue, evaluates it, and schedules the elements on
+ * its fanout when the output changes. A process that runs out of tasks
+ * spins on its queue - that time is charged as busy time, exactly as
+ * the paper notes. Quiescence of each simulated clock cycle is detected
+ * with barrier-based termination rounds (the source of PTHOR's large
+ * barrier count in Table 2).
+ *
+ * Prefetch placement (Section 5.2): when an element is popped, its
+ * record lines are prefetched (the mutable line read-exclusive, the
+ * read-mostly lines read-shared) along with the records of its two
+ * input elements - the "first several levels of the more important
+ * linked lists".
+ */
+
+#ifndef APPS_PTHOR_HH
+#define APPS_PTHOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hh"
+#include "tango/sync.hh"
+
+namespace dashsim {
+
+/** PTHOR problem-size parameters (paper defaults). */
+struct PthorConfig
+{
+    std::uint32_t elements = 11000;
+    std::uint32_t flipflops = 1100;
+    std::uint32_t primaryInputs = 64;
+    std::uint32_t levels = 12;
+    std::uint32_t clockCycles = 5;
+    std::uint32_t maxFanout = 8;
+    std::uint32_t queueCapacity = 16384;
+    /** Task queues per process ("one of its task queues", Sec. 2.2);
+     *  pushes from different activators spread across them. */
+    std::uint32_t queuesPerProcess = 4;
+    /** Idle polls / steal sweeps before a termination round; the
+     *  polling is charged as busy time (spinning, Section 2.2). */
+    std::uint32_t idlePolls = 6;
+
+    /**
+     * Scheduling policy ablation. false (default, the paper's PTHOR):
+     * activations go to the element owner's task queue and only the
+     * owner evaluates, so no element locks are needed and idle
+     * processes spin on their own queue. true: activations stay on the
+     * activating process's queue, idle processes steal, and
+     * evaluations are serialized by per-element locks.
+     */
+    bool workStealing = false;
+    std::uint64_t seed = 0x5054484fULL;  // "PTHO"
+};
+
+class Pthor : public Workload
+{
+  public:
+    explicit Pthor(const PthorConfig &cfg = {});
+
+    std::string name() const override { return "PTHOR"; }
+    void setup(Machine &m) override;
+    SimProcess run(Env env) override;
+    void verify(Machine &m) override;
+
+    /** Element record: 80 bytes, five cache lines. */
+    static constexpr unsigned elemBytes = 80;
+    // line 0: mutable state
+    static constexpr unsigned eState = 0;      ///< current output (u32)
+    static constexpr unsigned eNext = 4;       ///< FF latched value (u32)
+    static constexpr unsigned eEvals = 8;      ///< evaluation counter
+    // line 1: read-mostly topology
+    static constexpr unsigned eType = 16;      ///< GateType (u32)
+    static constexpr unsigned eIn0 = 20;       ///< source element ids
+    static constexpr unsigned eIn1 = 24;
+    static constexpr unsigned eNFan = 28;      ///< fanout count
+    // lines 2-3: inline fanout list (up to 8 element ids)
+    static constexpr unsigned eFan = 32;
+    // line 4: per-element lock (evaluations are serialized per element
+    // because any process may steal the activation)
+    static constexpr unsigned eLock = 64;
+
+    enum GateType : std::uint32_t
+    {
+        AND = 0,
+        OR = 1,
+        XOR = 2,
+        NAND = 3,
+        NOR = 4,
+        FF = 5,     ///< D flip-flop (latched at the clock edge)
+        INPUT = 6,  ///< primary input (driven by the stimulus)
+    };
+
+    /** Host-side netlist mirror, used for setup and verification. */
+    struct HostElem
+    {
+        GateType type;
+        std::uint32_t in0, in1;
+        std::vector<std::uint32_t> fanout;
+    };
+
+    static std::uint32_t evalGate(GateType t, std::uint32_t a,
+                                  std::uint32_t b);
+
+    const std::vector<HostElem> &netlist() const { return net; }
+
+    /** Net record: one cache line carrying the driven value. */
+    static constexpr unsigned netBytes = 16;
+    static constexpr unsigned nValue = 0;   ///< current value (u32)
+    static constexpr unsigned nEvents = 4;  ///< transition counter
+
+  private:
+    Addr
+    elemAddr(std::uint32_t e, unsigned nprocs) const
+    {
+        return elemBase[e % nprocs] +
+               static_cast<Addr>(e / nprocs) * elemBytes;
+    }
+
+    /** Net record of the wire driven by element e (distributed
+     *  uniformly, like the rest of the undirected shared data). */
+    Addr netAddr(std::uint32_t e) const
+    {
+        return netBase + static_cast<Addr>(e) * netBytes;
+    }
+
+    void buildCircuit();
+
+    PthorConfig cfg;
+    std::vector<HostElem> net;
+    std::vector<Addr> elemBase;          ///< per-process element arrays
+    Addr netBase = 0;                    ///< net records, round-robin
+    std::vector<sync::TaskQueue> queues; ///< queuesPerProcess per process
+    Addr barrierAddr = 0;
+    Addr anyWorkAddr = 0;
+    unsigned setupProcs = 0;
+};
+
+} // namespace dashsim
+
+#endif // APPS_PTHOR_HH

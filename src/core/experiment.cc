@@ -1,0 +1,167 @@
+#include "core/experiment.hh"
+
+#include "apps/lu.hh"
+#include "apps/mp3d.hh"
+#include "apps/pthor.hh"
+
+namespace dashsim {
+
+std::string
+Technique::label() const
+{
+    std::string s;
+    if (!caches)
+        s += "NoCache ";
+    switch (consistency) {
+      case Consistency::SC:
+        s += "SC";
+        break;
+      case Consistency::PC:
+        s += "PC";
+        break;
+      case Consistency::WC:
+        s += "WC";
+        break;
+      case Consistency::RC:
+        s += "RC";
+        break;
+    }
+    if (prefetch)
+        s += "+PF";
+    if (contexts > 1) {
+        s += " " + std::to_string(contexts) + "ctx/sw" +
+             std::to_string(switchCycles);
+    }
+    return s;
+}
+
+Technique
+Technique::noCache()
+{
+    Technique t;
+    t.caches = false;
+    return t;
+}
+
+Technique
+Technique::sc()
+{
+    return Technique{};
+}
+
+Technique
+Technique::rc()
+{
+    Technique t;
+    t.consistency = Consistency::RC;
+    return t;
+}
+
+Technique
+Technique::pc()
+{
+    Technique t;
+    t.consistency = Consistency::PC;
+    return t;
+}
+
+Technique
+Technique::wc()
+{
+    Technique t;
+    t.consistency = Consistency::WC;
+    return t;
+}
+
+Technique
+Technique::scPrefetch()
+{
+    Technique t;
+    t.prefetch = true;
+    return t;
+}
+
+Technique
+Technique::rcPrefetch()
+{
+    Technique t;
+    t.consistency = Consistency::RC;
+    t.prefetch = true;
+    return t;
+}
+
+Technique
+Technique::multiContext(std::uint32_t n, Tick switch_cycles, Consistency c,
+                        bool prefetch)
+{
+    Technique t;
+    t.contexts = n;
+    t.switchCycles = switch_cycles;
+    t.consistency = c;
+    t.prefetch = prefetch;
+    return t;
+}
+
+MachineConfig
+makeMachineConfig(const Technique &t, const MemConfig &base)
+{
+    MachineConfig cfg;
+    cfg.mem = base;
+    cfg.mem.cacheSharedData = t.caches;
+    cfg.cpu.consistency = t.consistency;
+    cfg.cpu.prefetch = t.prefetch;
+    cfg.cpu.numContexts = t.contexts;
+    cfg.cpu.switchCycles = t.switchCycles;
+    return cfg;
+}
+
+RunResult
+runExperiment(const WorkloadFactory &factory, const Technique &t,
+              const MemConfig &base)
+{
+    Machine m(makeMachineConfig(t, base));
+    auto w = factory();
+    return m.run(*w);
+}
+
+std::vector<std::pair<std::string, WorkloadFactory>>
+paperWorkloads()
+{
+    return {
+        {"MP3D", [] { return std::make_unique<Mp3d>(); }},
+        {"LU", [] { return std::make_unique<Lu>(); }},
+        {"PTHOR", [] { return std::make_unique<Pthor>(); }},
+    };
+}
+
+std::vector<std::pair<std::string, WorkloadFactory>>
+testWorkloads()
+{
+    return {
+        {"MP3D",
+         [] {
+             Mp3dConfig c;
+             c.particles = 800;
+             c.steps = 2;
+             return std::make_unique<Mp3d>(c);
+         }},
+        {"LU",
+         [] {
+             LuConfig c;
+             c.n = 48;
+             return std::make_unique<Lu>(c);
+         }},
+        {"PTHOR",
+         [] {
+             PthorConfig c;
+             c.elements = 1200;
+             c.flipflops = 120;
+             c.primaryInputs = 32;
+             c.levels = 6;
+             c.clockCycles = 2;
+             return std::make_unique<Pthor>(c);
+         }},
+    };
+}
+
+} // namespace dashsim

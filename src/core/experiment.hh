@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The technique-configuration layer: the paper's experimental knobs
+ * (caching, consistency model, prefetching, multiple contexts) and a
+ * runner that builds a machine and executes a workload under them.
+ */
+
+#ifndef CORE_EXPERIMENT_HH
+#define CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace dashsim {
+
+/**
+ * One point in the paper's technique space.
+ */
+struct Technique
+{
+    bool caches = true;                          ///< Section 3
+    Consistency consistency = Consistency::SC;   ///< Section 4
+    bool prefetch = false;                       ///< Section 5
+    std::uint32_t contexts = 1;                  ///< Section 6
+    Tick switchCycles = 4;
+
+    /** Human-readable label, e.g. "RC+PF 4ctx". */
+    std::string label() const;
+
+    // Named points used throughout the benches.
+    static Technique noCache();
+    static Technique sc();
+    static Technique rc();
+    static Technique pc();  ///< processor consistency (extension)
+    static Technique wc();  ///< weak consistency (extension)
+    static Technique scPrefetch();
+    static Technique rcPrefetch();
+    static Technique multiContext(std::uint32_t n, Tick switch_cycles,
+                                  Consistency c = Consistency::SC,
+                                  bool prefetch = false);
+};
+
+/** Build a machine configuration for a technique point. */
+MachineConfig makeMachineConfig(const Technique &t,
+                                const MemConfig &base = {});
+
+/** Factory so each run gets a fresh workload instance. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/** Run @p factory's workload under technique @p t. */
+RunResult runExperiment(const WorkloadFactory &factory, const Technique &t,
+                        const MemConfig &base = {});
+
+/** The paper's three benchmarks with their Section 2 data sets. */
+std::vector<std::pair<std::string, WorkloadFactory>> paperWorkloads();
+
+/** Scaled-down variants for unit/integration tests (fast). */
+std::vector<std::pair<std::string, WorkloadFactory>> testWorkloads();
+
+} // namespace dashsim
+
+#endif // CORE_EXPERIMENT_HH

@@ -1,0 +1,113 @@
+#include "core/inspect.hh"
+
+#include <cstdio>
+
+namespace dashsim {
+
+const char *
+serviceLevelName(ServiceLevel lvl)
+{
+    switch (lvl) {
+      case ServiceLevel::PrimaryHit:
+        return "primary hit";
+      case ServiceLevel::SecondaryHit:
+        return "secondary fill";
+      case ServiceLevel::LocalNode:
+        return "local node";
+      case ServiceLevel::HomeNode:
+        return "home node";
+      case ServiceLevel::RemoteNode:
+        return "dirty remote";
+      case ServiceLevel::Combined:
+        return "combined";
+      case ServiceLevel::Uncached:
+        return "uncached";
+    }
+    return "?";
+}
+
+MemoryInspection
+inspectMemory(Machine &m, Tick exec_time)
+{
+    MemoryInspection mi;
+    MemorySystem &ms = m.memSystem();
+    const std::uint32_t nodes = m.config().mem.numNodes;
+
+    double util_sum = 0.0;
+    for (NodeId n = 0; n < nodes; ++n) {
+        const auto &st = ms.stats(n);
+        for (int i = 0; i < 7; ++i)
+            mi.serviceCounts[static_cast<std::size_t>(i)] +=
+                st.serviceCount[i];
+        mi.invalidations += st.invalidationsReceived;
+        mi.prefetchesIssued += st.prefetchesIssued;
+        mi.prefetchesDropped += st.prefetchesDropped;
+
+        double u = ms.busUtilization(n, exec_time);
+        util_sum += u;
+        if (u > mi.maxBusUtilization) {
+            mi.maxBusUtilization = u;
+            mi.busiestNode = n;
+        }
+    }
+    mi.avgBusUtilization = nodes ? util_sum / nodes : 0.0;
+
+    auto lvl = [&](ServiceLevel l) {
+        return mi.serviceCounts[static_cast<std::size_t>(l)];
+    };
+    std::uint64_t misses = lvl(ServiceLevel::LocalNode) +
+                           lvl(ServiceLevel::HomeNode) +
+                           lvl(ServiceLevel::RemoteNode);
+    std::uint64_t remote = lvl(ServiceLevel::HomeNode) +
+                           lvl(ServiceLevel::RemoteNode);
+    mi.remoteMissFraction =
+        misses ? static_cast<double>(remote) /
+                     static_cast<double>(misses)
+               : 0.0;
+    return mi;
+}
+
+void
+printInspection(std::ostream &os, const MemoryInspection &mi)
+{
+    char buf[128];
+    std::uint64_t total = 0;
+    for (auto c : mi.serviceCounts)
+        total += c;
+
+    os << "memory-system inspection\n";
+    for (int i = 0; i < 7; ++i) {
+        auto c = mi.serviceCounts[static_cast<std::size_t>(i)];
+        if (!c)
+            continue;
+        std::snprintf(buf, sizeof(buf), "  %-16s %12llu  (%5.1f%%)\n",
+                      serviceLevelName(static_cast<ServiceLevel>(i)),
+                      static_cast<unsigned long long>(c),
+                      total ? 100.0 * static_cast<double>(c) /
+                                  static_cast<double>(total)
+                            : 0.0);
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  remote-miss share %6.1f%%   invalidations %llu\n",
+                  100.0 * mi.remoteMissFraction,
+                  static_cast<unsigned long long>(mi.invalidations));
+    os << buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  bus utilization   %6.1f%% avg, %5.1f%% peak "
+                  "(node %u)\n",
+                  100.0 * mi.avgBusUtilization,
+                  100.0 * mi.maxBusUtilization, mi.busiestNode);
+    os << buf;
+    if (mi.prefetchesIssued) {
+        std::snprintf(buf, sizeof(buf),
+                      "  prefetches        %12llu issued, %llu dropped\n",
+                      static_cast<unsigned long long>(
+                          mi.prefetchesIssued),
+                      static_cast<unsigned long long>(
+                          mi.prefetchesDropped));
+        os << buf;
+    }
+}
+
+} // namespace dashsim

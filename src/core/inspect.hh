@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Machine inspection: post-run reports that look inside the memory
+ * system - per-node bus/directory utilization, the distribution of
+ * accesses over the service levels of Table 1, and coherence-protocol
+ * activity. Used by examples/technique_explorer and handy when
+ * debugging a workload's placement.
+ */
+
+#ifndef CORE_INSPECT_HH
+#define CORE_INSPECT_HH
+
+#include <array>
+#include <ostream>
+#include <string>
+
+#include "core/machine.hh"
+
+namespace dashsim {
+
+/** Aggregated per-run memory-system view. */
+struct MemoryInspection
+{
+    /** Access counts by ServiceLevel (PrimaryHit..Uncached). */
+    std::array<std::uint64_t, 7> serviceCounts{};
+
+    double avgBusUtilization = 0.0;   ///< mean over nodes, in [0,1]
+    double maxBusUtilization = 0.0;
+    NodeId busiestNode = 0;
+
+    std::uint64_t invalidations = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesDropped = 0;
+
+    /** Fraction of misses serviced beyond the local node. */
+    double remoteMissFraction = 0.0;
+};
+
+/** Gather the inspection from a machine after a run. */
+MemoryInspection inspectMemory(Machine &m, Tick exec_time);
+
+/** Pretty-print the inspection (one block, fixed width). */
+void printInspection(std::ostream &os, const MemoryInspection &mi);
+
+/** Human-readable name of a service level. */
+const char *serviceLevelName(ServiceLevel lvl);
+
+} // namespace dashsim
+
+#endif // CORE_INSPECT_HH

@@ -1,0 +1,136 @@
+#include "core/machine.hh"
+
+#include <algorithm>
+
+namespace dashsim {
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg(cfg), mem(cfg.mem.numNodes), msys(eq, mem, cfg.mem)
+{
+    procs.reserve(cfg.mem.numNodes);
+    for (NodeId n = 0; n < cfg.mem.numNodes; ++n)
+        procs.push_back(
+            std::make_unique<Processor>(eq, msys, n, cfg.cpu));
+
+    msys.setFillHook([this](NodeId n, Tick when, bool prefetch) {
+        procs[n]->onFillLockout(when, prefetch);
+    });
+}
+
+RunResult
+Machine::run(Workload &w)
+{
+    w.setup(*this);
+
+    const std::uint32_t nprocs = numProcesses();
+    std::vector<SimProcess> processes;
+    processes.reserve(nprocs);
+
+    Tick end_tick = 0;
+    std::uint32_t done = 0;
+    for (auto &p : procs) {
+        p->onContextDone = [&end_tick, &done](Tick t) {
+            end_tick = std::max(end_tick, t);
+            ++done;
+        };
+    }
+
+    for (unsigned pid = 0; pid < nprocs; ++pid) {
+        NodeId node = nodeOfProcess(pid);
+        ContextId ctx = pid / cfg.mem.numNodes;
+        Context &c = procs[node]->context(ctx);
+        Env env(&c, &msys, pid, nprocs, traceSink);
+        processes.push_back(w.run(env));
+        procs[node]->bindProcess(ctx, processes.back().handle());
+    }
+
+    for (auto &p : procs)
+        p->start();
+
+    eq.run();
+
+    if (done != nprocs) {
+        // Dump scheduler state to make deadlocks diagnosable.
+        for (NodeId n = 0; n < cfg.mem.numNodes; ++n) {
+            for (ContextId c = 0; c < cfg.cpu.numContexts; ++c) {
+                const Context &ctx = procs[n]->context(c);
+                std::fprintf(stderr,
+                             "  node %2u ctx %u: state=%d reason=%d "
+                             "blockedSince=%llu waitAddr=%llu val=%llu\n",
+                             n, c, static_cast<int>(ctx.state),
+                             static_cast<int>(ctx.blockReason),
+                             static_cast<unsigned long long>(
+                                 ctx.blockedSince),
+                             static_cast<unsigned long long>(ctx.waitAddr),
+                             static_cast<unsigned long long>(
+                                 ctx.waitAddr ? mem.loadRaw(ctx.waitAddr, 4)
+                                              : 0));
+            }
+        }
+        panic("deadlock: %u of %u processes finished, %zu events executed",
+              done, nprocs,
+              static_cast<std::size_t>(eq.executed()));
+    }
+
+    for (auto &p : procs)
+        p->finalize(end_tick);
+
+    w.verify(*this);
+
+    // --- collect results ---
+    RunResult r;
+    r.workload = w.name();
+    r.execTime = end_tick;
+    r.numProcessors = cfg.mem.numNodes;
+    r.numContexts = cfg.cpu.numContexts;
+    r.sharedDataBytes = mem.footprint();
+
+    SampleStat run_lengths;
+    SampleStat miss_lat;
+    for (NodeId n = 0; n < cfg.mem.numNodes; ++n) {
+        const auto &ps = procs[n]->stats();
+        for (std::size_t b = 0; b < numBuckets; ++b)
+            r.buckets[b] += ps.buckets[b];
+        r.locks += ps.locks;
+        r.lockRetries += ps.lockRetries;
+        r.barriers += ps.barriers;
+        r.contextSwitches += ps.contextSwitches;
+        r.prefetchesIssued += ps.prefetchesIssued;
+
+        const auto &ms = msys.stats(n);
+        r.sharedReads += ms.reads;
+        r.sharedWrites += ms.writes;
+        r.prefetchesDropped += ms.prefetchesDropped;
+        r.prefetchesCombined += ms.prefetchesCombined;
+        r.invalidations += ms.invalidationsReceived;
+    }
+    r.busyCycles = r.bucket(Bucket::Busy);
+    r.readHitPct = msys.totalReadHits().percent();
+    r.writeHitPct = msys.totalWriteHits().percent();
+
+    // Median run length / mean miss latency, pooled across processors.
+    // (SampleStat cannot merge medians exactly; use the widest node as
+    // representative and average the means.)
+    double mean_lat_sum = 0.0;
+    std::uint64_t lat_nodes = 0;
+    double median_sum = 0.0;
+    std::uint64_t rl_nodes = 0;
+    for (NodeId n = 0; n < cfg.mem.numNodes; ++n) {
+        const auto &ps = procs[n]->stats();
+        if (ps.runLength.count()) {
+            median_sum += ps.runLength.median();
+            ++rl_nodes;
+        }
+        const auto &ms = msys.stats(n);
+        if (ms.readMissLatency.count()) {
+            mean_lat_sum += ms.readMissLatency.mean();
+            ++lat_nodes;
+        }
+    }
+    r.medianRunLength = rl_nodes ? median_sum / rl_nodes : 0.0;
+    r.avgReadMissLatency = lat_nodes ? mean_lat_sum / lat_nodes : 0.0;
+
+    return r;
+}
+
+} // namespace dashsim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The top-level simulated machine and the Workload interface: the
+ * public API of the library.
+ *
+ * A Machine assembles the event kernel, the distributed shared memory,
+ * the DASH-style memory system, and one processor per node, then runs a
+ * Workload's processes (one coroutine per hardware context) to
+ * completion and reports the execution-time breakdown.
+ */
+
+#ifndef CORE_MACHINE_HH
+#define CORE_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/processor.hh"
+#include "mem/mem_system.hh"
+#include "mem/shared_memory.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "tango/env.hh"
+#include "tango/process.hh"
+
+namespace dashsim {
+
+class Machine;
+
+/**
+ * A parallel application. setup() allocates and initializes shared
+ * data (untimed, like program load); run() is the per-process body.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name for reports ("MP3D", "LU", "PTHOR"). */
+    virtual std::string name() const = 0;
+
+    /** Allocate and initialize shared data structures. */
+    virtual void setup(Machine &m) = 0;
+
+    /** The body executed by process env.pid(). */
+    virtual SimProcess run(Env env) = 0;
+
+    /** Optional post-run correctness check; panic/fatal on failure. */
+    virtual void verify(Machine &) {}
+};
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    MemConfig mem{};
+    CpuConfig cpu{};
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    std::string workload;
+    Tick execTime = 0;  ///< tick at which the last process finished
+
+    /** Summed per-category cycles across all processors. */
+    std::array<std::uint64_t, numBuckets> buckets{};
+
+    std::uint64_t
+    bucket(Bucket b) const
+    {
+        return buckets[static_cast<std::size_t>(b)];
+    }
+
+    // --- Table 2 style statistics ---
+    std::uint64_t busyCycles = 0;     ///< "useful cycles"
+    std::uint64_t sharedReads = 0;
+    std::uint64_t sharedWrites = 0;
+    std::uint64_t locks = 0;
+    std::uint64_t lockRetries = 0;
+    std::uint64_t barriers = 0;
+    std::size_t sharedDataBytes = 0;
+
+    // --- Section 3 / 5 / 6 statistics ---
+    double readHitPct = 0.0;
+    double writeHitPct = 0.0;
+    double medianRunLength = 0.0;
+    double avgReadMissLatency = 0.0;
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesDropped = 0;
+    std::uint64_t prefetchesCombined = 0;
+    std::uint64_t invalidations = 0;
+
+    std::uint32_t numProcessors = 0;
+    std::uint32_t numContexts = 1;
+
+    /** Sum of all buckets (>= numProcessors * execTime). */
+    std::uint64_t
+    totalCycles() const
+    {
+        std::uint64_t t = 0;
+        for (auto v : buckets)
+            t += v;
+        return t;
+    }
+
+    /** Processor utilization: busy / (P * T). */
+    double
+    utilization() const
+    {
+        if (!execTime || !numProcessors)
+            return 0.0;
+        return static_cast<double>(busyCycles) /
+               (static_cast<double>(execTime) * numProcessors);
+    }
+};
+
+/**
+ * The simulated multiprocessor.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Run @p w to completion and return the result breakdown. */
+    RunResult run(Workload &w);
+
+    // --- component access (setup code and tests) ---
+    EventQueue &eventQueue() { return eq; }
+    SharedMemory &memory() { return mem; }
+    MemorySystem &memSystem() { return msys; }
+    Processor &processor(NodeId n) { return *procs[n]; }
+    const MachineConfig &config() const { return cfg; }
+
+    /**
+     * Install (or clear) a trace sink: every process's Env reports its
+     * shared-memory operations there (tango/trace.hh). Must be set in
+     * Workload::setup (before the processes are created).
+     */
+    void setTraceSink(TraceSink *sink) { traceSink = sink; }
+
+    /** Total processes a workload runs: nodes x contexts. */
+    std::uint32_t
+    numProcesses() const
+    {
+        return cfg.mem.numNodes * cfg.cpu.numContexts;
+    }
+
+    /** Node a given process runs on (processes are dealt round-robin
+     *  across nodes, so each node hosts `numContexts` of them). */
+    NodeId
+    nodeOfProcess(unsigned pid) const
+    {
+        return pid % cfg.mem.numNodes;
+    }
+
+  private:
+    MachineConfig cfg;
+    EventQueue eq;
+    SharedMemory mem;
+    MemorySystem msys;
+    std::vector<std::unique_ptr<Processor>> procs;
+    TraceSink *traceSink = nullptr;
+};
+
+} // namespace dashsim
+
+#endif // CORE_MACHINE_HH

@@ -1,0 +1,185 @@
+#include "core/report.hh"
+
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace dashsim {
+
+double
+normalizedTime(const RunResult &r, const RunResult &baseline)
+{
+    if (!baseline.execTime)
+        return 0.0;
+    return 100.0 * static_cast<double>(r.execTime) /
+           static_cast<double>(baseline.execTime);
+}
+
+double
+speedup(const RunResult &r, const RunResult &baseline)
+{
+    if (!r.execTime)
+        return 0.0;
+    return static_cast<double>(baseline.execTime) /
+           static_cast<double>(r.execTime);
+}
+
+double
+normalizedBucket(const RunResult &r, Bucket b, const RunResult &baseline)
+{
+    double denom = static_cast<double>(baseline.execTime) *
+                   baseline.numProcessors;
+    if (denom == 0.0)
+        return 0.0;
+    return 100.0 * static_cast<double>(r.bucket(b)) / denom;
+}
+
+namespace {
+
+void
+printRow(std::ostream &os, const std::string &label,
+         const std::vector<double> &cells, double total, double speedup)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-18s", label.c_str());
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "%8.1f", total);
+    os << buf;
+    for (double c : cells) {
+        std::snprintf(buf, sizeof(buf), "%8.1f", c);
+        os << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%9.2f", speedup);
+    os << buf << '\n';
+}
+
+} // namespace
+
+void
+printBreakdown(std::ostream &os, const std::string &title,
+               const std::vector<BreakdownRow> &rows,
+               std::size_t baseline_idx, bool multi_context_mode)
+{
+    if (rows.empty())
+        return;
+    const RunResult &base = rows[baseline_idx].result;
+
+    os << title << '\n';
+    os << std::string(title.size(), '-') << '\n';
+    os << "                      Total    Busy";
+    if (multi_context_mode)
+        os << "  Switch AllIdle NoSwtch";
+    else
+        os << "    Read   Write    Sync";
+    os << "   PfOvh  Speedup\n";
+
+    for (const auto &row : rows) {
+        const RunResult &r = row.result;
+        std::vector<double> cells;
+        cells.push_back(normalizedBucket(r, Bucket::Busy, base));
+        if (multi_context_mode) {
+            cells.push_back(normalizedBucket(r, Bucket::Switching, base));
+            // In multi-context reporting, single-context stalls land in
+            // the read/write/sync buckets; fold them into "all idle" so
+            // single- and multi-context bars are comparable (Figure 6).
+            double idle = normalizedBucket(r, Bucket::AllIdle, base) +
+                          normalizedBucket(r, Bucket::Read, base) +
+                          normalizedBucket(r, Bucket::Write, base) +
+                          normalizedBucket(r, Bucket::Sync, base);
+            cells.push_back(idle);
+            cells.push_back(normalizedBucket(r, Bucket::NoSwitch, base));
+        } else {
+            cells.push_back(normalizedBucket(r, Bucket::Read, base));
+            cells.push_back(normalizedBucket(r, Bucket::Write, base));
+            double sync = normalizedBucket(r, Bucket::Sync, base) +
+                          normalizedBucket(r, Bucket::AllIdle, base) +
+                          normalizedBucket(r, Bucket::Switching, base) +
+                          normalizedBucket(r, Bucket::NoSwitch, base);
+            cells.push_back(sync);
+        }
+        cells.push_back(normalizedBucket(r, Bucket::PfOverhead, base));
+        printRow(os, row.label, cells, normalizedTime(r, base),
+                 speedup(r, base));
+    }
+    os << '\n';
+}
+
+void
+printTable2(std::ostream &os, const std::vector<RunResult> &results)
+{
+    os << "Table 2: General statistics for the benchmarks\n";
+    os << "----------------------------------------------\n";
+    os << "Program     Useful    Shared   Shared     Locks  Barriers"
+          "   Shared Data\n";
+    os << "          Cycles(K)  Reads(K) Writes(K)                  "
+          "   Size(KB)\n";
+    char buf[160];
+    for (const auto &r : results) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-8s %9.0f %9.0f %9.0f %9llu %9llu %12.0f\n",
+                      r.workload.c_str(),
+                      static_cast<double>(r.busyCycles) / 1000.0,
+                      static_cast<double>(r.sharedReads) / 1000.0,
+                      static_cast<double>(r.sharedWrites) / 1000.0,
+                      static_cast<unsigned long long>(r.locks),
+                      static_cast<unsigned long long>(r.barriers),
+                      static_cast<double>(r.sharedDataBytes) / 1024.0);
+        os << buf;
+    }
+    os << '\n';
+}
+
+void
+writeCsv(const std::string &path, const std::string &title,
+         const std::vector<BreakdownRow> &rows)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    std::fprintf(f, "# %s\n", title.c_str());
+    std::fprintf(f,
+                 "config,exec_cycles,busy,read,write,sync,pf_overhead,"
+                 "switching,all_idle,no_switch,read_hit_pct,"
+                 "write_hit_pct,locks,barriers,context_switches,"
+                 "prefetches_issued,utilization\n");
+    for (const auto &row : rows) {
+        const RunResult &r = row.result;
+        std::fprintf(
+            f,
+            "%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+            "%.2f,%.2f,%llu,%llu,%llu,%llu,%.4f\n",
+            row.label.c_str(),
+            static_cast<unsigned long long>(r.execTime),
+            static_cast<unsigned long long>(r.bucket(Bucket::Busy)),
+            static_cast<unsigned long long>(r.bucket(Bucket::Read)),
+            static_cast<unsigned long long>(r.bucket(Bucket::Write)),
+            static_cast<unsigned long long>(r.bucket(Bucket::Sync)),
+            static_cast<unsigned long long>(
+                r.bucket(Bucket::PfOverhead)),
+            static_cast<unsigned long long>(
+                r.bucket(Bucket::Switching)),
+            static_cast<unsigned long long>(r.bucket(Bucket::AllIdle)),
+            static_cast<unsigned long long>(r.bucket(Bucket::NoSwitch)),
+            r.readHitPct, r.writeHitPct,
+            static_cast<unsigned long long>(r.locks),
+            static_cast<unsigned long long>(r.barriers),
+            static_cast<unsigned long long>(r.contextSwitches),
+            static_cast<unsigned long long>(r.prefetchesIssued),
+            r.utilization());
+    }
+    std::fclose(f);
+}
+
+std::string
+paperVsMeasured(double paper_value, double measured)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "paper %5.2f / measured %5.2f",
+                  paper_value, measured);
+    return buf;
+}
+
+} // namespace dashsim

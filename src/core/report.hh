@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Paper-style reporting: normalized execution-time breakdowns (the bar
+ * charts of Figures 2-6) and the Table 2 benchmark statistics, printed
+ * as fixed-width text tables.
+ */
+
+#ifndef CORE_REPORT_HH
+#define CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace dashsim {
+
+/** One bar of a figure. */
+struct BreakdownRow
+{
+    std::string label;
+    RunResult result;
+};
+
+/**
+ * Print a normalized execution-time breakdown. Every row is scaled so
+ * the row at @p baseline_idx totals 100. With @p multi_context_mode the
+ * sections are busy / switching / all-idle / no-switch (+ prefetch
+ * overhead), matching Figures 5-6; otherwise busy / read / write / sync
+ * (+ prefetch overhead), matching Figures 2-4.
+ */
+void printBreakdown(std::ostream &os, const std::string &title,
+                    const std::vector<BreakdownRow> &rows,
+                    std::size_t baseline_idx, bool multi_context_mode);
+
+/** Print Table 2 ("General statistics for the benchmarks"). */
+void printTable2(std::ostream &os, const std::vector<RunResult> &results);
+
+/** Normalized total of @p r against @p baseline (baseline = 100). */
+double normalizedTime(const RunResult &r, const RunResult &baseline);
+
+/** Speedup of @p r over @p baseline (>1 means r is faster). */
+double speedup(const RunResult &r, const RunResult &baseline);
+
+/** Share of @p bucket in @p r, normalized the same way (baseline=100). */
+double normalizedBucket(const RunResult &r, Bucket b,
+                        const RunResult &baseline);
+
+/**
+ * Compare a measured speedup against the paper's value; returns a
+ * one-line "paper X.XX / measured Y.YY" annotation.
+ */
+std::string paperVsMeasured(double paper_value, double measured);
+
+/**
+ * Write a breakdown series as CSV (one row per configuration, raw
+ * cycle counts plus the derived statistics), for plotting. Creates or
+ * truncates @p path.
+ */
+void writeCsv(const std::string &path, const std::string &title,
+              const std::vector<BreakdownRow> &rows);
+
+} // namespace dashsim
+
+#endif // CORE_REPORT_HH

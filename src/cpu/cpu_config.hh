@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-processor technique configuration: the four knobs the paper
+ * evaluates (Sections 3-6).
+ */
+
+#ifndef CPU_CPU_CONFIG_HH
+#define CPU_CPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/**
+ * Memory consistency model (Section 4). The paper evaluates SC and RC
+ * and notes that processor consistency [8,10], weak consistency [5],
+ * and DRF0 [1] "fall between sequential and release consistency"; we
+ * implement PC and WC as well so the claim can be checked
+ * (bench/ablation_consistency_models).
+ */
+enum class Consistency : std::uint8_t
+{
+    SC,  ///< sequential: stall on every shared write
+    PC,  ///< processor consistency: buffered writes retire in order,
+         ///< reads bypass the write buffer
+    WC,  ///< weak consistency: pipelined writes, but every
+         ///< synchronization access is a full fence
+    RC,  ///< release consistency: pipelined writes, releases fence
+};
+
+/** True when shared writes go through the write buffer. */
+constexpr bool
+buffersWrites(Consistency c)
+{
+    return c != Consistency::SC;
+}
+
+/** Processor-side configuration. */
+struct CpuConfig
+{
+    Consistency consistency = Consistency::SC;
+
+    /** Hardware contexts per processor: 1, 2, or 4 (Section 6). */
+    std::uint32_t numContexts = 1;
+
+    /** Context switch overhead in cycles: 4 or 16 (Section 6). */
+    Tick switchCycles = 4;
+
+    /** Applications insert software prefetches (Section 5). */
+    bool prefetch = false;
+
+    /**
+     * A blocked context is switched out only if its expected stall is at
+     * least this long; shorter stalls (secondary-cache fills, 2-cycle
+     * write hits) show up as "no switch" idle time instead.
+     */
+    Tick switchThreshold = 26;
+
+    /**
+     * Instruction overhead charged per software prefetch (address
+     * computation, the conditional, and the prefetch instruction
+     * itself, Section 5.2).
+     */
+    Tick prefetchIssueCost = 3;
+};
+
+} // namespace dashsim
+
+#endif // CPU_CPU_CONFIG_HH

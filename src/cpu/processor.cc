@@ -1,0 +1,616 @@
+#include "cpu/processor.hh"
+
+#include <memory>
+
+namespace dashsim {
+
+Processor::Processor(EventQueue &eq, MemorySystem &mem, NodeId node,
+                     const CpuConfig &cfg)
+    : eq(eq), mem(mem), node(node), cfg(cfg)
+{
+    fatal_if(cfg.numContexts == 0 || cfg.numContexts > 8,
+             "numContexts must be in [1,8]");
+    for (ContextId i = 0; i < cfg.numContexts; ++i) {
+        auto c = std::make_unique<Context>();
+        c->proc = this;
+        c->id = i;
+        c->state = Context::State::Done;  // until a process is bound
+        contexts.push_back(std::move(c));
+    }
+}
+
+void
+Processor::bindProcess(ContextId id, std::coroutine_handle<> top)
+{
+    panic_if(id >= contexts.size(), "bad context id %u", id);
+    Context *c = contexts[id].get();
+    panic_if(c->top, "context %u already bound", id);
+    c->top = top;
+    c->state = Context::State::Ready;
+    c->onRun = resumeContinuation(c, top);
+    ++live;
+}
+
+void
+Processor::start()
+{
+    maybeDispatch(eq.now());
+}
+
+// ---------------------------------------------------------------------
+// Accounting.
+// ---------------------------------------------------------------------
+
+void
+Processor::charge(Bucket b, Tick from, Tick to)
+{
+    if (to <= from)
+        return;
+    _stats.buckets[static_cast<std::size_t>(b)] += to - from;
+    cursor = std::max(cursor, to);
+}
+
+Bucket
+Processor::stallBucket(StallReason r) const
+{
+    switch (r) {
+      case StallReason::Read:
+        return Bucket::Read;
+      case StallReason::Write:
+        return Bucket::Write;
+      case StallReason::Sync:
+        return Bucket::Sync;
+      case StallReason::Prefetch:
+        return Bucket::PfOverhead;
+    }
+    return Bucket::Read;
+}
+
+bool
+Processor::shouldSwitch(Tick stall, StallReason r) const
+{
+    if (r == StallReason::Sync)
+        return true;  // unbounded wait: always yield the processor
+    return stall >= cfg.switchThreshold;
+}
+
+Tick
+Processor::flushPending(Context *c)
+{
+    Tick t = grantCursor;
+    if (c->pendingBusy) {
+        charge(Bucket::Busy, t, t + c->pendingBusy);
+        t += c->pendingBusy;
+        _stats.runLength.sample(static_cast<double>(c->pendingBusy));
+        c->pendingBusy = 0;
+    }
+    if (c->pendingPf) {
+        charge(Bucket::PfOverhead, t, t + c->pendingPf);
+        t += c->pendingPf;
+        c->pendingPf = 0;
+    }
+    if (lockoutNs) {
+        charge(Bucket::NoSwitch, t, t + lockoutNs);
+        t += lockoutNs;
+        lockoutNs = 0;
+    }
+    if (lockoutPf) {
+        charge(Bucket::PfOverhead, t, t + lockoutPf);
+        t += lockoutPf;
+        lockoutPf = 0;
+    }
+    cursor = std::max(cursor, t);
+    grantCursor = t;
+    return t;
+}
+
+void
+Processor::finalize(Tick end_tick)
+{
+    if (cursor >= end_tick)
+        return;
+    Bucket b = cfg.numContexts == 1 ? Bucket::Sync : Bucket::AllIdle;
+    if (cfg.numContexts == 1 &&
+        contexts[0]->state == Context::State::Blocked) {
+        b = stallBucket(contexts[0]->blockReason);
+    }
+    charge(b, cursor, end_tick);
+}
+
+// ---------------------------------------------------------------------
+// Scheduler.
+// ---------------------------------------------------------------------
+
+void
+Processor::grant(Context *c, Tick at)
+{
+    eq.scheduleAt(at, [this, c]() {
+        panic_if(running != c, "grant to a context that lost the CPU");
+        grantTick = eq.now();
+        grantCursor = grantTick;
+        panic_if(!c->onRun, "grant with no continuation");
+        auto f = std::move(c->onRun);
+        c->onRun = nullptr;
+        f();
+    });
+}
+
+void
+Processor::maybeDispatch(Tick now)
+{
+    if (running || live == 0)
+        return;
+    // Round-robin scan for a ready context.
+    Context *pick = nullptr;
+    for (std::uint32_t i = 0; i < contexts.size(); ++i) {
+        Context *c = contexts[(rrNext + i) % contexts.size()].get();
+        if (c->state == Context::State::Ready) {
+            pick = c;
+            break;
+        }
+    }
+    if (!pick)
+        return;
+
+    // The processor may be logically occupied past the current event
+    // time (bursts are executed ahead of the event clock); never grant
+    // before it is actually free.
+    Tick t = std::max(now, freeSince);
+
+    // Attribute the idle gap since the processor became free.
+    if (t > freeSince) {
+        Bucket idle = cfg.numContexts == 1 ? stallBucket(pick->blockReason)
+                                           : Bucket::AllIdle;
+        charge(idle, freeSince, t);
+    }
+
+    Tick start = t;
+    if (resident && resident != pick) {
+        charge(Bucket::Switching, t, t + cfg.switchCycles);
+        _stats.contextSwitches++;
+        start = t + cfg.switchCycles;
+    }
+    resident = pick;
+    running = pick;
+    pick->state = Context::State::Running;
+    rrNext = pick->id + 1;
+    grant(pick, start);
+}
+
+void
+Processor::makeReady(Context *c, Tick now)
+{
+    if (c->state != Context::State::Blocked)
+        return;
+    c->state = Context::State::Ready;
+    maybeDispatch(now);
+}
+
+void
+Processor::makeReadyIf(Context *c, std::uint64_t gen, Tick now)
+{
+    if (c->wakeGen == gen)
+        makeReady(c, now);
+}
+
+void
+Processor::blockContext(Context *c, Tick stop,
+                        std::optional<Tick> wake_at, StallReason reason,
+                        std::function<void()> on_run)
+{
+    panic_if(running != c, "blocking a context that is not running");
+    c->onRun = std::move(on_run);
+    c->blockedSince = stop;
+    c->blockReason = reason;
+    ++c->wakeGen;
+
+    if (wake_at && cfg.numContexts > 1 &&
+        !shouldSwitch(*wake_at - stop, reason)) {
+        // Short stall: keep the processor, charge "no switch" idle
+        // (or prefetch overhead for prefetch-buffer stalls).
+        Bucket b = reason == StallReason::Prefetch ? Bucket::PfOverhead
+                                                   : Bucket::NoSwitch;
+        charge(b, stop, *wake_at);
+        grant(c, *wake_at);
+        return;
+    }
+
+    c->state = Context::State::Blocked;
+    running = nullptr;
+    freeSince = stop;
+    if (wake_at) {
+        eq.scheduleAt(*wake_at, [this, c, gen = c->wakeGen]() {
+            makeReadyIf(c, gen, eq.now());
+        });
+    }
+    maybeDispatch(stop);
+}
+
+std::function<void()>
+Processor::resumeContinuation(Context *c, std::coroutine_handle<> h)
+{
+    return [this, c, h]() {
+        h.resume();
+        if (c->top.done()) {
+            Tick s = flushPending(c);
+            c->state = Context::State::Done;
+            running = nullptr;
+            freeSince = s;
+            --live;
+            if (onContextDone)
+                onContextDone(s);
+            maybeDispatch(s);
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Fast (non-suspending) operations.
+// ---------------------------------------------------------------------
+
+
+bool
+Processor::fastRead(Context *c, Addr a, unsigned size)
+{
+    if (auto v = mem.pendingStoreValue(node, a)) {
+        mem.noteForwardedRead(node);
+        c->readValue = *v;
+        c->pendingBusy += 1;
+        return true;
+    }
+    if (mem.tryFastRead(node, a)) {
+        c->readValue = mem.memory().loadRaw(a, size);
+        c->pendingBusy += 1;
+        return true;
+    }
+    return false;
+}
+
+bool
+Processor::fastWrite(Context *c, Addr a, std::uint64_t v, unsigned size,
+                     bool release)
+{
+    panic_if(!buffersWrites(cfg.consistency),
+             "fastWrite requires a buffered consistency model");
+    Tick s = grantCursor + c->pendingBusy + c->pendingPf + lockoutNs +
+             lockoutPf;
+    const bool in_order = cfg.consistency == Consistency::PC;
+    BufferOutcome o =
+        mem.writeRc(node, a, v, size, s, release, c->id, in_order);
+    if (o.acceptTick <= s) {
+        c->pendingBusy += 1;
+        return true;
+    }
+    c->stallUntil = o.acceptTick;
+    return false;
+}
+
+bool
+Processor::fastPrefetch(Context *c, Addr a, bool exclusive)
+{
+    Tick s = grantCursor + c->pendingBusy + c->pendingPf + lockoutNs +
+             lockoutPf + cfg.prefetchIssueCost;
+    c->pendingPf += cfg.prefetchIssueCost;
+    _stats.prefetchesIssued++;
+    BufferOutcome o = mem.prefetch(node, a, exclusive, s);
+    if (o.acceptTick <= s)
+        return true;
+    c->stallUntil = o.acceptTick;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Suspending operations.
+// ---------------------------------------------------------------------
+
+void
+Processor::suspendRead(Context *c, Addr a, unsigned size,
+                       std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    AccessOutcome o = mem.read(node, a, s);
+    blockContext(c, s, o.complete, StallReason::Read,
+                 [this, c, a, size, h]() {
+                     c->readValue = mem.memory().loadRaw(a, size);
+                     resumeContinuation(c, h)();
+                 });
+}
+
+void
+Processor::suspendWrite(Context *c, Addr a, std::uint64_t v, unsigned size,
+                        bool release, std::coroutine_handle<> h)
+{
+    // Under RC this path is reached only via fastWrite()'s stall; under
+    // SC every shared write stalls the processor until it completes.
+    (void)release;  // a release needs no extra handling when stalling
+    Tick s = flushPending(c);
+    AccessOutcome o = mem.writeSc(node, a, v, size, s);
+    blockContext(c, s, o.complete, StallReason::Write,
+                 resumeContinuation(c, h));
+}
+
+void
+Processor::suspendWriteStall(Context *c, std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    Tick wake = std::max(s, c->stallUntil);
+    blockContext(c, s, wake, StallReason::Write, resumeContinuation(c, h));
+}
+
+void
+Processor::suspendPrefetchStall(Context *c, std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    Tick wake = std::max(s, c->stallUntil);
+    blockContext(c, s, wake, StallReason::Prefetch,
+                 resumeContinuation(c, h));
+}
+
+Tick
+Processor::syncFenceTick(Context *c, Tick s) const
+{
+    // Weak consistency: every synchronization access waits for the
+    // context's outstanding writes to drain (a full fence). Processor
+    // consistency: an atomic operation contains a write, and PC keeps
+    // writes in program order, so it too waits for the context's
+    // buffered writes.
+    if (cfg.consistency == Consistency::WC)
+        return std::max(s, mem.writeDrainTick(node, c->id));
+    if (cfg.consistency == Consistency::PC)
+        return std::max(s, mem.writeAllDoneTick(node, c->id));
+    return s;
+}
+
+void
+Processor::suspendRmw(Context *c, Addr a, RmwOp op, std::uint64_t operand,
+                      unsigned size, std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    AccessOutcome o = mem.rmw(node, a, op, operand, size,
+                              syncFenceTick(c, s),
+                              [c](std::uint64_t old) { c->rmwOld = old; });
+    blockContext(c, s, o.complete, StallReason::Sync,
+                 resumeContinuation(c, h));
+}
+
+// ---------------------------------------------------------------------
+// Lock primitive: test&set with invalidation-wakeup spinning.
+// ---------------------------------------------------------------------
+
+void
+Processor::suspendLock(Context *c, Addr a, std::coroutine_handle<> h)
+{
+    lockAttempt(c, a, h);
+}
+
+void
+Processor::lockWait(Context *c, Addr a, std::coroutine_handle<> h)
+{
+    // Spin on the cached copy: block until a commit to the lock line
+    // (the holder's release) invalidates it, then retry. A waiter that
+    // finds the lock already free when it checks (lost-wakeup guard)
+    // becomes ready immediately.
+    Tick s = flushPending(c);
+    c->waitAddr = a;
+    blockContext(c, s, std::nullopt, StallReason::Sync, [this, c, a, h]() {
+        // test&test&set: re-read the lock word before attempting the
+        // exclusive test&set, so a herd of waiters shares the line
+        // instead of serializing ownership transfers.
+        Tick s2 = flushPending(c);
+        AccessOutcome o = mem.read(node, a, s2);
+        blockContext(c, s2, o.complete, StallReason::Sync,
+                     [this, c, a, h]() {
+                         c->pendingBusy += 2;  // spin-loop test & branch
+                         if (mem.memory().loadRaw(a, 4) == 0)
+                             lockAttempt(c, a, h);
+                         else
+                             lockWait(c, a, h);
+                     });
+    });
+    if (!mem.config().cacheSharedData) {
+        // Without caches there is no invalidation to wake us: the spin
+        // loop polls memory. Re-arm the retest after a short backoff;
+        // the uncached read latency itself paces the polling.
+        eq.scheduleAt(std::max(s + 4, eq.now()),
+                      [this, c, gen = c->wakeGen]() {
+                          makeReadyIf(c, gen, eq.now());
+                      });
+        return;
+    }
+    std::uint64_t gen = c->wakeGen;
+    mem.watchLine(a, [this, c, gen]() { makeReadyIf(c, gen, eq.now()); });
+    // The release may have committed before the watch was placed; probe
+    // the authoritative value to avoid a lost wakeup.
+    if (mem.memory().loadRaw(a, 4) == 0)
+        makeReadyIf(c, gen, eq.now());
+}
+
+void
+Processor::lockAttempt(Context *c, Addr a, std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    AccessOutcome o = mem.rmw(node, a, RmwOp::TestAndSet, 0, 4,
+                              syncFenceTick(c, s),
+                              [c](std::uint64_t old) { c->rmwOld = old; });
+    blockContext(c, s, o.complete, StallReason::Sync, [this, c, a, h]() {
+        if (c->rmwOld == 0) {
+            // Acquired.
+            _stats.locks++;
+            c->pendingBusy += 1;
+            resumeContinuation(c, h)();
+            return;
+        }
+        _stats.lockRetries++;
+        lockWait(c, a, h);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Barrier primitive: fetch&add arrival plus sense-reversing release.
+// ---------------------------------------------------------------------
+
+void
+Processor::suspendBarrier(Context *c, Addr a, std::uint32_t participants,
+                          std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    _stats.barriers++;
+    // Barrier arrival has release semantics: under RC the arrival
+    // increment must not become visible before the writes of the phase
+    // it terminates, so it is issued only once the write buffer has
+    // drained. The extra wait is charged as synchronization time.
+    Tick arrive = s;
+    if (buffersWrites(cfg.consistency))
+        arrive = std::max(arrive, mem.writeDrainTick(node, c->id));
+    std::uint32_t my = c->barrierSense[a] ^ 1u;
+    c->barrierSense[a] = my;
+    const Addr count_addr = a;
+    const Addr sense_addr = a + lineBytes;
+
+    AccessOutcome o =
+        mem.rmw(node, count_addr, RmwOp::FetchAdd, 1, 4, arrive,
+                [c](std::uint64_t old) { c->rmwOld = old; });
+    blockContext(
+        c, s, o.complete, StallReason::Sync,
+        [this, c, count_addr, sense_addr, my, participants, h]() {
+            if (c->rmwOld + 1 == participants) {
+                // Last arriver: reset the count, then release the sense
+                // flag (a release-classified write under RC).
+                Tick s2 = flushPending(c);
+                c->pendingBusy += 2;
+                s2 = flushPending(c);
+                if (buffersWrites(cfg.consistency)) {
+                    mem.writeRc(node, count_addr, 0, 4, s2, false,
+                                c->id);
+                    mem.writeRc(node, sense_addr, my, 4, s2, true,
+                                c->id);
+                    resumeContinuation(c, h)();
+                } else {
+                    AccessOutcome o1 =
+                        mem.writeSc(node, count_addr, 0, 4, s2);
+                    AccessOutcome o2 =
+                        mem.writeSc(node, sense_addr, my, 4, o1.complete);
+                    blockContext(c, s2, o2.complete, StallReason::Sync,
+                                 resumeContinuation(c, h));
+                }
+            } else {
+                barrierSpin(c, sense_addr, my, h);
+            }
+        });
+}
+
+void
+Processor::suspendWaitFlag(Context *c, Addr a, std::uint32_t value,
+                           std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    _stats.locks++;
+    AccessOutcome o = mem.read(node, a, syncFenceTick(c, s));
+    blockContext(c, s, o.complete, StallReason::Sync,
+                 [this, c, a, value, h]() {
+                     c->pendingBusy += 2;
+                     if (mem.memory().loadRaw(a, 4) == value)
+                         resumeContinuation(c, h)();
+                     else
+                         barrierSpin(c, a, value, h);
+                 });
+}
+
+void
+Processor::suspendQueuedLock(Context *c, Addr a, std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    c->waitAddr = a;
+    // The grant tick is unknown until the home directory decides;
+    // block without a scheduled wake and let the grant wake us.
+    blockContext(c, s, std::nullopt, StallReason::Sync,
+                 [this, c, h]() {
+                     _stats.locks++;
+                     c->pendingBusy += 1;
+                     resumeContinuation(c, h)();
+                 });
+    std::uint64_t gen = c->wakeGen;
+    mem.queuedLockAcquire(node, a, syncFenceTick(c, s),
+                          [this, c, gen](Tick when) {
+                              eq.scheduleAt(std::max(when, eq.now()),
+                                            [this, c, gen]() {
+                                                makeReadyIf(c, gen,
+                                                            eq.now());
+                                            });
+                          });
+}
+
+void
+Processor::suspendQueuedUnlock(Context *c, Addr a,
+                               std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    // Release semantics: the unlock leaves only after this context's
+    // writes drain under any buffered model.
+    Tick issue = s;
+    if (buffersWrites(cfg.consistency))
+        issue = std::max(issue, mem.writeDrainTick(node, c->id));
+    mem.queuedLockRelease(node, a, issue);
+    // The releasing processor does not wait for the home to process
+    // the release; it only pays the local issue (2 cycles).
+    blockContext(c, s, s + 2, StallReason::Write,
+                 resumeContinuation(c, h));
+}
+
+void
+Processor::barrierSpin(Context *c, Addr sense_addr, std::uint32_t my_sense,
+                       std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    c->waitAddr = sense_addr;
+    blockContext(c, s, std::nullopt, StallReason::Sync,
+                 [this, c, sense_addr, my_sense, h]() {
+                     // Woken by a commit on the sense line: refetch it.
+                     Tick s2 = flushPending(c);
+                     AccessOutcome o = mem.read(node, sense_addr, s2);
+                     blockContext(
+                         c, s2, o.complete, StallReason::Sync,
+                         [this, c, sense_addr, my_sense, h]() {
+                             c->pendingBusy += 2;
+                             if (mem.memory().loadRaw(sense_addr, 4) ==
+                                 my_sense) {
+                                 resumeContinuation(c, h)();
+                             } else {
+                                 barrierSpin(c, sense_addr, my_sense, h);
+                             }
+                         });
+                 });
+    if (!mem.config().cacheSharedData) {
+        eq.scheduleAt(std::max(s + 4, eq.now()),
+                      [this, c, gen = c->wakeGen]() {
+                          makeReadyIf(c, gen, eq.now());
+                      });
+        return;
+    }
+    std::uint64_t gen = c->wakeGen;
+    mem.watchLine(sense_addr,
+                  [this, c, gen]() { makeReadyIf(c, gen, eq.now()); });
+    if (mem.memory().loadRaw(sense_addr, 4) == my_sense)
+        makeReadyIf(c, gen, eq.now());
+}
+
+// ---------------------------------------------------------------------
+// Fill lockout hook.
+// ---------------------------------------------------------------------
+
+void
+Processor::onFillLockout(Tick when, bool prefetch)
+{
+    // Charge the 4-cycle primary-cache lockout only if the processor is
+    // occupied when the fill returns (Section 5.1 / Section 6.1).
+    bool occupied = running != nullptr || cursor > when;
+    if (!occupied)
+        return;
+    Tick fill = mem.config().lat.primaryFillBusy;
+    if (prefetch)
+        lockoutPf += fill;
+    else if (cfg.numContexts > 1)
+        lockoutNs += fill;
+}
+
+} // namespace dashsim

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * The processor model: blocking reads, SC/RC write handling, software
+ * prefetch issue, multiple hardware contexts with switch overhead, and
+ * the per-category execution-time accounting behind every figure in the
+ * paper (busy / read / write / sync / prefetch overhead for the
+ * single-context figures; busy / switching / all-idle / no-switch for
+ * the multiple-context figures).
+ */
+
+#ifndef CPU_PROCESSOR_HH
+#define CPU_PROCESSOR_HH
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/cpu_config.hh"
+#include "mem/mem_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dashsim {
+
+class Processor;
+
+/** Execution-time categories (the bar sections of Figures 2-6). */
+enum class Bucket : std::uint8_t
+{
+    Busy,        ///< useful instructions (including spinning, Sec. 2.2)
+    Read,        ///< stalled on read misses
+    Write,       ///< stalled on writes (SC) or a full write buffer (RC)
+    Sync,        ///< stalled on locks and barriers
+    PfOverhead,  ///< prefetch instructions, buffer stalls, fill stalls
+    Switching,   ///< context-switch cycles (multi-context)
+    AllIdle,     ///< every context blocked (multi-context)
+    NoSwitch,    ///< stalled but not switched out (multi-context)
+    NumBuckets,
+};
+
+inline constexpr std::size_t numBuckets =
+    static_cast<std::size_t>(Bucket::NumBuckets);
+
+/** Why a context stopped executing (chooses the accounting bucket). */
+enum class StallReason : std::uint8_t
+{
+    Read,
+    Write,
+    Sync,
+    Prefetch,
+};
+
+/**
+ * One hardware context: a register set the processor can switch to when
+ * the running context encounters a long-latency operation.
+ */
+class Context
+{
+  public:
+    Processor *proc = nullptr;
+    ContextId id = 0;
+
+    /** Top-level coroutine of the simulated process bound here. */
+    std::coroutine_handle<> top;
+
+    enum class State : std::uint8_t { Ready, Running, Blocked, Done };
+    State state = State::Ready;
+
+    /** Busy cycles accumulated since the last suspension. */
+    Tick pendingBusy = 0;
+    /** Prefetch-overhead cycles accumulated since the last suspension. */
+    Tick pendingPf = 0;
+
+    /** Result slots the awaitables read on resume. */
+    std::uint64_t readValue = 0;
+    std::uint64_t rmwOld = 0;
+
+    /** Deferred-stall info for a write that must suspend. */
+    Tick stallUntil = 0;
+
+    /** Logical tick at which this context last blocked. */
+    Tick blockedSince = 0;
+
+    /** Address being watched while spin-blocked (debug aid). */
+    Addr waitAddr = 0;
+    StallReason blockReason = StallReason::Read;
+
+    /**
+     * Wake generation: incremented on every block. Scheduled wake
+     * events and watch callbacks capture the generation they were
+     * created for and are ignored if the context has since been woken
+     * and re-blocked - otherwise a stale wakeup (e.g. a line-watch
+     * firing while the context already waits on a new access) would
+     * resume a continuation before its operation completed.
+     */
+    std::uint64_t wakeGen = 0;
+
+    /** What to execute when the scheduler grants us the processor. */
+    std::function<void()> onRun;
+
+    /** Local sense per barrier address (sense-reversing barriers). */
+    std::unordered_map<Addr, std::uint32_t> barrierSense;
+
+    bool done() const { return state == State::Done; }
+};
+
+/**
+ * A single processing node's CPU.
+ *
+ * Owns up to four contexts and a deterministic round-robin scheduler.
+ * All simulated-time accounting happens here: every cycle between tick
+ * 0 and the end of the run is attributed to exactly one Bucket.
+ */
+class Processor
+{
+  public:
+    struct Stats
+    {
+        std::array<std::uint64_t, numBuckets> buckets{};
+        std::uint64_t locks = 0;          ///< successful lock acquires
+        std::uint64_t lockRetries = 0;    ///< failed test&set attempts
+        std::uint64_t barriers = 0;       ///< barrier arrivals
+        std::uint64_t contextSwitches = 0;
+        std::uint64_t prefetchesIssued = 0;
+        SampleStat runLength;             ///< busy cycles between stalls
+
+        std::uint64_t
+        bucket(Bucket b) const
+        {
+            return buckets[static_cast<std::size_t>(b)];
+        }
+
+        std::uint64_t
+        total() const
+        {
+            std::uint64_t t = 0;
+            for (auto v : buckets)
+                t += v;
+            return t;
+        }
+    };
+
+    Processor(EventQueue &eq, MemorySystem &mem, NodeId node,
+              const CpuConfig &cfg);
+
+    Processor(const Processor &) = delete;
+    Processor &operator=(const Processor &) = delete;
+
+    NodeId nodeId() const { return node; }
+    const CpuConfig &config() const { return cfg; }
+    bool isRc() const { return cfg.consistency == Consistency::RC; }
+
+    /** True for every model whose writes go through the write buffer
+     *  (PC, WC, RC); false only for sequential consistency. */
+    bool
+    buffered() const
+    {
+        return buffersWrites(cfg.consistency);
+    }
+    std::uint32_t numContexts() const { return cfg.numContexts; }
+
+    /** Bind a process coroutine to context @p id. Call before start(). */
+    void bindProcess(ContextId id, std::coroutine_handle<> top);
+
+    /** Kick the scheduler at tick 0 (all bound contexts are Ready). */
+    void start();
+
+    /** Number of bound contexts that have not finished. */
+    std::uint32_t liveContexts() const { return live; }
+
+    /** Set by the Machine: called with the logical finish tick whenever
+     *  one of this processor's contexts runs to completion. */
+    std::function<void(Tick)> onContextDone;
+
+    // ------------------------------------------------------------------
+    // Fast (non-suspending) operations, called from awaitables.
+    // ------------------------------------------------------------------
+
+    /** Charge @p n busy cycles to the running context. */
+    void
+    addBusy(Context *c, Tick n)
+    {
+        c->pendingBusy += n;
+    }
+
+    /**
+     * Try to satisfy a shared read without suspending (store forward
+     * from the write buffer, or a primary-cache hit). On success the
+     * value is in c->readValue and one busy cycle has been charged.
+     */
+    bool fastRead(Context *c, Addr a, unsigned size);
+
+    /**
+     * Try to retire a shared write without suspending (RC only: the
+     * write buffer has room). Returns false when the caller must
+     * suspend; c->stallUntil then holds the buffer-slot tick.
+     */
+    bool fastWrite(Context *c, Addr a, std::uint64_t v, unsigned size,
+                   bool release);
+
+    /**
+     * Issue a software prefetch. Returns false when the prefetch buffer
+     * is full and the processor must stall (c->stallUntil set).
+     */
+    bool fastPrefetch(Context *c, Addr a, bool exclusive);
+
+    // ------------------------------------------------------------------
+    // Suspending operations, called from await_suspend.
+    // ------------------------------------------------------------------
+
+    void suspendRead(Context *c, Addr a, unsigned size,
+                     std::coroutine_handle<> h);
+    void suspendWrite(Context *c, Addr a, std::uint64_t v, unsigned size,
+                      bool release, std::coroutine_handle<> h);
+    void suspendWriteStall(Context *c, std::coroutine_handle<> h);
+    void suspendPrefetchStall(Context *c, std::coroutine_handle<> h);
+    void suspendRmw(Context *c, Addr a, RmwOp op, std::uint64_t operand,
+                    unsigned size, std::coroutine_handle<> h);
+    void suspendLock(Context *c, Addr a, std::coroutine_handle<> h);
+    void suspendBarrier(Context *c, Addr a, std::uint32_t participants,
+                        std::coroutine_handle<> h);
+
+    /**
+     * Acquire-style wait until the 32-bit flag at @p a equals @p value
+     * (LU's produced-column flags). Counted as a lock acquisition.
+     */
+    void suspendWaitFlag(Context *c, Addr a, std::uint32_t value,
+                         std::coroutine_handle<> h);
+
+    /** Acquire a DASH queue-based lock (directory-granted handoff). */
+    void suspendQueuedLock(Context *c, Addr a, std::coroutine_handle<> h);
+
+    /** Release a DASH queue-based lock. */
+    void suspendQueuedUnlock(Context *c, Addr a,
+                             std::coroutine_handle<> h);
+
+    // ------------------------------------------------------------------
+    // Hooks and results.
+    // ------------------------------------------------------------------
+
+    /** Primary-cache fill lockout (wired to MemorySystem::setFillHook). */
+    void onFillLockout(Tick when, bool prefetch);
+
+    /** Flush open stall spans when the whole run ends at @p end_tick. */
+    void finalize(Tick end_tick);
+
+    const Stats &stats() const { return _stats; }
+
+    Context &context(ContextId id) { return *contexts[id]; }
+
+  private:
+    /**
+     * Charge the running context's accumulated busy / prefetch cycles
+     * (and any pending fill lockout) and return the logical tick at
+     * which the context actually stops executing.
+     */
+    Tick flushPending(Context *c);
+
+    /**
+     * Stop executing @p c. If @p wake_at is known and short (or this is
+     * a single-context processor) the context keeps the processor and
+     * resumes in place; otherwise it is switched out and the scheduler
+     * picks another ready context.
+     */
+    void blockContext(Context *c, Tick stop, std::optional<Tick> wake_at,
+                      StallReason reason, std::function<void()> on_run);
+
+    /** Make a blocked context runnable and dispatch if possible. */
+    void makeReady(Context *c, Tick now);
+
+    /** makeReady guarded by the wake generation captured at block time. */
+    void makeReadyIf(Context *c, std::uint64_t gen, Tick now);
+
+    /** Grant the processor to a ready context if it is free. */
+    void maybeDispatch(Tick now);
+
+    /** Run a context's continuation at @p at (scheduled as an event). */
+    void grant(Context *c, Tick at);
+
+    /** Coroutine-resume continuation with completion detection. */
+    std::function<void()> resumeContinuation(Context *c,
+                                             std::coroutine_handle<> h);
+
+    /** Lock-acquire attempt (the exclusive test&set). */
+    void lockAttempt(Context *c, Addr a, std::coroutine_handle<> h);
+
+    /** Spin on a cached lock copy until it is invalidated, then retest. */
+    void lockWait(Context *c, Addr a, std::coroutine_handle<> h);
+
+    /** Barrier spin step: re-read the sense flag after a wakeup. */
+    void barrierSpin(Context *c, Addr sense_addr, std::uint32_t my_sense,
+                     std::coroutine_handle<> h);
+
+    void charge(Bucket b, Tick from, Tick to);
+
+    /** Bucket used for a non-switched stall of the given reason. */
+    Bucket stallBucket(StallReason r) const;
+
+    /** Issue tick of a synchronization access after any model-mandated
+     *  write-drain fence (weak consistency). */
+    Tick syncFenceTick(Context *c, Tick s) const;
+
+    bool shouldSwitch(Tick stall, StallReason r) const;
+
+    EventQueue &eq;
+    MemorySystem &mem;
+    NodeId node;
+    CpuConfig cfg;
+
+    std::vector<std::unique_ptr<Context>> contexts;
+    Context *running = nullptr;   ///< context currently granted the CPU
+    Context *resident = nullptr;  ///< context whose state is loaded
+    std::uint32_t rrNext = 0;     ///< round-robin scan position
+    std::uint32_t live = 0;
+
+    Tick cursor = 0;       ///< all time before this tick is attributed
+    Tick freeSince = 0;    ///< processor idle since (when running==null)
+    Tick grantTick = 0;    ///< when the running context got the CPU
+    /** Logical time consumed within the current grant; flushPending
+     *  resumes from here so it can be called repeatedly per grant. */
+    Tick grantCursor = 0;
+    Tick lockoutNs = 0;    ///< pending no-switch fill-lockout cycles
+    Tick lockoutPf = 0;    ///< pending prefetch fill-lockout cycles
+
+    Stats _stats;
+};
+
+} // namespace dashsim
+
+#endif // CPU_PROCESSOR_HH

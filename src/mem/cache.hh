@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tag-array models for the two-level cache hierarchy and the MSHR set
+ * that makes both levels lockup-free.
+ *
+ * Both levels are direct-mapped with 16-byte lines (Section 2.1). The
+ * primary cache is write-through/no-write-allocate; the secondary cache
+ * is write-back with ownership states (Invalid / Shared / Dirty).
+ */
+
+#ifndef MEM_CACHE_HH
+#define MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_config.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/** Ownership state of a secondary-cache line. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,  ///< read-only copy; directory lists this node as a sharer
+    Dirty,   ///< exclusive ownership; this node has the only valid copy
+};
+
+/**
+ * Direct-mapped write-through primary cache (tags only; data lives in
+ * the SharedMemory arena).
+ */
+class PrimaryCache
+{
+  public:
+    explicit PrimaryCache(const CacheGeometry &geom)
+        : lines(geom.numLines())
+    {
+        fatal_if(lines.empty(), "primary cache has no lines");
+    }
+
+    /** True if the line containing @p a is present. */
+    bool
+    probe(Addr a) const
+    {
+        const Line &l = lines[index(a)];
+        return l.valid && l.tag == lineIndex(a);
+    }
+
+    /** Install the line containing @p a, evicting any conflicting line. */
+    void
+    fill(Addr a)
+    {
+        Line &l = lines[index(a)];
+        l.valid = true;
+        l.tag = lineIndex(a);
+    }
+
+    /** Drop the line containing @p a if present. */
+    void
+    invalidate(Addr a)
+    {
+        Line &l = lines[index(a)];
+        if (l.valid && l.tag == lineIndex(a))
+            l.valid = false;
+    }
+
+    void
+    reset()
+    {
+        for (auto &l : lines)
+            l.valid = false;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+    };
+
+    std::size_t index(Addr a) const { return lineIndex(a) % lines.size(); }
+
+    std::vector<Line> lines;
+};
+
+/**
+ * Direct-mapped write-back secondary cache with ownership states.
+ */
+class SecondaryCache
+{
+  public:
+    /** Result of installing a line: what got evicted, if anything. */
+    struct Victim
+    {
+        bool valid = false;     ///< an older line was displaced
+        bool dirty = false;     ///< ...and it needs a writeback
+        Addr addr = 0;          ///< line address of the victim
+    };
+
+    explicit SecondaryCache(const CacheGeometry &geom)
+        : lines(geom.numLines())
+    {
+        fatal_if(lines.empty(), "secondary cache has no lines");
+    }
+
+    /** State of the line containing @p a (Invalid if tag mismatch). */
+    LineState
+    probe(Addr a) const
+    {
+        const Line &l = lines[index(a)];
+        if (l.state != LineState::Invalid && l.tag == lineIndex(a))
+            return l.state;
+        return LineState::Invalid;
+    }
+
+    /**
+     * Install the line containing @p a in state @p st.
+     * @return the displaced victim, if any.
+     */
+    Victim
+    fill(Addr a, LineState st)
+    {
+        Line &l = lines[index(a)];
+        Victim v;
+        if (l.state != LineState::Invalid && l.tag != lineIndex(a)) {
+            v.valid = true;
+            v.dirty = l.state == LineState::Dirty;
+            v.addr = l.tag << lineShift;
+        }
+        l.tag = lineIndex(a);
+        l.state = st;
+        return v;
+    }
+
+    /** Upgrade an existing Shared copy to Dirty (ownership acquired). */
+    void
+    upgrade(Addr a)
+    {
+        Line &l = lines[index(a)];
+        if (l.tag == lineIndex(a) && l.state != LineState::Invalid)
+            l.state = LineState::Dirty;
+    }
+
+    /** Downgrade a Dirty copy to Shared (remote read hit our copy). */
+    void
+    downgrade(Addr a)
+    {
+        Line &l = lines[index(a)];
+        if (l.tag == lineIndex(a) && l.state == LineState::Dirty)
+            l.state = LineState::Shared;
+    }
+
+    /** Drop the line containing @p a if present. */
+    void
+    invalidate(Addr a)
+    {
+        Line &l = lines[index(a)];
+        if (l.tag == lineIndex(a))
+            l.state = LineState::Invalid;
+    }
+
+    void
+    reset()
+    {
+        for (auto &l : lines)
+            l.state = LineState::Invalid;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        LineState state = LineState::Invalid;
+    };
+
+    std::size_t index(Addr a) const { return lineIndex(a) % lines.size(); }
+
+    std::vector<Line> lines;
+};
+
+/**
+ * Miss-status holding registers: outstanding fills, one per line.
+ *
+ * A demand access that finds its line already in flight *combines* with
+ * the outstanding request (Section 5.1) and completes when the original
+ * response returns.
+ */
+class MshrSet
+{
+  public:
+    struct Entry
+    {
+        Tick complete;      ///< when the fill response installs the line
+        bool exclusive;     ///< fill acquires ownership
+        bool prefetch;      ///< initiated by a prefetch instruction
+        bool demanded = false;  ///< a demand access combined with it
+        /**
+         * A racing invalidation beat the fill response; the response
+         * must not install the line when it arrives.
+         */
+        bool poisoned = false;
+    };
+
+    explicit MshrSet(std::uint32_t capacity) : cap(capacity) {}
+
+    bool full() const { return entries.size() >= cap; }
+    std::size_t inFlight() const { return entries.size(); }
+
+    /** Find the outstanding entry for the line containing @p a. */
+    Entry *
+    find(Addr a)
+    {
+        auto it = entries.find(lineIndex(a));
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Allocate an entry. The capacity limit is enforced by the *timing*
+     * model (a requester that finds the set full delays its issue until
+     * earliestComplete()), so the structural map may transiently hold
+     * more than `cap` entries: allocations happen when a transaction is
+     * walked while releases happen at the scheduled completion events,
+     * and the two orders are not the same.
+     */
+    Entry &
+    allocate(Addr a, Tick complete, bool exclusive, bool prefetch)
+    {
+        auto [it, fresh] =
+            entries.emplace(lineIndex(a),
+                            Entry{complete, exclusive, prefetch});
+        panic_if(!fresh, "duplicate MSHR for line");
+        return it->second;
+    }
+
+    /** Release the entry for the line containing @p a. */
+    void
+    release(Addr a)
+    {
+        entries.erase(lineIndex(a));
+    }
+
+    /** Earliest completion among outstanding entries (maxTick if none). */
+    Tick
+    earliestComplete() const
+    {
+        Tick t = maxTick;
+        for (const auto &[line, e] : entries)
+            t = std::min(t, e.complete);
+        return t;
+    }
+
+  private:
+    std::uint32_t cap;
+    std::unordered_map<Addr, Entry> entries;
+};
+
+} // namespace dashsim
+
+#endif // MEM_CACHE_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Architectural parameters of the simulated DASH-like machine.
+ *
+ * Defaults reproduce the paper's Section 2: 16 nodes, Table 1 latencies,
+ * scaled-down 2 KB / 4 KB direct-mapped caches with 16-byte lines, a
+ * 16-deep write buffer and a 16-deep prefetch buffer.
+ */
+
+#ifndef MEM_MEM_CONFIG_HH
+#define MEM_MEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/** Where in the hierarchy an access was serviced. */
+enum class ServiceLevel : std::uint8_t
+{
+    PrimaryHit,    ///< 1 pclock
+    SecondaryHit,  ///< fill from secondary cache, 14 pclocks
+    LocalNode,     ///< fill from local memory, 26 pclocks
+    HomeNode,      ///< fill from a remote home node, 72 pclocks
+    RemoteNode,    ///< dirty-remote three-hop fill, 90 pclocks
+    Combined,      ///< merged with an already-outstanding request
+    Uncached,      ///< shared-data caching disabled
+};
+
+/** Table 1 latencies plus contention-model constants. */
+struct LatencyConfig
+{
+    // --- Read operations (Table 1, uncontended) ---
+    Tick readPrimaryHit = 1;
+    Tick readSecondary = 14;    ///< fill from secondary cache
+    Tick readLocal = 26;        ///< fill from local node memory
+    Tick readHome = 72;         ///< fill from remote home node
+    Tick readRemote = 90;       ///< fill from dirty remote (3-hop)
+
+    // --- Write operations: time to retire from the write buffer ---
+    Tick writeSecondary = 2;    ///< owned by secondary cache
+    Tick writeLocal = 18;       ///< owned by local node
+    Tick writeHome = 64;        ///< owned in remote home node
+    Tick writeRemote = 82;      ///< owned in a dirty remote node
+
+    // --- Contention model (occupancies of FCFS resources) ---
+    Tick busOccupancy = 4;      ///< node bus, one line transfer
+    Tick busCtlOccupancy = 1;   ///< node bus, address-only transaction
+    /**
+     * Directory controller occupancy per request. The uncontended
+     * directory *latency* is part of the Table 1 path constants; this
+     * is the pipelined throughput cost, which is lower (the DASH
+     * directory controller overlapped lookup and message send).
+     */
+    Tick dirOccupancy = 4;
+    Tick netDataOccupancy = 4;  ///< network port, line-carrying message
+    Tick netCtlOccupancy = 1;   ///< network port, control message
+    Tick netHop = 20;           ///< one-way uncontended network latency
+
+    /**
+     * Topology extension (off by default). The paper models a uniform
+     * one-way network latency; the real DASH prototype was a 4x4
+     * wormhole-routed 2-D mesh. With `mesh` enabled the one-way
+     * latency becomes `meshBase + meshPerHop x manhattan-distance`
+     * between the communicating nodes (nodes are numbered row-major
+     * in a near-square grid), so placement locality matters.
+     */
+    bool mesh = false;
+    Tick meshBase = 6;      ///< router entry/exit overhead
+    Tick meshPerHop = 7;    ///< per-hop wire + switch latency
+
+    /**
+     * Extra latency from the ownership grant until the last invalidation
+     * acknowledgement reaches the requester (sharer inval + ack hops).
+     */
+    Tick invalAckLatency = 40;
+
+    /**
+     * Uncached shared accesses bypass the caches and avoid the fill
+     * overhead; the paper says they are "five to ten cycles less" than
+     * the corresponding cached-fill latencies (Section 3).
+     */
+    Tick uncachedDiscount = 6;
+
+    /** Primary cache is locked out for this long per line fill. */
+    Tick primaryFillBusy = 4;
+};
+
+/** Cache geometry for one level. */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes;
+
+    std::uint32_t numLines() const { return sizeBytes / lineBytes; }
+};
+
+/** Whole memory-system configuration. */
+struct MemConfig
+{
+    std::uint32_t numNodes = 16;
+
+    /** Scaled caches (Section 2.3): 2 KB primary, 4 KB secondary. */
+    CacheGeometry primary{2 * 1024};
+    CacheGeometry secondary{4 * 1024};
+
+    std::uint32_t writeBufferDepth = 16;
+    std::uint32_t prefetchBufferDepth = 16;
+    std::uint32_t mshrs = 16;
+
+    /** When false, shared data bypasses the caches (Figure 2 baseline). */
+    bool cacheSharedData = true;
+
+    LatencyConfig lat{};
+
+    /** Full-sized DASH prototype caches: 64 KB / 256 KB. */
+    static MemConfig
+    fullSizeCaches()
+    {
+        MemConfig c;
+        c.primary = CacheGeometry{64 * 1024};
+        c.secondary = CacheGeometry{256 * 1024};
+        return c;
+    }
+};
+
+} // namespace dashsim
+
+#endif // MEM_MEM_CONFIG_HH

@@ -1,0 +1,875 @@
+#include "mem/mem_system.hh"
+
+#include <algorithm>
+
+namespace dashsim {
+
+MemorySystem::MemorySystem(EventQueue &eq, SharedMemory &mem,
+                           const MemConfig &cfg)
+    : eq(eq), mem(mem), cfg(cfg)
+{
+    fatal_if(cfg.numNodes == 0 || cfg.numNodes > 32,
+             "numNodes must be in [1,32] (directory uses a 32-bit mask)");
+    nodes.reserve(cfg.numNodes);
+    for (std::uint32_t i = 0; i < cfg.numNodes; ++i)
+        nodes.emplace_back(cfg);
+}
+
+DirEntry &
+MemorySystem::dirEntry(Addr line)
+{
+    return directory[lineIndex(line)];
+}
+
+Tick
+MemorySystem::hopLatency(NodeId from, NodeId to) const
+{
+    const LatencyConfig &L = cfg.lat;
+    if (!L.mesh || from == to)
+        return L.netHop;
+    // Row-major near-square grid.
+    std::uint32_t cols = 1;
+    while (cols * cols < cfg.numNodes)
+        ++cols;
+    std::uint32_t fx = from % cols, fy = from / cols;
+    std::uint32_t tx = to % cols, ty = to / cols;
+    std::uint32_t dist = (fx > tx ? fx - tx : tx - fx) +
+                         (fy > ty ? fy - ty : ty - fy);
+    return L.meshBase + L.meshPerHop * dist;
+}
+
+// ---------------------------------------------------------------------
+// Coherence transaction walk.
+// ---------------------------------------------------------------------
+
+MemorySystem::FillResult
+MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
+                       bool with_data)
+{
+    const LatencyConfig &L = cfg.lat;
+    const Tick net_reply = with_data ? L.netDataOccupancy
+                                     : L.netCtlOccupancy;
+    const Tick bus_reply = with_data ? L.busOccupancy : L.busCtlOccupancy;
+    DirEntry &e = dirEntry(line);
+    NodeId home = mem.homeOf(line);
+
+    const bool dirtyElsewhere = e.state == DirEntry::State::Dirty &&
+                                e.owner != req && e.owner != invalidNode &&
+                                e.owner != home;
+
+    PathWalker w(t);
+    FillResult r{};
+    Tick dir_start;
+
+    // Per-pair one-way network latencies (uniform L.netHop unless the
+    // mesh extension is enabled). Table 1 is reproduced exactly in the
+    // uniform case; under the mesh the same structure is kept with
+    // distance-dependent hops.
+    const Tick hopRH = hopLatency(req, home);
+
+    // Request onto the local node bus (request phase).
+    w.stage(nodes[req].busReq, 2, L.busCtlOccupancy);
+
+    if (home == req) {
+        dir_start = w.stage(nodes[home].dir, 4, L.dirOccupancy);
+        if (dirtyElsewhere) {
+            // Local home, but the only valid copy is in a remote cache:
+            // forward there and back (derived latency, not in Table 1).
+            NodeId o = e.owner;
+            const Tick hopHO = hopLatency(home, o);
+            const Tick hopOR = hopLatency(o, req);
+            w.stage(nodes[home].netOut, 10, L.netCtlOccupancy);
+            w.stage(nodes[o].netIn, 10 + hopHO, L.netCtlOccupancy);
+            w.stage(nodes[o].busReq, 12 + hopHO, L.busCtlOccupancy);
+            w.stage(nodes[o].netOut, 18 + hopHO, L.netDataOccupancy);
+            w.stage(nodes[req].netIn, 18 + hopHO + hopOR,
+                    L.netDataOccupancy);
+            w.stage(nodes[req].busReply, 22 + hopHO + hopOR,
+                    L.busOccupancy);
+            r.dataAt = w.finish(L.readLocal + hopHO + hopOR + 4);
+            r.ownAt = w.finish(L.writeLocal + hopHO + hopOR + 4);
+            r.level = ServiceLevel::RemoteNode;
+        } else {
+            w.stage(nodes[req].busReply, 22, bus_reply);
+            r.dataAt = w.finish(L.readLocal);       // 26
+            r.ownAt = w.finish(L.writeLocal);       // 18
+            r.level = ServiceLevel::LocalNode;
+        }
+    } else {
+        w.stage(nodes[req].netOut, 4, L.netCtlOccupancy);
+        w.stage(nodes[home].netIn, 4 + hopRH, L.netCtlOccupancy);
+        dir_start = w.stage(nodes[home].dir, 6 + hopRH, L.dirOccupancy);
+        if (dirtyElsewhere) {
+            NodeId o = e.owner;
+            const Tick hopHO = hopLatency(home, o);
+            const Tick hopOR = hopLatency(o, req);
+            w.stage(nodes[home].netOut, 12 + hopRH, L.netCtlOccupancy);
+            w.stage(nodes[o].netIn, 12 + hopRH + hopHO,
+                    L.netCtlOccupancy);
+            w.stage(nodes[o].busReq, 14 + hopRH + hopHO,
+                    L.busCtlOccupancy);
+            w.stage(nodes[o].netOut, 20 + hopRH + hopHO,
+                    L.netDataOccupancy);
+            w.stage(nodes[req].netIn, 20 + hopRH + hopHO + hopOR,
+                    L.netDataOccupancy);
+            w.stage(nodes[req].busReply, 24 + hopRH + hopHO + hopOR,
+                    L.busOccupancy);
+            r.dataAt = w.finish(L.readRemote - 3 * L.netHop + hopRH +
+                                hopHO + hopOR);     // 90 uniform
+            r.ownAt = w.finish(L.writeRemote - 3 * L.netHop + hopRH +
+                               hopHO + hopOR);      // 82 uniform
+            r.level = ServiceLevel::RemoteNode;
+        } else {
+            w.stage(nodes[home].busReq, 12 + hopRH, L.busCtlOccupancy);
+            w.stage(nodes[home].netOut, 24 + hopRH, net_reply);
+            w.stage(nodes[req].netIn, 24 + 2 * hopRH, net_reply);
+            w.stage(nodes[req].busReply, 26 + 2 * hopRH, bus_reply);
+            r.dataAt = w.finish(L.readHome - 2 * L.netHop +
+                                2 * hopRH);         // 72 uniform
+            r.ownAt = w.finish(L.writeHome - 2 * L.netHop +
+                               2 * hopRH);          // 64 uniform
+            r.level = ServiceLevel::HomeNode;
+        }
+    }
+    r.ackDone = r.ownAt;
+
+    // --- Directory and remote-cache state updates (eager) ---
+    if (exclusive) {
+        std::uint32_t invalidatees = 0;
+        if (e.state == DirEntry::State::Shared)
+            invalidatees = e.sharers & ~(1u << req);
+        else if (e.state == DirEntry::State::Dirty &&
+                 e.owner != invalidNode && e.owner != req)
+            invalidatees = 1u << e.owner;
+        if (invalidatees) {
+            Tick ack =
+                sendInvalidations(req, home, line, invalidatees, dir_start);
+            r.ackDone = std::max(r.ownAt, ack);
+        }
+        e.state = DirEntry::State::Dirty;
+        e.owner = req;
+        e.sharers = 0;
+    } else {
+        if (e.state == DirEntry::State::Dirty && e.owner != invalidNode &&
+            e.owner != req) {
+            // Sharing writeback: the previous owner keeps a Shared copy.
+            nodes[e.owner].secondary.downgrade(line);
+            e.sharers = 1u << e.owner;
+            e.state = DirEntry::State::Shared;
+            e.sharers |= 1u << req;
+            e.owner = invalidNode;
+        } else if (req == home &&
+                   (e.state == DirEntry::State::Uncached ||
+                    (e.state == DirEntry::State::Shared &&
+                     (e.sharers & ~(1u << req)) == 0))) {
+            // Local-memory read with no other node holding a copy: the
+            // home grants exclusive ownership so a subsequent write
+            // retires in the cache. This matches the behavior the
+            // paper's numbers imply for node-local data (LU's owned
+            // columns and MP3D's particles show 97%/75% write hit
+            // rates); remote reads always return read-shared copies.
+            e.state = DirEntry::State::Dirty;
+            e.owner = req;
+            e.sharers = 0;
+            r.exclusiveGrant = true;
+        } else {
+            e.state = DirEntry::State::Shared;
+            e.sharers |= 1u << req;
+            e.owner = invalidNode;
+        }
+    }
+    return r;
+}
+
+Tick
+MemorySystem::sendInvalidations(NodeId req, NodeId home, Addr line,
+                                std::uint32_t sharers, Tick dir_time)
+{
+    const LatencyConfig &L = cfg.lat;
+    Tick last_ack = dir_time;
+    for (NodeId s = 0; s < cfg.numNodes; ++s) {
+        if (!(sharers & (1u << s)))
+            continue;
+        // Eager cache-state effect: drop the copy and poison any fill
+        // still in flight so the stale response cannot install it.
+        nodes[s].secondary.invalidate(line);
+        nodes[s].primary.invalidate(line);
+        if (auto *m = nodes[s].mshrs.find(line))
+            m->poisoned = true;
+        nodes[s].stats.invalidationsReceived++;
+
+        // Timing: inval message home->s, ack s->req (point to point).
+        PathWalker w(dir_time);
+        w.stage(nodes[home].netOut, 2, L.netCtlOccupancy);
+        w.stage(nodes[s].netIn, 2 + L.netHop, L.netCtlOccupancy);
+        w.stage(nodes[s].busReq, 4 + L.netHop, L.busCtlOccupancy);
+        w.stage(nodes[s].netOut, 6 + L.netHop, L.netCtlOccupancy);
+        w.stage(nodes[req].netIn, 6 + 2 * L.netHop, L.netCtlOccupancy);
+        last_ack = std::max(last_ack, w.finish(8 + L.invalAckLatency));
+    }
+    return last_ack;
+}
+
+void
+MemorySystem::writebackVictim(NodeId node, Addr victim_line, Tick t)
+{
+    const LatencyConfig &L = cfg.lat;
+    NodeId home = mem.homeOf(victim_line);
+    PathWalker w(t);
+    w.stage(nodes[node].busReply, 2, L.busOccupancy);
+    Tick arrive;
+    if (home == node) {
+        arrive = w.stage(nodes[home].dir, 6, L.dirOccupancy);
+    } else {
+        w.stage(nodes[node].netOut, 6, L.netDataOccupancy);
+        w.stage(nodes[home].netIn, 6 + L.netHop, L.netDataOccupancy);
+        arrive = w.stage(nodes[home].dir, 8 + L.netHop, L.dirOccupancy);
+    }
+    // The directory learns of the eviction when the message arrives.
+    eq.scheduleAt(arrive, [this, victim_line, node]() {
+        DirEntry &e = dirEntry(victim_line);
+        if (e.state == DirEntry::State::Dirty && e.owner == node) {
+            e.state = DirEntry::State::Uncached;
+            e.owner = invalidNode;
+            e.sharers = 0;
+        }
+    });
+}
+
+void
+MemorySystem::scheduleFill(NodeId node, Addr line, bool exclusive,
+                           bool prefetch, Tick t)
+{
+    eq.scheduleAt(t, [this, node, line, exclusive, prefetch]() {
+        Node &nd = nodes[node];
+        bool poisoned = false;
+        if (auto *m = nd.mshrs.find(line))
+            poisoned = m->poisoned;
+        nd.mshrs.release(line);
+        if (poisoned)
+            return;
+        auto victim = nd.secondary.fill(
+            line, exclusive ? LineState::Dirty : LineState::Shared);
+        if (victim.valid) {
+            nd.primary.invalidate(victim.addr);
+            if (victim.dirty)
+                writebackVictim(node, victim.addr, eq.now());
+        }
+        nd.primary.fill(line);
+        Tick busy_until = eq.now() + cfg.lat.primaryFillBusy;
+        nd.primaryBusy = std::max(nd.primaryBusy, busy_until);
+        if (prefetch)
+            nd.pfFillBusy = std::max(nd.pfFillBusy, busy_until);
+        if (fillHook)
+            fillHook(node, eq.now(), prefetch);
+    });
+}
+
+void
+MemorySystem::commitValue(Addr a, std::uint64_t value, unsigned size)
+{
+    mem.storeRaw(a, value, size);
+    auto it = watches.find(lineIndex(a));
+    if (it == watches.end())
+        return;
+    auto cbs = std::move(it->second);
+    watches.erase(it);
+    for (auto &cb : cbs)
+        cb();
+}
+
+void
+MemorySystem::queuedLockAcquire(NodeId node, Addr a, Tick t,
+                                std::function<void(Tick)> on_grant)
+{
+    // The request travels to the lock's home directory like an
+    // uncached read (the lock value itself stays home-resident).
+    FillResult fr = walkUncached(node, a, false, t);
+    eq.scheduleAt(fr.dataAt, [this, a, cb = std::move(on_grant)]() {
+        QueuedLock &ql = queuedLocks[a];
+        if (!ql.held) {
+            ql.held = true;
+            mem.storeRaw(a, 1, 4);
+            cb(eq.now());
+        } else {
+            ql.waiters.push_back(cb);
+        }
+    });
+}
+
+void
+MemorySystem::queuedLockRelease(NodeId node, Addr a, Tick t)
+{
+    // The release is a one-way message to the home (the releaser does
+    // not wait for it): local bus, network hop, directory service.
+    const LatencyConfig &L = cfg.lat;
+    NodeId home = mem.homeOf(a);
+    PathWalker w(t);
+    w.stage(nodes[node].busReq, 2, L.busCtlOccupancy);
+    Tick arrive;
+    if (home == node) {
+        arrive = w.stage(nodes[home].dir, 4, L.dirOccupancy) +
+                 L.dirOccupancy;
+    } else {
+        w.stage(nodes[node].netOut, 4, L.netCtlOccupancy);
+        w.stage(nodes[home].netIn, 4 + L.netHop, L.netCtlOccupancy);
+        arrive = w.stage(nodes[home].dir, 6 + L.netHop, L.dirOccupancy) +
+                 L.dirOccupancy;
+    }
+    eq.scheduleAt(arrive, [this, a]() {
+        QueuedLock &ql = queuedLocks[a];
+        panic_if(!ql.held, "queued-lock release of a free lock");
+        if (ql.waiters.empty()) {
+            ql.held = false;
+            mem.storeRaw(a, 0, 4);
+            return;
+        }
+        // Hand off to exactly one waiter: one grant message from the
+        // home to the waiting node (about one network hop + delivery).
+        auto cb = std::move(ql.waiters.front());
+        ql.waiters.pop_front();
+        Tick grant_at = eq.now() + cfg.lat.netHop + 6;
+        eq.scheduleAt(grant_at,
+                      [cb = std::move(cb), grant_at]() { cb(grant_at); });
+    });
+}
+
+void
+MemorySystem::watchLine(Addr a, std::function<void()> cb)
+{
+    watches[lineIndex(a)].push_back(std::move(cb));
+}
+
+void
+MemorySystem::trackPendingStore(NodeId node, Addr a, std::uint64_t value,
+                                unsigned size, Tick commit_at)
+{
+    std::uint64_t seq = ++storeSeq;
+    nodes[node].pendingStores[a] = PendingStore{value, size, seq};
+    eq.scheduleAt(commit_at, [this, node, a, seq]() {
+        auto it = nodes[node].pendingStores.find(a);
+        if (it != nodes[node].pendingStores.end() && it->second.seq == seq)
+            nodes[node].pendingStores.erase(it);
+    });
+}
+
+std::optional<std::uint64_t>
+MemorySystem::pendingStoreValue(NodeId node, Addr a) const
+{
+    const auto &ps = nodes[node].pendingStores;
+    auto it = ps.find(a);
+    if (it == ps.end())
+        return std::nullopt;
+    return it->second.value;
+}
+
+// ---------------------------------------------------------------------
+// Uncached shared-data path (Figure 2 "No Cache" baseline).
+// ---------------------------------------------------------------------
+
+MemorySystem::FillResult
+MemorySystem::walkUncached(NodeId req, Addr a, bool is_write, Tick t)
+{
+    const LatencyConfig &L = cfg.lat;
+    NodeId home = mem.homeOf(a);
+    PathWalker w(t);
+    FillResult r{};
+    w.stage(nodes[req].busReq, 2, L.busCtlOccupancy);
+    if (home == req) {
+        w.stage(nodes[home].dir, 4, L.dirOccupancy);
+        if (!is_write)
+            w.stage(nodes[req].busReply, 16, L.busOccupancy);
+        Tick base = is_write ? L.writeLocal - L.uncachedDiscount
+                             : L.readLocal - L.uncachedDiscount;
+        r.dataAt = r.ownAt = w.finish(base);
+    } else {
+        w.stage(nodes[req].netOut, 4, L.netCtlOccupancy);
+        w.stage(nodes[home].netIn, 4 + L.netHop, L.netCtlOccupancy);
+        w.stage(nodes[home].dir, 6 + L.netHop, L.dirOccupancy);
+        if (!is_write) {
+            w.stage(nodes[home].netOut, 14 + L.netHop,
+                    L.netDataOccupancy);
+            w.stage(nodes[req].netIn, 14 + 2 * L.netHop,
+                    L.netDataOccupancy);
+        }
+        // The paper says uncached accesses are "five to ten cycles less"
+        // than the cached fills; remote accesses save the larger amount
+        // because both the request and reply skip the cache fill stages.
+        Tick base = is_write ? L.writeHome - L.uncachedDiscount - 2
+                             : L.readHome - L.uncachedDiscount - 2;
+        r.dataAt = r.ownAt = w.finish(base);
+    }
+    r.ackDone = r.ownAt;
+    r.level = ServiceLevel::Uncached;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Demand reads.
+// ---------------------------------------------------------------------
+
+bool
+MemorySystem::tryFastRead(NodeId node, Addr a)
+{
+    if (!cfg.cacheSharedData)
+        return false;
+    Node &nd = nodes[node];
+    if (!nd.primary.probe(a))
+        return false;
+    nd.stats.reads++;
+    nd.stats.sharedReadHits.record(true);
+    nd.stats.serviceCount[static_cast<int>(ServiceLevel::PrimaryHit)]++;
+    return true;
+}
+
+AccessOutcome
+MemorySystem::read(NodeId node, Addr a, Tick t)
+{
+    const LatencyConfig &L = cfg.lat;
+    Node &nd = nodes[node];
+    nd.stats.reads++;
+    AccessOutcome o{};
+
+    if (!cfg.cacheSharedData) {
+        FillResult fr = walkUncached(node, a, false, t);
+        o.complete = fr.dataAt;
+        o.ackDone = fr.dataAt;
+        o.level = ServiceLevel::Uncached;
+        nd.stats.serviceCount[static_cast<int>(o.level)]++;
+        return o;
+    }
+
+    if (nd.primary.probe(a)) {
+        o.complete = t + L.readPrimaryHit;
+        o.ackDone = o.complete;
+        o.level = ServiceLevel::PrimaryHit;
+        o.hit = true;
+        nd.stats.sharedReadHits.record(true);
+        nd.stats.serviceCount[static_cast<int>(o.level)]++;
+        return o;
+    }
+
+    if (nd.secondary.probe(a) != LineState::Invalid) {
+        o.complete = t + L.readSecondary;
+        o.ackDone = o.complete;
+        o.level = ServiceLevel::SecondaryHit;
+        o.hit = true;
+        nd.stats.sharedReadHits.record(true);
+        nd.stats.serviceCount[static_cast<int>(o.level)]++;
+        // Fill the primary cache when the line arrives from secondary.
+        eq.scheduleAt(o.complete, [this, node, a]() {
+            nodes[node].primary.fill(a);
+            nodes[node].primaryBusy =
+                std::max(nodes[node].primaryBusy,
+                         eq.now() + cfg.lat.primaryFillBusy);
+        });
+        return o;
+    }
+
+    nd.stats.sharedReadHits.record(false);
+
+    // Combine with an outstanding fill for the same line (Section 5.1).
+    if (auto *m = nd.mshrs.find(a)) {
+        o.complete = std::max(m->complete, t + L.readSecondary);
+        o.ackDone = o.complete;
+        o.level = ServiceLevel::Combined;
+        m->demanded = true;
+        if (m->prefetch)
+            nd.stats.prefetchesCombined++;
+        nd.stats.readMissLatency.sample(
+            static_cast<double>(o.complete - t));
+        nd.stats.serviceCount[static_cast<int>(o.level)]++;
+        return o;
+    }
+
+    Tick issue = t;
+    if (nd.mshrs.full())
+        issue = std::max(issue, nd.mshrs.earliestComplete());
+    FillResult fr = walkFill(node, lineAddr(a), false, issue);
+    nd.mshrs.allocate(lineAddr(a), fr.dataAt, fr.exclusiveGrant, false);
+    scheduleFill(node, lineAddr(a), fr.exclusiveGrant, false, fr.dataAt);
+    o.complete = fr.dataAt;
+    o.ackDone = fr.dataAt;
+    o.level = fr.level;
+    nd.stats.readMissLatency.sample(static_cast<double>(o.complete - t));
+    nd.stats.serviceCount[static_cast<int>(o.level)]++;
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Writes.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Common write-path timing: returns (complete, ackDone, level, hit). */
+struct WritePath
+{
+    Tick complete;
+    Tick ackDone;
+    ServiceLevel level;
+    bool hit;
+};
+
+} // namespace
+
+AccessOutcome
+MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
+                      unsigned size, Tick t)
+{
+    const LatencyConfig &L = cfg.lat;
+    Node &nd = nodes[node];
+    nd.stats.writes++;
+    AccessOutcome o{};
+
+    if (!cfg.cacheSharedData) {
+        FillResult fr = walkUncached(node, a, true, t);
+        o.complete = fr.ownAt;
+        o.ackDone = fr.ownAt;
+        o.level = ServiceLevel::Uncached;
+    } else if (nd.secondary.probe(a) == LineState::Dirty) {
+        o.complete = t + L.writeSecondary;
+        o.ackDone = o.complete;
+        o.level = ServiceLevel::SecondaryHit;
+        o.hit = true;
+        nd.stats.sharedWriteHits.record(true);
+    } else {
+        nd.stats.sharedWriteHits.record(false);
+        if (auto *m = nd.mshrs.find(a)) {
+            // A fill is already outstanding. If it is not exclusive,
+            // upgrade it: walk an ownership transaction and extend it.
+            if (!m->exclusive) {
+                FillResult fr = walkFill(node, lineAddr(a), true, t);
+                m->exclusive = true;
+                m->complete = std::max(m->complete, fr.dataAt);
+                o.complete = fr.ownAt;
+                o.ackDone = fr.ackDone;
+                o.level = fr.level;
+            } else {
+                o.complete = std::max(m->complete, t + L.writeSecondary);
+                o.ackDone = o.complete;
+                o.level = ServiceLevel::Combined;
+            }
+        } else if (nd.secondary.probe(a) == LineState::Shared) {
+            // Ownership upgrade of a Shared copy: control-only traffic.
+            FillResult fr = walkFill(node, lineAddr(a), true, t, false);
+            nd.secondary.upgrade(a);
+            o.complete = fr.ownAt;
+            o.ackDone = fr.ackDone;
+            o.level = fr.level;
+        } else {
+            Tick issue = t;
+            if (nd.mshrs.full())
+                issue = std::max(issue, nd.mshrs.earliestComplete());
+            FillResult fr = walkFill(node, lineAddr(a), true, issue);
+            nd.mshrs.allocate(lineAddr(a), fr.dataAt, true, false);
+            scheduleFill(node, lineAddr(a), true, false, fr.dataAt);
+            o.complete = fr.ownAt;
+            o.ackDone = fr.ackDone;
+            o.level = fr.level;
+        }
+    }
+    nd.stats.serviceCount[static_cast<int>(o.level)]++;
+    eq.scheduleAt(o.complete,
+                  [this, a, value, size]() { commitValue(a, value, size); });
+    return o;
+}
+
+BufferOutcome
+MemorySystem::writeRc(NodeId node, Addr a, std::uint64_t value,
+                      unsigned size, Tick t, bool release, ContextId ctx,
+                      bool in_order)
+{
+    Node &nd = nodes[node];
+    WriteBufferState &wb = nd.wb;
+    panic_if(ctx >= wb.ctx.size(), "context id out of range");
+    auto &ord = wb.ctx[ctx];
+    BufferOutcome o{};
+
+    // Free every slot whose write has already retired.
+    while (!wb.inFlight.empty() && *wb.inFlight.begin() <= t)
+        wb.inFlight.erase(wb.inFlight.begin());
+
+    // Wait for a slot if the 16-deep buffer is full.
+    o.acceptTick = t;
+    if (wb.inFlight.size() >= cfg.writeBufferDepth) {
+        auto first = wb.inFlight.begin();
+        o.acceptTick = std::max(t, *first);
+        wb.inFlight.erase(first);
+    }
+
+    // Writes drain in FIFO order through the secondary-cache port, but
+    // their coherence transactions pipeline (lockup-free cache).
+    Tick issue = std::max(o.acceptTick + 1, wb.nextIssueFree);
+    if (release) {
+        // A release retires only after all of this context's earlier
+        // writes completed and every invalidation has been
+        // acknowledged (RC, Section 4.1).
+        issue = std::max({issue, ord.allDone, ord.ackDone});
+    } else if (in_order) {
+        // Processor consistency: writes from one context retire in
+        // program order, so this write may not overlap its
+        // predecessor's ownership acquisition.
+        issue = std::max(issue, ord.allDone);
+    }
+    wb.nextIssueFree = issue + 2;
+
+    // Now run the same write path a sequentially-consistent write uses,
+    // starting from the buffered issue tick.
+    AccessOutcome wo = writeSc(node, a, value, size, issue);
+    o.complete = wo.complete;
+    o.ackDone = wo.ackDone;
+    o.level = wo.level;
+    o.hit = wo.hit;
+
+    // Same-address program order: a later buffered write must not
+    // retire (and commit its value) before an earlier one. This can
+    // otherwise happen when a contended ownership upgrade is still in
+    // flight while the eagerly-updated tags let the next write hit.
+    Tick &last = wb.lastCompletePerAddr[a];
+    if (o.complete < last)
+        o.complete = last;
+    last = o.complete;
+    o.ackDone = std::max(o.ackDone, o.complete);
+
+    wb.inFlight.insert(o.complete);
+    ord.allDone = std::max(ord.allDone, o.complete);
+    ord.ackDone = std::max({ord.ackDone, o.ackDone, o.complete});
+
+    trackPendingStore(node, a, value, size, o.complete);
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Read-modify-write (lock / barrier primitive).
+// ---------------------------------------------------------------------
+
+AccessOutcome
+MemorySystem::rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
+                  unsigned size, Tick t,
+                  std::function<void(std::uint64_t)> on_commit)
+{
+    const LatencyConfig &L = cfg.lat;
+    Node &nd = nodes[node];
+    nd.stats.rmws++;
+    AccessOutcome o{};
+
+    // Same-address ordering against this node's buffered writes: an
+    // atomic operation must not commit before an earlier buffered
+    // write to the same word (e.g. a barrier arrival increment racing
+    // the releaser's own count-reset still sitting in its buffer).
+    {
+        auto it = nd.wb.lastCompletePerAddr.find(a);
+        if (it != nd.wb.lastCompletePerAddr.end() && it->second > t)
+            t = it->second;
+    }
+
+    if (!cfg.cacheSharedData) {
+        FillResult fr = walkUncached(node, a, false, t);
+        o.complete = fr.dataAt;
+        o.ackDone = fr.dataAt;
+        o.level = ServiceLevel::Uncached;
+    } else if (nd.secondary.probe(a) == LineState::Dirty) {
+        o.complete = t + L.writeSecondary;
+        o.ackDone = o.complete;
+        o.level = ServiceLevel::SecondaryHit;
+        o.hit = true;
+    } else if (auto *m = nd.mshrs.find(a); m && m->exclusive) {
+        o.complete = std::max(m->complete, t + L.writeSecondary);
+        o.ackDone = o.complete;
+        o.level = ServiceLevel::Combined;
+    } else {
+        Tick issue = t;
+        if (!m && nd.mshrs.full())
+            issue = std::max(issue, nd.mshrs.earliestComplete());
+        FillResult fr = walkFill(node, lineAddr(a), true, issue);
+        if (m) {
+            m->exclusive = true;
+            m->complete = std::max(m->complete, fr.dataAt);
+        } else {
+            nd.mshrs.allocate(lineAddr(a), fr.dataAt, true, false);
+            scheduleFill(node, lineAddr(a), true, false, fr.dataAt);
+        }
+        // RMW needs the data, so it completes when the data arrives.
+        o.complete = fr.dataAt;
+        o.ackDone = fr.ackDone;
+        o.level = fr.level;
+    }
+    nd.stats.serviceCount[static_cast<int>(o.level)]++;
+
+    // Later buffered writes to the same word must also order after us.
+    {
+        Tick &last = nd.wb.lastCompletePerAddr[a];
+        if (o.complete > last)
+            last = o.complete;
+    }
+
+    eq.scheduleAt(o.complete, [this, a, op, operand, size,
+                               cb = std::move(on_commit)]() {
+        std::uint64_t old = mem.loadRaw(a, size);
+        std::uint64_t nv = old;
+        switch (op) {
+          case RmwOp::TestAndSet:
+            if (old == 0)
+                nv = 1;
+            break;
+          case RmwOp::FetchAdd:
+            nv = old + operand;
+            break;
+          case RmwOp::Exchange:
+            nv = operand;
+            break;
+        }
+        commitValue(a, nv, size);
+        if (cb)
+            cb(old);
+    });
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Software prefetch.
+// ---------------------------------------------------------------------
+
+BufferOutcome
+MemorySystem::prefetch(NodeId node, Addr a, bool exclusive, Tick t)
+{
+    Node &nd = nodes[node];
+    PrefetchBufferState &pb = nd.pb;
+    BufferOutcome o{};
+
+    if (!cfg.cacheSharedData) {
+        // Without caches there is nowhere to prefetch into.
+        o.acceptTick = t;
+        o.dropped = true;
+        return o;
+    }
+
+    nd.stats.prefetchesIssued++;
+
+    while (!pb.slots.empty() && *pb.slots.begin() <= t)
+        pb.slots.erase(pb.slots.begin());
+
+    o.acceptTick = t;
+    if (pb.slots.size() >= cfg.prefetchBufferDepth) {
+        auto first = pb.slots.begin();
+        o.acceptTick = std::max(t, *first);
+        pb.slots.erase(first);
+    }
+
+    Tick service = std::max(o.acceptTick + 1, pb.nextServiceFree);
+
+    // At the buffer head the secondary cache is probed; a prefetch whose
+    // line is already present (in an adequate state) is discarded.
+    LineState st = nd.secondary.probe(a);
+    bool adequate = exclusive ? st == LineState::Dirty
+                              : st != LineState::Invalid;
+    if (adequate) {
+        pb.nextServiceFree = service + 1;
+        pb.slots.insert(service + 1);
+        o.dropped = true;
+        o.complete = service + 1;
+        nd.stats.prefetchesDropped++;
+        return o;
+    }
+    if (auto *m = nd.mshrs.find(a)) {
+        // Already in flight; merge (an exclusive prefetch behind a
+        // shared fill upgrades it so the write that follows is fast).
+        if (exclusive && !m->exclusive) {
+            FillResult fr = walkFill(node, lineAddr(a), true, service);
+            m->exclusive = true;
+            m->complete = std::max(m->complete, fr.dataAt);
+        }
+        pb.nextServiceFree = service + 1;
+        pb.slots.insert(service + 1);
+        o.dropped = true;
+        o.complete = m->complete;
+        nd.stats.prefetchesDropped++;
+        return o;
+    }
+    if (nd.mshrs.full())
+        service = std::max(service, nd.mshrs.earliestComplete());
+
+    FillResult fr = walkFill(node, lineAddr(a), exclusive, service);
+    const bool excl = exclusive || fr.exclusiveGrant;
+    nd.mshrs.allocate(lineAddr(a), fr.dataAt, excl, true);
+    scheduleFill(node, lineAddr(a), excl, true, fr.dataAt);
+    pb.nextServiceFree = service + 2;
+    pb.slots.insert(service + 2);  // slot frees once issued onto the bus
+    o.complete = fr.dataAt;
+    o.ackDone = fr.ackDone;
+    o.level = fr.level;
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// Processor-visible state and statistics.
+// ---------------------------------------------------------------------
+
+Tick
+MemorySystem::primaryBusyUntil(NodeId node) const
+{
+    return nodes[node].primaryBusy;
+}
+
+Tick
+MemorySystem::prefetchFillBusyUntil(NodeId node) const
+{
+    return nodes[node].pfFillBusy;
+}
+
+std::size_t
+MemorySystem::writeBufferOccupancy(NodeId node, Tick t)
+{
+    WriteBufferState &wb = nodes[node].wb;
+    while (!wb.inFlight.empty() && *wb.inFlight.begin() <= t)
+        wb.inFlight.erase(wb.inFlight.begin());
+    return wb.inFlight.size();
+}
+
+Tick
+MemorySystem::writeDrainTick(NodeId node, ContextId ctx) const
+{
+    const auto &ord = nodes[node].wb.ctx[ctx];
+    return std::max(ord.allDone, ord.ackDone);
+}
+
+Tick
+MemorySystem::writeAllDoneTick(NodeId node, ContextId ctx) const
+{
+    return nodes[node].wb.ctx[ctx].allDone;
+}
+
+HitRate
+MemorySystem::totalReadHits() const
+{
+    HitRate hr;
+    for (const auto &n : nodes) {
+        hr.hits += n.stats.sharedReadHits.hits;
+        hr.accesses += n.stats.sharedReadHits.accesses;
+    }
+    return hr;
+}
+
+HitRate
+MemorySystem::totalWriteHits() const
+{
+    HitRate hr;
+    for (const auto &n : nodes) {
+        hr.hits += n.stats.sharedWriteHits.hits;
+        hr.accesses += n.stats.sharedWriteHits.accesses;
+    }
+    return hr;
+}
+
+double
+MemorySystem::busUtilization(NodeId node, Tick elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(nodes[node].busReq.busyCycles() +
+                               nodes[node].busReply.busyCycles()) /
+           static_cast<double>(elapsed);
+}
+
+} // namespace dashsim

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * The DASH-style memory system: per-node two-level lockup-free caches,
+ * write and prefetch buffers, distributed directory-based invalidating
+ * coherence, and a contention-modeled interconnect.
+ *
+ * Timing model. Every transaction walks a path of FCFS resources (local
+ * bus, network ports, home directory, remote bus) at fixed uncontended
+ * offsets chosen so that an unloaded machine reproduces Table 1 of the
+ * paper exactly; queueing at any resource adds to the completion time.
+ *
+ * Data model. The SharedMemory arena is the single authoritative copy
+ * of all data. Writes and read-modify-writes commit their values to the
+ * arena in *completion-time order* through the event queue, which
+ * serializes them globally; cache and directory state are advanced
+ * eagerly when a transaction is issued. For the data-race-free programs
+ * the paper studies this gives correct values everywhere while keeping
+ * the simulator one event per transaction.
+ */
+
+#ifndef MEM_MEM_SYSTEM_HH
+#define MEM_MEM_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/mem_config.hh"
+#include "mem/resource.hh"
+#include "mem/shared_memory.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/** Directory state for one memory line at its home node. */
+struct DirEntry
+{
+    enum class State : std::uint8_t { Uncached, Shared, Dirty };
+
+    State state = State::Uncached;
+    std::uint32_t sharers = 0;  ///< bitmask of nodes with Shared copies
+    NodeId owner = invalidNode; ///< valid when state == Dirty
+};
+
+/** Atomic read-modify-write operations supported by the memory system. */
+enum class RmwOp : std::uint8_t
+{
+    TestAndSet,  ///< old = M[a]; if (old == 0) M[a] = 1; return old
+    FetchAdd,    ///< old = M[a]; M[a] = old + operand; return old
+    Exchange,    ///< old = M[a]; M[a] = operand; return old
+};
+
+/** Timing outcome of a demand access. */
+struct AccessOutcome
+{
+    Tick complete = 0;          ///< data available / write retired
+    Tick ackDone = 0;           ///< all invalidation acks received
+    ServiceLevel level = ServiceLevel::PrimaryHit;
+    bool hit = false;           ///< counted as a cache hit (Section 3)
+};
+
+/** Timing outcome of a buffered (write / prefetch) access. */
+struct BufferOutcome
+{
+    Tick acceptTick = 0;        ///< when a buffer slot was available
+    Tick complete = 0;          ///< write retired / prefetch filled
+    Tick ackDone = 0;
+    bool dropped = false;       ///< prefetch matched in cache / in flight
+    ServiceLevel level = ServiceLevel::PrimaryHit;
+    bool hit = false;
+};
+
+/**
+ * The full memory system for an N-node machine.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(EventQueue &eq, SharedMemory &mem, const MemConfig &cfg);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    const MemConfig &config() const { return cfg; }
+    SharedMemory &memory() { return mem; }
+
+    // ------------------------------------------------------------------
+    // Demand accesses (called by the processor model).
+    // ------------------------------------------------------------------
+
+    /** Blocking shared read issued by @p node at tick @p t. */
+    AccessOutcome read(NodeId node, Addr a, Tick t);
+
+    /**
+     * One-cycle primary-cache hit check used by the processor's
+     * non-suspending read path. Records hit statistics on success; on
+     * failure the caller falls back to read(), which records the miss.
+     */
+    bool tryFastRead(NodeId node, Addr a);
+
+    /** Count a read satisfied by store forwarding from the write buffer. */
+    void
+    noteForwardedRead(NodeId node)
+    {
+        nodes[node].stats.reads++;
+        nodes[node].stats.sharedReadHits.record(true);
+        nodes[node]
+            .stats.serviceCount[static_cast<int>(ServiceLevel::PrimaryHit)]++;
+    }
+
+    /**
+     * Shared write under sequential consistency: the caller stalls until
+     * outcome.complete. The value commits to the arena at that tick.
+     */
+    AccessOutcome writeSc(NodeId node, Addr a, std::uint64_t value,
+                          unsigned size, Tick t);
+
+    /**
+     * Shared write under release consistency: enqueued into the 16-deep
+     * write buffer. The caller stalls only until outcome.acceptTick
+     * (later than @p t only when the buffer is full). @p release marks
+     * the write as a release: it retires only after all earlier writes
+     * have completed and their invalidation acks have arrived.
+     */
+    BufferOutcome writeRc(NodeId node, Addr a, std::uint64_t value,
+                          unsigned size, Tick t, bool release,
+                          ContextId ctx = 0, bool in_order = false);
+
+    /**
+     * Atomic read-modify-write (lock and barrier primitive). The
+     * operation commits at outcome.complete; @p on_commit runs at that
+     * tick (before any same-tick resume event scheduled afterwards) and
+     * receives the *old* value.
+     */
+    AccessOutcome rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
+                      unsigned size, Tick t,
+                      std::function<void(std::uint64_t)> on_commit);
+
+    /**
+     * Non-binding software prefetch into the 16-deep prefetch buffer.
+     * The caller stalls only until outcome.acceptTick.
+     */
+    BufferOutcome prefetch(NodeId node, Addr a, bool exclusive, Tick t);
+
+    // ------------------------------------------------------------------
+    // Queue-based locks (DASH's hardware lock primitive). The home
+    // directory keeps a queue of waiting nodes; a release hands the
+    // lock to exactly one waiter with a single grant message instead
+    // of invalidating every spinning cache.
+    // ------------------------------------------------------------------
+
+    /**
+     * Acquire the queued lock at @p a. @p on_grant runs at the tick
+     * the lock is granted (immediately if free, or when a release
+     * hands it over).
+     */
+    void queuedLockAcquire(NodeId node, Addr a, Tick t,
+                           std::function<void(Tick)> on_grant);
+
+    /** Release the queued lock at @p a. */
+    void queuedLockRelease(NodeId node, Addr a, Tick t);
+
+    // ------------------------------------------------------------------
+    // Spin-wait support (invalidation-based wakeup).
+    // ------------------------------------------------------------------
+
+    /**
+     * Call @p cb the next time a write or RMW commits to the line
+     * containing @p a (one-shot). Used by spinning lock/barrier waiters
+     * so the simulator does not execute millions of poll iterations.
+     */
+    void watchLine(Addr a, std::function<void()> cb);
+
+    /**
+     * Hook invoked whenever a fill response installs a line into a
+     * primary cache (the cache is locked out for 4 cycles). The
+     * processor model uses this to charge "no switch" idle time (and
+     * prefetch overhead for prefetch fills, Section 5.1).
+     */
+    void
+    setFillHook(std::function<void(NodeId, Tick, bool prefetch)> hook)
+    {
+        fillHook = std::move(hook);
+    }
+
+    /**
+     * Store-forwarding probe: value of the newest write to @p a still
+     * sitting in @p node's write buffer, if any. Reads that hit here
+     * complete in one cycle with the buffered value (reads bypass the
+     * write buffer under RC, Section 4.1).
+     */
+    std::optional<std::uint64_t> pendingStoreValue(NodeId node,
+                                                   Addr a) const;
+
+    // ------------------------------------------------------------------
+    // Processor-visible hierarchy state.
+    // ------------------------------------------------------------------
+
+    /** Primary cache busy (line fill in progress) until this tick. */
+    Tick primaryBusyUntil(NodeId node) const;
+
+    /** Portion of primary-busy time caused by prefetch fills. */
+    Tick prefetchFillBusyUntil(NodeId node) const;
+
+    /** Number of write-buffer slots currently in flight. */
+    std::size_t writeBufferOccupancy(NodeId node, Tick t);
+
+    /** All of context @p ctx's writes (and their acks) completed by.
+     *  Release ordering is per context: the 16-entry write buffer is
+     *  shared by the hardware contexts, but a release only waits for
+     *  the issuing context's earlier writes. */
+    Tick writeDrainTick(NodeId node, ContextId ctx = 0) const;
+
+    /** All of context @p ctx's writes retired by (ownership acquired,
+     *  acks not included) - the processor-consistency ordering point. */
+    Tick writeAllDoneTick(NodeId node, ContextId ctx = 0) const;
+
+    // ------------------------------------------------------------------
+    // Statistics.
+    // ------------------------------------------------------------------
+
+    struct NodeStats
+    {
+        HitRate sharedReadHits;   ///< serviced by primary or secondary
+        HitRate sharedWriteHits;  ///< retired by an owned secondary line
+        std::uint64_t reads = 0;
+        std::uint64_t writes = 0;
+        std::uint64_t rmws = 0;
+        std::uint64_t prefetchesIssued = 0;
+        std::uint64_t prefetchesDropped = 0;
+        std::uint64_t prefetchesCombined = 0;  ///< demand hit in-flight pf
+        std::uint64_t invalidationsReceived = 0;
+        SampleStat readMissLatency;  ///< beyond the secondary cache
+        std::uint64_t serviceCount[7] = {};    ///< by ServiceLevel
+    };
+
+    const NodeStats &stats(NodeId node) const { return nodes[node].stats; }
+    NodeStats &stats(NodeId node) { return nodes[node].stats; }
+
+    /** Aggregate hit rates across all nodes. */
+    HitRate totalReadHits() const;
+    HitRate totalWriteHits() const;
+
+    /** Bus utilization of @p node in [0,1] given total elapsed ticks. */
+    double busUtilization(NodeId node, Tick elapsed) const;
+
+  private:
+    struct WriteBufferState
+    {
+        /** Completion ticks of in-flight entries (slot frees then). */
+        std::multiset<Tick> inFlight;
+        Tick nextIssueFree = 0;   ///< secondary-cache port serialization
+        /** Per-context release-ordering state (max 8 contexts). */
+        struct PerCtx
+        {
+            Tick allDone = 0;   ///< max completion of writes so far
+            Tick ackDone = 0;   ///< max ack-completion of writes so far
+        };
+        std::array<PerCtx, 8> ctx{};
+
+        /** Same-address write ordering (see writeRc). */
+        std::unordered_map<Addr, Tick> lastCompletePerAddr;
+    };
+
+    struct PrefetchBufferState
+    {
+        std::multiset<Tick> slots;  ///< slot-release ticks
+        Tick nextServiceFree = 0;
+    };
+
+    /** A write waiting in the buffer, for store forwarding. */
+    struct PendingStore
+    {
+        std::uint64_t value;
+        unsigned size;
+        std::uint64_t seq;
+    };
+
+    struct Node
+    {
+        Node(const MemConfig &cfg)
+            : primary(cfg.primary), secondary(cfg.secondary),
+              mshrs(cfg.mshrs)
+        {}
+
+        PrimaryCache primary;
+        SecondaryCache secondary;
+        MshrSet mshrs;
+        WriteBufferState wb;
+        PrefetchBufferState pb;
+        /**
+         * The node bus is split-transaction: the request and reply
+         * phases arbitrate separately (a reply booked ~70 cycles out
+         * must not block the next request issued now).
+         */
+        Resource busReq;
+        Resource busReply;
+        Resource netOut;
+        Resource netIn;
+        Resource dir;
+        Tick primaryBusy = 0;
+        Tick pfFillBusy = 0;
+        std::unordered_map<Addr, PendingStore> pendingStores;
+        NodeStats stats;
+    };
+
+    /** Combined timing result of a directory transaction. */
+    struct FillResult
+    {
+        Tick dataAt;        ///< response data available at requester
+        Tick ownAt;         ///< exclusive ownership granted (<= dataAt)
+        Tick ackDone;       ///< last invalidation ack received
+        ServiceLevel level;
+        /**
+         * The home granted exclusive ownership to a plain read because
+         * no other node held a copy (DASH's read-exclusive reply /
+         * MESI E-state). Crucial for write hit rates on node-private
+         * data such as LU's owned columns and MP3D's particles.
+         */
+        bool exclusiveGrant = false;
+    };
+
+    /**
+     * Walk one coherence transaction through the interconnect and the
+     * home directory, updating directory state eagerly and invalidating
+     * remote copies when @p exclusive. Ownership upgrades of lines the
+     * requester already caches carry no data (@p with_data false), so
+     * their messages book only control-sized occupancies.
+     */
+    FillResult walkFill(NodeId req, Addr line, bool exclusive, Tick t,
+                        bool with_data = true);
+
+    /** Send invalidations for @p line to every sharer except @p req. */
+    Tick sendInvalidations(NodeId req, NodeId home, Addr line,
+                           std::uint32_t sharers, Tick dir_time);
+
+    /** Handle a dirty eviction: schedule the writeback message. */
+    void writebackVictim(NodeId node, Addr victim_line, Tick t);
+
+    /** Install @p line into both cache levels of @p node at @p t. */
+    void scheduleFill(NodeId node, Addr line, bool exclusive, bool prefetch,
+                      Tick t);
+
+    /** Commit a raw value to the arena and wake line watchers. */
+    void commitValue(Addr a, std::uint64_t value, unsigned size);
+
+    /** Uncached shared access path (Figure 2 baseline). */
+    FillResult walkUncached(NodeId req, Addr a, bool is_write, Tick t);
+
+    /** Record a buffered write for store forwarding until it commits. */
+    void trackPendingStore(NodeId node, Addr a, std::uint64_t value,
+                           unsigned size, Tick commit_at);
+
+    DirEntry &dirEntry(Addr line);
+
+    /**
+     * One-way network latency between two nodes: the uniform paper
+     * value, or distance-dependent when the mesh extension is on.
+     */
+    Tick hopLatency(NodeId from, NodeId to) const;
+
+    /** Directory-side queued-lock state. */
+    struct QueuedLock
+    {
+        bool held = false;
+        std::deque<std::function<void(Tick)>> waiters;
+    };
+
+    EventQueue &eq;
+    SharedMemory &mem;
+    MemConfig cfg;
+    std::vector<Node> nodes;
+    std::unordered_map<Addr, DirEntry> directory;
+    std::unordered_map<Addr, QueuedLock> queuedLocks;
+    std::unordered_map<Addr, std::vector<std::function<void()>>> watches;
+    std::function<void(NodeId, Tick, bool)> fillHook;
+    std::uint64_t storeSeq = 0;
+};
+
+} // namespace dashsim
+
+#endif // MEM_MEM_SYSTEM_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The simulated distributed shared memory.
+ *
+ * A flat byte arena backs all shared data. Pages are mapped to home
+ * nodes either round-robin (the default placement policy, Section 2.3)
+ * or explicitly node-local when an application gives a placement
+ * directive (as MP3D does for particles and LU does for owned columns).
+ */
+
+#ifndef MEM_SHARED_MEMORY_HH
+#define MEM_SHARED_MEMORY_HH
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/**
+ * Byte-addressed shared memory with per-page home-node assignment.
+ *
+ * Address 0 is reserved (never allocated) so that 0 can serve as a
+ * null address in applications.
+ */
+class SharedMemory
+{
+  public:
+    explicit SharedMemory(std::uint32_t num_nodes)
+        : numNodes(num_nodes)
+    {
+        fatal_if(num_nodes == 0, "SharedMemory needs at least one node");
+        // Reserve page 0 so address 0 stays invalid.
+        arena.resize(pageBytes, 0);
+        pageHome.push_back(0);
+        brk = pageBytes;
+    }
+
+    /**
+     * Allocate @p bytes with round-robin page placement.
+     * Allocations are line-aligned so distinct objects never falsely
+     * share a cache line unless the caller packs them deliberately.
+     */
+    Addr
+    allocRoundRobin(std::size_t bytes, std::size_t align = lineBytes)
+    {
+        return allocImpl(bytes, align, invalidNode);
+    }
+
+    /** Allocate @p bytes entirely on @p node (placement directive). */
+    Addr
+    allocLocal(std::size_t bytes, NodeId node, std::size_t align = lineBytes)
+    {
+        panic_if(node >= numNodes, "allocLocal: bad node %u", node);
+        return allocImpl(bytes, align, node);
+    }
+
+    /** Home node of the page containing @p a. */
+    NodeId
+    homeOf(Addr a) const
+    {
+        Addr page = a / pageBytes;
+        panic_if(page >= pageHome.size(), "homeOf: unmapped address %llu",
+                 static_cast<unsigned long long>(a));
+        return pageHome[page];
+    }
+
+    /** True if @p a lies inside an allocated region. */
+    bool mapped(Addr a) const { return a != 0 && a < brk; }
+
+    /** Total allocated bytes (shared-data footprint, Table 2). */
+    std::size_t footprint() const { return brk - pageBytes; }
+
+    /** Typed load. T must be trivially copyable. */
+    template <typename T>
+    T
+    load(Addr a) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        panic_if(a + sizeof(T) > arena.size(), "load out of bounds");
+        T v;
+        std::memcpy(&v, arena.data() + a, sizeof(T));
+        return v;
+    }
+
+    /** Typed store. */
+    template <typename T>
+    void
+    store(Addr a, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        panic_if(a + sizeof(T) > arena.size(), "store out of bounds");
+        std::memcpy(arena.data() + a, &v, sizeof(T));
+    }
+
+    /** Raw load of @p size bytes (1, 2, 4, or 8) zero-extended. */
+    std::uint64_t
+    loadRaw(Addr a, unsigned size) const
+    {
+        std::uint64_t v = 0;
+        panic_if(a + size > arena.size(), "loadRaw out of bounds");
+        std::memcpy(&v, arena.data() + a, size);
+        return v;
+    }
+
+    /** Raw store of the low @p size bytes of @p v. */
+    void
+    storeRaw(Addr a, std::uint64_t v, unsigned size)
+    {
+        panic_if(a + size > arena.size(), "storeRaw out of bounds");
+        std::memcpy(arena.data() + a, &v, size);
+    }
+
+    std::uint32_t nodes() const { return numNodes; }
+
+    // ------------------------------------------------------------------
+    // Trace support (tango/trace.hh).
+    // ------------------------------------------------------------------
+
+    /** Page-home table (index 0 is the reserved page). */
+    const std::vector<NodeId> &pageHomesSnapshot() const
+    {
+        return pageHome;
+    }
+
+    /** Copy of the allocated arena contents past the reserved page. */
+    std::vector<std::uint8_t>
+    imageSnapshot() const
+    {
+        return {arena.begin() + pageBytes,
+                arena.begin() + static_cast<std::ptrdiff_t>(brk)};
+    }
+
+    /**
+     * Recreate the page layout of a recorded trace on a fresh arena:
+     * map every page with the home recorded at trace time and set the
+     * allocation break to @p footprint bytes past the reserved page.
+     * Only valid before any other allocation.
+     */
+    void
+    mirrorPages(const std::vector<NodeId> &homes, std::uint64_t footprint)
+    {
+        panic_if(brk != pageBytes, "mirrorPages on a non-fresh arena");
+        panic_if(homes.empty() || homes.size() * pageBytes <
+                                      pageBytes + footprint,
+                 "trace page table does not cover its footprint");
+        for (std::size_t p = 1; p < homes.size(); ++p) {
+            fatal_if(homes[p] >= numNodes,
+                     "trace was recorded on a larger machine");
+            pageHome.push_back(homes[p]);
+        }
+        arena.resize(pageHome.size() * pageBytes, 0);
+        brk = pageBytes + footprint;
+    }
+
+    /** Restore arena contents captured by imageSnapshot(). */
+    void
+    restoreImage(const std::vector<std::uint8_t> &image)
+    {
+        panic_if(pageBytes + image.size() > arena.size(),
+                 "trace image larger than the mirrored arena");
+        std::memcpy(arena.data() + pageBytes, image.data(), image.size());
+    }
+
+  private:
+    Addr
+    allocImpl(std::size_t bytes, std::size_t align, NodeId fixed_home)
+    {
+        panic_if(bytes == 0, "zero-byte allocation");
+        panic_if(align == 0 || (align & (align - 1)) != 0,
+                 "alignment must be a power of two");
+        Addr a = (brk + align - 1) & ~static_cast<Addr>(align - 1);
+        // A placement directive must not inherit the tail of a page
+        // that already belongs to another node: start on a fresh page
+        // unless the current page already has the requested home.
+        if (fixed_home != invalidNode) {
+            Addr page = a / pageBytes;
+            if (page < pageHome.size() && pageHome[page] != fixed_home)
+                a = (page + 1) * pageBytes;
+        }
+        Addr end = a + bytes;
+        // Map any new pages the allocation touches.
+        while (pageHome.size() * pageBytes < end) {
+            NodeId home = fixed_home != invalidNode
+                              ? fixed_home
+                              : static_cast<NodeId>(nextRrPage++ % numNodes);
+            pageHome.push_back(home);
+        }
+        if (arena.size() < pageHome.size() * pageBytes)
+            arena.resize(pageHome.size() * pageBytes, 0);
+        brk = end;
+        return a;
+    }
+
+    std::uint32_t numNodes;
+    std::vector<std::uint8_t> arena;
+    std::vector<NodeId> pageHome;
+    Addr brk = 0;
+    std::uint64_t nextRrPage = 0;
+};
+
+} // namespace dashsim
+
+#endif // MEM_SHARED_MEMORY_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The event-driven simulation kernel.
+ *
+ * A single global-order EventQueue drives the whole machine. Components
+ * schedule std::function callbacks at absolute ticks; ties are broken by
+ * insertion order so simulation results are fully deterministic.
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/**
+ * Deterministic event queue.
+ *
+ * Events are (tick, sequence, callback) triples ordered by tick and then
+ * by schedule order. The queue owns the simulated clock: now() advances
+ * only when events execute.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in pclocks. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p cb to run @p delay cycles from now. */
+    void
+    schedule(Tick delay, Callback cb)
+    {
+        scheduleAt(_now + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb at absolute tick @p when (must not be in the past). */
+    void
+    scheduleAt(Tick when, Callback cb)
+    {
+        panic_if(when < _now, "scheduling event in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_now));
+        heap.push(Entry{when, nextSeq++, std::move(cb)});
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Run one event.
+     * @retval false if the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap.empty())
+            return false;
+        // The callback may schedule new events, so move it out first.
+        Entry e = std::move(const_cast<Entry &>(heap.top()));
+        heap.pop();
+        _now = e.when;
+        ++numExecuted;
+        e.cb();
+        return true;
+    }
+
+    /**
+     * Run events until the queue drains or @p limit events have executed.
+     * @return number of events executed by this call.
+     */
+    std::uint64_t
+    run(std::uint64_t limit = UINT64_MAX)
+    {
+        std::uint64_t n = 0;
+        while (n < limit && runOne())
+            ++n;
+        return n;
+    }
+
+    /** Run until the queue drains or simulated time reaches @p stop. */
+    void
+    runUntil(Tick stop)
+    {
+        while (!heap.empty() && heap.top().when <= stop)
+            runOne();
+        if (_now < stop)
+            _now = stop;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace dashsim
+
+#endif // SIM_EVENT_QUEUE_HH

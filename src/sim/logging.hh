@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention:
+ * panic() for simulator bugs, fatal() for user errors, warn()/inform()
+ * for status messages.
+ */
+
+#ifndef SIM_LOGGING_HH
+#define SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dashsim {
+
+namespace detail {
+
+[[noreturn]] void terminatePanic(const std::string &msg, const char *file,
+                                 int line);
+[[noreturn]] void terminateFatal(const std::string &msg);
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+/** Minimal printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/**
+ * Abort the simulation because of an internal simulator bug.
+ * Never use for conditions a user configuration can trigger.
+ */
+#define panic(...)                                                          \
+    ::dashsim::detail::terminatePanic(                                      \
+        ::dashsim::detail::vformat(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Exit because the user asked for something impossible. */
+#define fatal(...)                                                          \
+    ::dashsim::detail::terminateFatal(::dashsim::detail::vformat(__VA_ARGS__))
+
+/** Like assert, but always compiled in and reported as a panic. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+/** Like panic_if, for user errors. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define warn(...)                                                           \
+    ::dashsim::detail::emitWarn(::dashsim::detail::vformat(__VA_ARGS__))
+
+/** Informational message to stdout. */
+#define inform(...)                                                         \
+    ::dashsim::detail::emitInform(::dashsim::detail::vformat(__VA_ARGS__))
+
+} // namespace dashsim
+
+#endif // SIM_LOGGING_HH

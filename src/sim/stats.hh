@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, averaging samples,
+ * and fixed-bucket distributions (used for run lengths and miss
+ * latencies, which the paper reports as medians/averages).
+ */
+
+#ifndef SIM_STATS_HH
+#define SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dashsim {
+
+/** A sampled statistic supporting count/sum/min/max/mean/median. */
+class SampleStat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        _min = _count == 1 ? v : std::min(_min, v);
+        _max = _count == 1 ? v : std::max(_max, v);
+        buckets[quantize(v)]++;
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minValue() const { return _count ? _min : 0.0; }
+    double maxValue() const { return _count ? _max : 0.0; }
+
+    /**
+     * Approximate median from the quantized histogram.
+     * Buckets are 1-wide up to 128 and exponential after that, which is
+     * plenty for cycle-count distributions.
+     */
+    double
+    median() const
+    {
+        if (!_count)
+            return 0.0;
+        std::uint64_t half = (_count + 1) / 2;
+        std::uint64_t seen = 0;
+        for (const auto &[bucket, n] : buckets) {
+            seen += n;
+            if (seen >= half)
+                return static_cast<double>(bucket);
+        }
+        return _max;
+    }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = _min = _max = 0.0;
+        buckets.clear();
+    }
+
+  private:
+    static std::int64_t
+    quantize(double v)
+    {
+        auto i = static_cast<std::int64_t>(v);
+        if (i <= 128)
+            return i;
+        // Exponentially wider buckets past 128: keep the map small.
+        std::int64_t w = 1;
+        while ((128 << 1) * w <= i)
+            w <<= 1;
+        return i / w * w;
+    }
+
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    std::map<std::int64_t, std::uint64_t> buckets;
+};
+
+/**
+ * Ratio helper: hits out of accesses, reported as a percentage.
+ */
+struct HitRate
+{
+    std::uint64_t hits = 0;
+    std::uint64_t accesses = 0;
+
+    void record(bool hit) { accesses++; hits += hit ? 1 : 0; }
+
+    double
+    percent() const
+    {
+        return accesses ? 100.0 * static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+} // namespace dashsim
+
+#endif // SIM_STATS_HH

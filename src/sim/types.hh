@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental simulator-wide types and constants.
+ *
+ * One simulated processor clock (pclock) is 30 ns (33 MHz MIPS R3000),
+ * matching the DASH prototype parameters used by the paper.
+ */
+
+#ifndef SIM_TYPES_HH
+#define SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dashsim {
+
+/** Simulated time, in processor clock cycles (pclocks). */
+using Tick = std::uint64_t;
+
+/** A simulated physical address in the shared address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a processing node (0-based). */
+using NodeId = std::uint32_t;
+
+/** Identifier of a hardware context within a processor (0-based). */
+using ContextId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+inline constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel node id meaning "no node". */
+inline constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Cache line size in bytes; both cache levels use 16-byte lines. */
+inline constexpr unsigned lineBytes = 16;
+
+/** log2(lineBytes), for line-address arithmetic. */
+inline constexpr unsigned lineShift = 4;
+
+/** Page size used by the round-robin page allocator. */
+inline constexpr unsigned pageBytes = 4096;
+
+/** Return the line-aligned address containing @p a. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(lineBytes - 1);
+}
+
+/** Return the line index (address >> lineShift) of @p a. */
+constexpr Addr
+lineIndex(Addr a)
+{
+    return a >> lineShift;
+}
+
+} // namespace dashsim
+
+#endif // SIM_TYPES_HH

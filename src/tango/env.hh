@@ -1,0 +1,426 @@
+/**
+ * @file
+ * The application-facing execution environment: typed awaitables for
+ * shared-memory reads/writes, compute cycles, synchronization, and
+ * software prefetch.
+ *
+ * Every simulated process receives an Env bound to its hardware
+ * context. `co_await env.read<T>(a)` behaves like a blocking load on
+ * the simulated machine: the coroutine resumes only when the
+ * architecture model says the load completed, and the value returned
+ * is the one globally visible at that simulated time.
+ *
+ * Instruction fetches and private-data references are not sent to the
+ * cache simulator (paper Section 2.3, footnote 2); applications charge
+ * them as busy time with env.compute(n).
+ */
+
+#ifndef TANGO_ENV_HH
+#define TANGO_ENV_HH
+
+#include <bit>
+#include <coroutine>
+#include <cstdint>
+#include <type_traits>
+
+#include "cpu/processor.hh"
+#include "mem/mem_system.hh"
+#include "sim/types.hh"
+#include "tango/process.hh"
+#include "tango/trace_sink.hh"
+
+namespace dashsim {
+
+namespace aw {
+
+/** Charge @p n busy cycles; never suspends. */
+struct Compute
+{
+    Context *c;
+    Tick n;
+
+    bool
+    await_ready() const
+    {
+        c->proc->addBusy(c, n);
+        return true;
+    }
+
+    void await_suspend(std::coroutine_handle<>) const {}
+    void await_resume() const {}
+};
+
+/** Blocking shared read of a T. */
+template <typename T>
+struct Read
+{
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+
+    Context *c;
+    Addr a;
+
+    bool await_ready() const { return c->proc->fastRead(c, a, sizeof(T)); }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        c->proc->suspendRead(c, a, sizeof(T), h);
+    }
+
+    T
+    await_resume() const
+    {
+        if constexpr (sizeof(T) == 8) {
+            return std::bit_cast<T>(c->readValue);
+        } else {
+            using U = std::conditional_t<
+                sizeof(T) == 4, std::uint32_t,
+                std::conditional_t<sizeof(T) == 2, std::uint16_t,
+                                   std::uint8_t>>;
+            return std::bit_cast<T>(static_cast<U>(c->readValue));
+        }
+    }
+};
+
+/** Shared write (buffered under RC, stalling under SC). */
+struct Write
+{
+    Context *c;
+    Addr a;
+    std::uint64_t v;
+    unsigned size;
+    bool release;
+
+    bool
+    await_ready() const
+    {
+        if (!c->proc->buffered())
+            return false;
+        return c->proc->fastWrite(c, a, v, size, release);
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        if (c->proc->buffered()) {
+            // The write was enqueued by fastWrite; we only wait for the
+            // write-buffer slot that it reported.
+            c->proc->suspendWriteStall(c, h);
+        } else {
+            c->proc->suspendWrite(c, a, v, size, release, h);
+        }
+    }
+
+    void await_resume() const {}
+};
+
+/** Atomic read-modify-write; resumes with the old value. */
+struct Rmw
+{
+    Context *c;
+    Addr a;
+    RmwOp op;
+    std::uint64_t operand;
+    unsigned size;
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        c->proc->suspendRmw(c, a, op, operand, size, h);
+    }
+
+    std::uint64_t await_resume() const { return c->rmwOld; }
+};
+
+/** Acquire a spin lock (test&set with invalidation wakeup). */
+struct Lock
+{
+    Context *c;
+    Addr a;
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        c->proc->suspendLock(c, a, h);
+    }
+
+    void await_resume() const {}
+};
+
+/** Arrive at a sense-reversing barrier with @p n participants. */
+struct Barrier
+{
+    Context *c;
+    Addr a;
+    std::uint32_t n;
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        c->proc->suspendBarrier(c, a, n, h);
+    }
+
+    void await_resume() const {}
+};
+
+/** Software prefetch; suspends only when the prefetch buffer is full. */
+struct Prefetch
+{
+    Context *c;
+    Addr a;
+    bool exclusive;
+
+    bool
+    await_ready() const
+    {
+        return c->proc->fastPrefetch(c, a, exclusive);
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        c->proc->suspendPrefetchStall(c, h);
+    }
+
+    void await_resume() const {}
+};
+
+} // namespace aw
+
+/**
+ * Per-process handle onto the simulated machine.
+ */
+class Env
+{
+  public:
+    Env(Context *ctx, MemorySystem *mem, unsigned pid, unsigned nprocs,
+        TraceSink *sink = nullptr)
+        : ctx(ctx), memsys(mem), _pid(pid), _nprocs(nprocs), sink(sink)
+    {}
+
+    /** Process id within the application (0-based). */
+    unsigned pid() const { return _pid; }
+
+    /** Total number of application processes. */
+    unsigned nprocs() const { return _nprocs; }
+
+    /** Node this process's context lives on. */
+    NodeId node() const { return ctx->proc->nodeId(); }
+
+    /** Whether the application should issue software prefetches. */
+    bool prefetching() const { return ctx->proc->config().prefetch; }
+
+    /** Direct (untimed) access to backing memory, for setup/verify. */
+    SharedMemory &rawMemory() { return memsys->memory(); }
+
+    // --- awaitables ---
+
+    /** Execute @p n cycles of private computation. */
+    aw::Compute
+    compute(Tick n) const
+    {
+        if (sink)
+            sink->computeCycles(_pid, n);
+        return {ctx, n};
+    }
+
+    /** Blocking shared load. */
+    template <typename T>
+    aw::Read<T>
+    read(Addr a) const
+    {
+        note(TraceOp::Kind::Read, a, 0, sizeof(T));
+        return {ctx, a};
+    }
+
+    /** Shared store. */
+    template <typename T>
+    aw::Write
+    write(Addr a, T v) const
+    {
+        std::uint64_t raw = rawOf(v);
+        note(TraceOp::Kind::Write, a, raw, sizeof(T));
+        return {ctx, a, raw, sizeof(T), false};
+    }
+
+    /** Atomic fetch&add on a 32-bit counter; resumes with old value. */
+    aw::Rmw
+    fetchAdd(Addr a, std::uint32_t delta) const
+    {
+        note(TraceOp::Kind::FetchAdd, a, delta, 4);
+        return {ctx, a, RmwOp::FetchAdd, delta, 4};
+    }
+
+    /** Atomic test&set on a 32-bit word; resumes with old value. */
+    aw::Rmw
+    testAndSet(Addr a) const
+    {
+        note(TraceOp::Kind::TestAndSet, a, 0, 4);
+        return {ctx, a, RmwOp::TestAndSet, 0, 4};
+    }
+
+    /**
+     * Release-classified shared store: under RC it retires only after
+     * every earlier write has completed and been acknowledged, making
+     * it safe to publish data (e.g. LU's produced-column flags).
+     */
+    template <typename T>
+    aw::Write
+    writeRelease(Addr a, T v) const
+    {
+        std::uint64_t raw = rawOf(v);
+        note(TraceOp::Kind::WriteRelease, a, raw, sizeof(T));
+        return {ctx, a, raw, sizeof(T), true};
+    }
+
+    /**
+     * Acquire-style wait until the 32-bit flag at @p a holds @p value.
+     * Spins on the cached copy with invalidation wakeup; counted as a
+     * lock acquisition in the statistics (Table 2).
+     */
+    struct WaitFlagAw
+    {
+        Context *c;
+        Addr a;
+        std::uint32_t value;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            c->proc->suspendWaitFlag(c, a, value, h);
+        }
+
+        void await_resume() const {}
+    };
+
+    WaitFlagAw
+    waitFlag(Addr a, std::uint32_t value) const
+    {
+        note(TraceOp::Kind::WaitFlag, a, value, 4);
+        return {ctx, a, value};
+    }
+
+    /**
+     * Acquire a DASH queue-based lock: the home directory queues
+     * waiters and a release hands the lock to exactly one of them
+     * (Section 4.2 of the DASH protocol paper). Compare with lock(),
+     * the software test&test&set.
+     */
+    struct QueuedLockAw
+    {
+        Context *c;
+        Addr a;
+        bool acquire;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            if (acquire)
+                c->proc->suspendQueuedLock(c, a, h);
+            else
+                c->proc->suspendQueuedUnlock(c, a, h);
+        }
+
+        void await_resume() const {}
+    };
+
+    QueuedLockAw lockQueued(Addr a) const { return {ctx, a, true}; }
+    QueuedLockAw unlockQueued(Addr a) const { return {ctx, a, false}; }
+
+    /** Acquire the spin lock at @p a. */
+    aw::Lock
+    lock(Addr a) const
+    {
+        note(TraceOp::Kind::Lock, a, 0, 4);
+        return {ctx, a};
+    }
+
+    /**
+     * Release the spin lock at @p a: a release-classified write of 0.
+     * Under RC it retires through the write buffer after all earlier
+     * writes complete and their invalidations are acknowledged.
+     */
+    aw::Write
+    unlock(Addr a) const
+    {
+        note(TraceOp::Kind::Unlock, a, 0, 4);
+        return {ctx, a, 0, 4, true};
+    }
+
+    /** Arrive at the barrier record at @p a (see Sync::allocBarrier). */
+    aw::Barrier
+    barrier(Addr a, std::uint32_t participants) const
+    {
+        note(TraceOp::Kind::Barrier, a, participants, 4);
+        return {ctx, a, participants};
+    }
+
+    /** Non-binding read prefetch of the line containing @p a. */
+    aw::Prefetch
+    prefetch(Addr a) const
+    {
+        note(TraceOp::Kind::Prefetch, a, 0, 0);
+        return {ctx, a, false};
+    }
+
+    /** Read-exclusive prefetch (acquires ownership, Section 5.1). */
+    aw::Prefetch
+    prefetchEx(Addr a) const
+    {
+        note(TraceOp::Kind::PrefetchEx, a, 0, 0);
+        return {ctx, a, true};
+    }
+
+  private:
+    /** Bit-pattern of a trivially copyable value up to 8 bytes. */
+    template <typename T>
+    static std::uint64_t
+    rawOf(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        if constexpr (sizeof(T) == 8) {
+            return std::bit_cast<std::uint64_t>(v);
+        } else {
+            using U = std::conditional_t<
+                sizeof(T) == 4, std::uint32_t,
+                std::conditional_t<sizeof(T) == 2, std::uint16_t,
+                                   std::uint8_t>>;
+            return std::bit_cast<U>(v);
+        }
+    }
+
+    /** Report an operation to the installed trace sink, if any. */
+    void
+    note(TraceOp::Kind k, Addr a, std::uint64_t operand,
+         unsigned size) const
+    {
+        if (!sink)
+            return;
+        TraceOp op;
+        op.kind = k;
+        op.size = static_cast<std::uint8_t>(size ? size : 4);
+        op.addr = a;
+        op.operand = operand;
+        sink->record(_pid, op);
+    }
+
+    Context *ctx;
+    MemorySystem *memsys;
+    unsigned _pid;
+    unsigned _nprocs;
+    TraceSink *sink;
+};
+
+} // namespace dashsim
+
+#endif // TANGO_ENV_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Coroutine types for execution-driven simulation (our stand-in for the
+ * Tango reference generator [9]).
+ *
+ * Each simulated process is a C++20 coroutine (SimProcess) bound to one
+ * hardware context. The process issues memory operations by co_awaiting
+ * Env awaitables; the processor model decides when (in simulated time)
+ * the operation completes and resumes the coroutine from an event. This
+ * guarantees the correct interleaving of accesses: a process doing a
+ * read is blocked until the architecture simulator says the read is
+ * done, exactly as in Tango.
+ */
+
+#ifndef TANGO_PROCESS_HH
+#define TANGO_PROCESS_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace dashsim {
+
+/**
+ * Top-level simulated process. Created suspended; the Machine binds it
+ * to a context and resumes it through the processor's scheduler.
+ */
+class SimProcess
+{
+  public:
+    struct promise_type
+    {
+        SimProcess
+        get_return_object()
+        {
+            return SimProcess{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    SimProcess() = default;
+
+    explicit SimProcess(std::coroutine_handle<promise_type> h) : h(h) {}
+
+    SimProcess(SimProcess &&o) noexcept : h(std::exchange(o.h, nullptr)) {}
+
+    SimProcess &
+    operator=(SimProcess &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            h = std::exchange(o.h, nullptr);
+        }
+        return *this;
+    }
+
+    SimProcess(const SimProcess &) = delete;
+    SimProcess &operator=(const SimProcess &) = delete;
+
+    ~SimProcess() { destroy(); }
+
+    /** Underlying coroutine handle (type-erased). */
+    std::coroutine_handle<> handle() const { return h; }
+
+    bool done() const { return !h || h.done(); }
+
+  private:
+    void
+    destroy()
+    {
+        if (h)
+            h.destroy();
+        h = nullptr;
+    }
+
+    std::coroutine_handle<promise_type> h;
+};
+
+/**
+ * A nested coroutine: lets application code factor phases into helper
+ * coroutines. `co_await some_subtask(...)` transfers control into the
+ * subtask; when it finishes it symmetrically transfers back to the
+ * awaiting coroutine, so the processor model only ever sees the
+ * innermost suspended handle.
+ */
+class [[nodiscard]] SubTask
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+
+        SubTask
+        get_return_object()
+        {
+            return SubTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(
+                std::coroutine_handle<promise_type> h) noexcept
+            {
+                return h.promise().continuation;
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    explicit SubTask(std::coroutine_handle<promise_type> h) : h(h) {}
+
+    SubTask(SubTask &&o) noexcept : h(std::exchange(o.h, nullptr)) {}
+    SubTask(const SubTask &) = delete;
+    SubTask &operator=(const SubTask &) = delete;
+    SubTask &operator=(SubTask &&) = delete;
+
+    ~SubTask()
+    {
+        if (h)
+            h.destroy();
+    }
+
+    // --- awaitable protocol ---
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont) noexcept
+    {
+        h.promise().continuation = cont;
+        return h;
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    std::coroutine_handle<promise_type> h;
+};
+
+} // namespace dashsim
+
+#endif // TANGO_PROCESS_HH

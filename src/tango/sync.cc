@@ -1,0 +1,90 @@
+#include "tango/sync.hh"
+
+namespace dashsim {
+namespace sync {
+
+Addr
+allocLock(SharedMemory &mem)
+{
+    Addr a = mem.allocRoundRobin(lineBytes, lineBytes);
+    mem.store<std::uint32_t>(a, 0);
+    return a;
+}
+
+Addr
+allocLock(SharedMemory &mem, NodeId node)
+{
+    Addr a = mem.allocLocal(lineBytes, node, lineBytes);
+    mem.store<std::uint32_t>(a, 0);
+    return a;
+}
+
+Addr
+allocBarrier(SharedMemory &mem)
+{
+    Addr a = mem.allocRoundRobin(2 * lineBytes, lineBytes);
+    mem.store<std::uint32_t>(a, 0);              // arrival count
+    mem.store<std::uint32_t>(a + lineBytes, 0);  // sense flag
+    return a;
+}
+
+TaskQueue
+allocTaskQueue(SharedMemory &mem, std::uint32_t capacity, NodeId node)
+{
+    fatal_if(capacity == 0, "task queue needs capacity > 0");
+    TaskQueue q;
+    q.capacity = capacity;
+    q.base = mem.allocLocal(2 * lineBytes + 8 * capacity, node, lineBytes);
+    mem.store<std::uint32_t>(q.lockAddr(), 0);
+    mem.store<std::uint32_t>(q.headAddr(), 0);
+    mem.store<std::uint32_t>(q.tailAddr(), 0);
+    return q;
+}
+
+SubTask
+push(Env env, TaskQueue q, std::uint64_t item, bool &ok)
+{
+    co_await env.lock(q.lockAddr());
+    co_await env.compute(2);
+    auto head = co_await env.read<std::uint32_t>(q.headAddr());
+    auto tail = co_await env.read<std::uint32_t>(q.tailAddr());
+    if (tail - head >= q.capacity) {
+        ok = false;
+    } else {
+        co_await env.compute(3);  // index arithmetic
+        co_await env.write<std::uint64_t>(q.slotAddr(tail), item);
+        co_await env.write<std::uint32_t>(q.tailAddr(), tail + 1);
+        ok = true;
+    }
+    co_await env.unlock(q.lockAddr());
+}
+
+SubTask
+pop(Env env, TaskQueue q, std::uint64_t &item, bool &ok)
+{
+    co_await env.lock(q.lockAddr());
+    co_await env.compute(2);
+    auto head = co_await env.read<std::uint32_t>(q.headAddr());
+    auto tail = co_await env.read<std::uint32_t>(q.tailAddr());
+    if (head == tail) {
+        ok = false;
+    } else {
+        co_await env.compute(3);
+        item = co_await env.read<std::uint64_t>(q.slotAddr(head));
+        co_await env.write<std::uint32_t>(q.headAddr(), head + 1);
+        ok = true;
+    }
+    co_await env.unlock(q.lockAddr());
+}
+
+SubTask
+lengthEstimate(Env env, TaskQueue q, std::uint32_t &len)
+{
+    auto head = co_await env.read<std::uint32_t>(q.headAddr());
+    auto tail = co_await env.read<std::uint32_t>(q.tailAddr());
+    len = tail - head;
+    co_await env.compute(2);
+}
+
+} // namespace sync
+} // namespace dashsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synchronization and sharing primitives, standing in for the Argonne
+ * National Laboratory macro package the benchmarks use (paper Section
+ * 2.2, [19]): spin locks, sense-reversing barriers, and lock-protected
+ * shared task queues (used by PTHOR's scheduler).
+ *
+ * Locks and barriers are *architectural* primitives of the processor
+ * model (acquire = test&set RMW, release = release-classified write),
+ * so their timing follows the consistency model exactly; this file
+ * provides their shared-memory allocation and the composite task queue
+ * built from them.
+ */
+
+#ifndef TANGO_SYNC_HH
+#define TANGO_SYNC_HH
+
+#include <cstdint>
+
+#include "mem/shared_memory.hh"
+#include "sim/types.hh"
+#include "tango/env.hh"
+#include "tango/process.hh"
+
+namespace dashsim {
+namespace sync {
+
+/** Allocate a spin lock (one cache line, initialized free). */
+Addr allocLock(SharedMemory &mem);
+
+/** Allocate a spin lock on a specific node. */
+Addr allocLock(SharedMemory &mem, NodeId node);
+
+/**
+ * Allocate a barrier record: an arrival counter and a sense flag on
+ * separate cache lines (so waiters spin only on the sense line).
+ */
+Addr allocBarrier(SharedMemory &mem);
+
+/**
+ * A bounded FIFO task queue in shared memory, protected by a spin
+ * lock. Layout: line 0 = lock, line 1 = head/tail/capacity, then the
+ * 64-bit item slots.
+ */
+struct TaskQueue
+{
+    Addr base = 0;
+    std::uint32_t capacity = 0;
+
+    Addr lockAddr() const { return base; }
+    Addr headAddr() const { return base + lineBytes; }
+    Addr tailAddr() const { return base + lineBytes + 4; }
+    Addr slotAddr(std::uint32_t i) const
+    {
+        return base + 2 * lineBytes + 8 * (i % capacity);
+    }
+};
+
+/** Allocate a task queue with @p capacity slots on @p node. */
+TaskQueue allocTaskQueue(SharedMemory &mem, std::uint32_t capacity,
+                         NodeId node);
+
+/**
+ * Push @p item; sets @p ok to false if the queue was full.
+ * Lock-protected: counts as one lock acquisition (Table 2).
+ */
+SubTask push(Env env, TaskQueue q, std::uint64_t item, bool &ok);
+
+/**
+ * Pop into @p item; sets @p ok to false if the queue was empty.
+ */
+SubTask pop(Env env, TaskQueue q, std::uint64_t &item, bool &ok);
+
+/**
+ * Length probe without taking the lock (a racy read, like the real
+ * PTHOR's fast-path emptiness check before locking).
+ */
+SubTask lengthEstimate(Env env, TaskQueue q, std::uint32_t &len);
+
+} // namespace sync
+} // namespace dashsim
+
+#endif // TANGO_SYNC_HH

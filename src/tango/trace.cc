@@ -1,0 +1,269 @@
+#include "tango/trace.hh"
+
+#include <cstdio>
+
+namespace dashsim {
+
+// ---------------------------------------------------------------------
+// TraceRecorder.
+// ---------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(std::unique_ptr<Workload> inner)
+    : inner(std::move(inner))
+{
+    fatal_if(!this->inner, "TraceRecorder needs a workload to record");
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::string
+TraceRecorder::name() const
+{
+    return inner->name() + "-record";
+}
+
+void
+TraceRecorder::setup(Machine &m)
+{
+    inner->setup(m);
+    // Snapshot the freshly initialized shared memory so the replay can
+    // reproduce both placement and data values.
+    const SharedMemory &mem = m.memory();
+    trace.footprint = mem.footprint();
+    trace.pageHomes = mem.pageHomesSnapshot();
+    trace.initialImage = mem.imageSnapshot();
+    trace.procs.assign(m.numProcesses(), {});
+    pendingCompute.assign(m.numProcesses(), 0);
+    m.setTraceSink(this);
+}
+
+SimProcess
+TraceRecorder::run(Env env)
+{
+    return inner->run(env);
+}
+
+void
+TraceRecorder::verify(Machine &m)
+{
+    m.setTraceSink(nullptr);
+    inner->verify(m);
+}
+
+void
+TraceRecorder::record(unsigned pid, const TraceOp &op)
+{
+    TraceOp copy = op;
+    copy.compute =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            pendingCompute[pid], UINT32_MAX));
+    pendingCompute[pid] = 0;
+    trace.procs[pid].push_back(copy);
+}
+
+void
+TraceRecorder::computeCycles(unsigned pid, Tick n)
+{
+    pendingCompute[pid] += n;
+}
+
+// ---------------------------------------------------------------------
+// TraceWorkload.
+// ---------------------------------------------------------------------
+
+TraceWorkload::TraceWorkload(Trace t) : trace(std::move(t)) {}
+
+void
+TraceWorkload::setup(Machine &m)
+{
+    fatal_if(m.numProcesses() != trace.procs.size(),
+             "trace has %zu process streams but the machine provides %u",
+             trace.procs.size(), m.numProcesses());
+    SharedMemory &mem = m.memory();
+    fatal_if(mem.footprint() != 0,
+             "trace replay needs a fresh machine (memory already "
+             "allocated)");
+    mem.mirrorPages(trace.pageHomes, trace.footprint);
+    mem.restoreImage(trace.initialImage);
+}
+
+SimProcess
+TraceWorkload::run(Env env)
+{
+    const auto &ops = trace.procs[env.pid()];
+    for (const TraceOp &op : ops) {
+        if (op.compute)
+            co_await env.compute(op.compute);
+        switch (op.kind) {
+          case TraceOp::Kind::Read:
+            switch (op.size) {
+              case 1:
+                (void)co_await env.read<std::uint8_t>(op.addr);
+                break;
+              case 2:
+                (void)co_await env.read<std::uint16_t>(op.addr);
+                break;
+              case 4:
+                (void)co_await env.read<std::uint32_t>(op.addr);
+                break;
+              default:
+                (void)co_await env.read<std::uint64_t>(op.addr);
+                break;
+            }
+            break;
+          case TraceOp::Kind::Write:
+          case TraceOp::Kind::WriteRelease: {
+            bool release = op.kind == TraceOp::Kind::WriteRelease;
+            switch (op.size) {
+              case 1:
+                if (release)
+                    co_await env.writeRelease<std::uint8_t>(
+                        op.addr, static_cast<std::uint8_t>(op.operand));
+                else
+                    co_await env.write<std::uint8_t>(
+                        op.addr, static_cast<std::uint8_t>(op.operand));
+                break;
+              case 2:
+                if (release)
+                    co_await env.writeRelease<std::uint16_t>(
+                        op.addr,
+                        static_cast<std::uint16_t>(op.operand));
+                else
+                    co_await env.write<std::uint16_t>(
+                        op.addr,
+                        static_cast<std::uint16_t>(op.operand));
+                break;
+              case 4:
+                if (release)
+                    co_await env.writeRelease<std::uint32_t>(
+                        op.addr,
+                        static_cast<std::uint32_t>(op.operand));
+                else
+                    co_await env.write<std::uint32_t>(
+                        op.addr,
+                        static_cast<std::uint32_t>(op.operand));
+                break;
+              default:
+                if (release)
+                    co_await env.writeRelease<std::uint64_t>(op.addr,
+                                                             op.operand);
+                else
+                    co_await env.write<std::uint64_t>(op.addr,
+                                                      op.operand);
+                break;
+            }
+            break;
+          }
+          case TraceOp::Kind::Lock:
+            co_await env.lock(op.addr);
+            break;
+          case TraceOp::Kind::Unlock:
+            co_await env.unlock(op.addr);
+            break;
+          case TraceOp::Kind::Barrier:
+            co_await env.barrier(
+                op.addr, static_cast<std::uint32_t>(op.operand));
+            break;
+          case TraceOp::Kind::WaitFlag:
+            co_await env.waitFlag(
+                op.addr, static_cast<std::uint32_t>(op.operand));
+            break;
+          case TraceOp::Kind::Prefetch:
+            co_await env.prefetch(op.addr);
+            break;
+          case TraceOp::Kind::PrefetchEx:
+            co_await env.prefetchEx(op.addr);
+            break;
+          case TraceOp::Kind::FetchAdd:
+            (void)co_await env.fetchAdd(
+                op.addr, static_cast<std::uint32_t>(op.operand));
+            break;
+          case TraceOp::Kind::TestAndSet:
+            (void)co_await env.testAndSet(op.addr);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t traceMagic = 0x4454524330303031ull;  // "DTRC0001"
+
+void
+put(std::FILE *f, const void *p, std::size_t n)
+{
+    if (std::fwrite(p, 1, n, f) != n)
+        fatal("trace write failed");
+}
+
+void
+get(std::FILE *f, void *p, std::size_t n)
+{
+    if (std::fread(p, 1, n, f) != n)
+        fatal("trace read failed (truncated file?)");
+}
+
+template <typename T>
+void
+putv(std::FILE *f, const T &v)
+{
+    put(f, &v, sizeof(T));
+}
+
+template <typename T>
+T
+getv(std::FILE *f)
+{
+    T v{};
+    get(f, &v, sizeof(T));
+    return v;
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &t, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    fatal_if(!f, "cannot open %s for writing", path.c_str());
+    putv(f, traceMagic);
+    putv(f, t.footprint);
+    putv<std::uint64_t>(f, t.pageHomes.size());
+    put(f, t.pageHomes.data(), t.pageHomes.size() * sizeof(NodeId));
+    putv<std::uint64_t>(f, t.initialImage.size());
+    put(f, t.initialImage.data(), t.initialImage.size());
+    putv<std::uint64_t>(f, t.procs.size());
+    for (const auto &ops : t.procs) {
+        putv<std::uint64_t>(f, ops.size());
+        put(f, ops.data(), ops.size() * sizeof(TraceOp));
+    }
+    std::fclose(f);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(!f, "cannot open %s", path.c_str());
+    fatal_if(getv<std::uint64_t>(f) != traceMagic,
+             "%s is not a dashsim trace", path.c_str());
+    Trace t;
+    t.footprint = getv<std::uint64_t>(f);
+    t.pageHomes.resize(getv<std::uint64_t>(f));
+    get(f, t.pageHomes.data(), t.pageHomes.size() * sizeof(NodeId));
+    t.initialImage.resize(getv<std::uint64_t>(f));
+    get(f, t.initialImage.data(), t.initialImage.size());
+    t.procs.resize(getv<std::uint64_t>(f));
+    for (auto &ops : t.procs) {
+        ops.resize(getv<std::uint64_t>(f));
+        get(f, ops.data(), ops.size() * sizeof(TraceOp));
+    }
+    std::fclose(f);
+    return t;
+}
+
+} // namespace dashsim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Trace recording and trace-driven replay.
+ *
+ * Tango [9] supported both execution-driven and trace-driven
+ * simulation. This module provides the trace side: a TraceRecorder
+ * wraps any Workload and logs every shared-memory operation each
+ * process performs (with the busy cycles between operations), and a
+ * TraceWorkload replays such a trace against any machine
+ * configuration.
+ *
+ * Replay is *timing-directed but order-fixed*: each process re-issues
+ * its recorded operations in order, with the recorded computation
+ * between them, while the memory-system timing comes from the replay
+ * machine. Synchronization operations are replayed as real locks and
+ * barriers, so cross-process ordering is re-established on the replay
+ * machine rather than frozen (the classic weakness of raw address
+ * traces).
+ *
+ * The on-disk format is a simple versioned binary (native endianness;
+ * not portable across architectures).
+ */
+
+#ifndef TANGO_TRACE_HH
+#define TANGO_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "tango/trace_sink.hh"
+
+namespace dashsim {
+
+/** A complete multi-process trace. */
+struct Trace
+{
+    /** Shared-memory footprint at record time (bytes, page 0 excluded). */
+    std::uint64_t footprint = 0;
+    /** Page home nodes at record time, so placement is reproduced. */
+    std::vector<NodeId> pageHomes;
+    /** Initial contents of the shared arena (so data values replay). */
+    std::vector<std::uint8_t> initialImage;
+    /** Per-process operation streams. */
+    std::vector<std::vector<TraceOp>> procs;
+
+    std::size_t
+    totalOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &p : procs)
+            n += p.size();
+        return n;
+    }
+};
+
+/**
+ * Records the operation stream of any workload by interposing on the
+ * Env. Run it like a normal workload; afterwards take the trace.
+ *
+ *     TraceRecorder rec(std::make_unique<Mp3d>());
+ *     Machine m(cfg);
+ *     m.run(rec);
+ *     Trace t = rec.takeTrace();
+ */
+class TraceRecorder : public Workload, private TraceSink
+{
+  public:
+    explicit TraceRecorder(std::unique_ptr<Workload> inner);
+    ~TraceRecorder() override;
+
+    std::string name() const override;
+    void setup(Machine &m) override;
+    SimProcess run(Env env) override;
+    void verify(Machine &m) override;
+
+    /** The recorded trace (valid after the run completes). */
+    Trace takeTrace() { return std::move(trace); }
+
+  private:
+    void record(unsigned pid, const TraceOp &op) override;
+    void computeCycles(unsigned pid, Tick n) override;
+
+    std::unique_ptr<Workload> inner;
+    Trace trace;
+    std::vector<std::uint64_t> pendingCompute;
+};
+
+/**
+ * Replays a Trace as a workload. The replay machine must provide the
+ * same number of processes as the trace has streams.
+ */
+class TraceWorkload : public Workload
+{
+  public:
+    explicit TraceWorkload(Trace t);
+
+    std::string name() const override { return "trace-replay"; }
+    void setup(Machine &m) override;
+    SimProcess run(Env env) override;
+
+    const Trace &traceData() const { return trace; }
+
+  private:
+    Trace trace;
+};
+
+/** Serialize a trace to @p path. Throws via fatal() on I/O errors. */
+void saveTrace(const Trace &t, const std::string &path);
+
+/** Load a trace written by saveTrace. */
+Trace loadTrace(const std::string &path);
+
+} // namespace dashsim
+
+#endif // TANGO_TRACE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The minimal interface Env uses to report operations to a trace
+ * recorder (kept separate from trace.hh so env.hh does not pull in the
+ * whole trace machinery).
+ */
+
+#ifndef TANGO_TRACE_SINK_HH
+#define TANGO_TRACE_SINK_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/** One recorded shared-memory operation. */
+struct TraceOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Read,         ///< shared read (size bytes)
+        Write,        ///< shared write (operand = value)
+        WriteRelease, ///< release-classified write
+        Lock,         ///< lock acquire at addr
+        Unlock,       ///< lock release at addr
+        Barrier,      ///< barrier arrival (operand = participants)
+        WaitFlag,     ///< acquire-wait until *addr == operand
+        Prefetch,     ///< read prefetch
+        PrefetchEx,   ///< read-exclusive prefetch
+        FetchAdd,     ///< atomic fetch&add (operand = delta)
+        TestAndSet,   ///< atomic test&set
+    };
+
+    Kind kind = Kind::Read;
+    std::uint8_t size = 4;       ///< access size for reads/writes
+    std::uint16_t pad = 0;
+    std::uint32_t compute = 0;   ///< busy cycles before this op
+    Addr addr = 0;
+    std::uint64_t operand = 0;
+
+    bool
+    operator==(const TraceOp &o) const
+    {
+        return kind == o.kind && size == o.size && compute == o.compute &&
+               addr == o.addr && operand == o.operand;
+    }
+};
+
+/** Receives the operation stream of every process during a run. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** @p pid performed @p op (op.compute already filled in). */
+    virtual void record(unsigned pid, const TraceOp &op) = 0;
+
+    /** @p pid executed @p n private busy cycles. */
+    virtual void computeCycles(unsigned pid, Tick n) = 0;
+};
+
+} // namespace dashsim
+
+#endif // TANGO_TRACE_SINK_HH

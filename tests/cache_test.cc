@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the cache tag arrays and the MSHR set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace dashsim;
+
+namespace {
+
+constexpr Addr line(unsigned i) { return static_cast<Addr>(i) * lineBytes; }
+
+} // namespace
+
+TEST(PrimaryCache, MissThenHit)
+{
+    PrimaryCache pc(CacheGeometry{2 * 1024});
+    EXPECT_FALSE(pc.probe(line(5)));
+    pc.fill(line(5));
+    EXPECT_TRUE(pc.probe(line(5)));
+    EXPECT_TRUE(pc.probe(line(5) + 7));  // any byte in the line
+}
+
+TEST(PrimaryCache, DirectMappedConflict)
+{
+    PrimaryCache pc(CacheGeometry{2 * 1024});  // 128 lines
+    pc.fill(line(3));
+    pc.fill(line(3 + 128));  // same set
+    EXPECT_FALSE(pc.probe(line(3)));
+    EXPECT_TRUE(pc.probe(line(3 + 128)));
+}
+
+TEST(PrimaryCache, InvalidateOnlyMatchingTag)
+{
+    PrimaryCache pc(CacheGeometry{2 * 1024});
+    pc.fill(line(3));
+    pc.invalidate(line(3 + 128));  // same set, different tag: no effect
+    EXPECT_TRUE(pc.probe(line(3)));
+    pc.invalidate(line(3));
+    EXPECT_FALSE(pc.probe(line(3)));
+}
+
+TEST(PrimaryCache, ResetDropsEverything)
+{
+    PrimaryCache pc(CacheGeometry{2 * 1024});
+    for (unsigned i = 0; i < 64; ++i)
+        pc.fill(line(i));
+    pc.reset();
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_FALSE(pc.probe(line(i)));
+}
+
+TEST(SecondaryCache, StatesAndUpgrades)
+{
+    SecondaryCache sc(CacheGeometry{4 * 1024});
+    EXPECT_EQ(sc.probe(line(9)), LineState::Invalid);
+    sc.fill(line(9), LineState::Shared);
+    EXPECT_EQ(sc.probe(line(9)), LineState::Shared);
+    sc.upgrade(line(9));
+    EXPECT_EQ(sc.probe(line(9)), LineState::Dirty);
+    sc.downgrade(line(9));
+    EXPECT_EQ(sc.probe(line(9)), LineState::Shared);
+    sc.invalidate(line(9));
+    EXPECT_EQ(sc.probe(line(9)), LineState::Invalid);
+}
+
+TEST(SecondaryCache, DowngradeOnlyAffectsDirty)
+{
+    SecondaryCache sc(CacheGeometry{4 * 1024});
+    sc.fill(line(1), LineState::Shared);
+    sc.downgrade(line(1));
+    EXPECT_EQ(sc.probe(line(1)), LineState::Shared);
+}
+
+TEST(SecondaryCache, CleanVictimNeedsNoWriteback)
+{
+    SecondaryCache sc(CacheGeometry{4 * 1024});  // 256 lines
+    sc.fill(line(7), LineState::Shared);
+    auto v = sc.fill(line(7 + 256), LineState::Shared);
+    EXPECT_TRUE(v.valid);
+    EXPECT_FALSE(v.dirty);
+    EXPECT_EQ(v.addr, line(7));
+}
+
+TEST(SecondaryCache, DirtyVictimReportsWriteback)
+{
+    SecondaryCache sc(CacheGeometry{4 * 1024});
+    sc.fill(line(7), LineState::Dirty);
+    auto v = sc.fill(line(7 + 256), LineState::Dirty);
+    EXPECT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(v.addr, line(7));
+}
+
+TEST(SecondaryCache, RefillSameLineNoVictim)
+{
+    SecondaryCache sc(CacheGeometry{4 * 1024});
+    sc.fill(line(7), LineState::Shared);
+    auto v = sc.fill(line(7), LineState::Dirty);
+    EXPECT_FALSE(v.valid);
+    EXPECT_EQ(sc.probe(line(7)), LineState::Dirty);
+}
+
+TEST(MshrSet, AllocateFindRelease)
+{
+    MshrSet m(4);
+    EXPECT_EQ(m.find(line(3)), nullptr);
+    m.allocate(line(3), 100, false, true);
+    auto *e = m.find(line(3));
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->complete, 100u);
+    EXPECT_TRUE(e->prefetch);
+    EXPECT_FALSE(e->exclusive);
+    m.release(line(3));
+    EXPECT_EQ(m.find(line(3)), nullptr);
+}
+
+TEST(MshrSet, MatchesAnyByteInLine)
+{
+    MshrSet m(4);
+    m.allocate(line(3), 50, false, false);
+    EXPECT_NE(m.find(line(3) + 15), nullptr);
+    EXPECT_EQ(m.find(line(4)), nullptr);
+}
+
+TEST(MshrSet, FullAndEarliestComplete)
+{
+    MshrSet m(2);
+    EXPECT_FALSE(m.full());
+    EXPECT_EQ(m.earliestComplete(), maxTick);
+    m.allocate(line(1), 300, false, false);
+    m.allocate(line(2), 200, true, false);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.earliestComplete(), 200u);
+    m.release(line(2));
+    EXPECT_FALSE(m.full());
+    EXPECT_EQ(m.earliestComplete(), 300u);
+}
+
+TEST(MshrSet, PoisoningSurvivesUntilRelease)
+{
+    MshrSet m(2);
+    auto &e = m.allocate(line(1), 100, false, false);
+    e.poisoned = true;
+    EXPECT_TRUE(m.find(line(1))->poisoned);
+}
+
+TEST(MshrSetDeathTest, DuplicateLinePanics)
+{
+    MshrSet m(4);
+    m.allocate(line(1), 100, false, false);
+    EXPECT_DEATH(m.allocate(line(1), 200, false, false), "duplicate");
+}

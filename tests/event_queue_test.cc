@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the event-driven simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace dashsim;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesOnlyWhenEventsExecute)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    EXPECT_EQ(eq.now(), 0u);
+    eq.runOne();
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 10)
+            eq.schedule(7, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(eq.now(), 63u);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(static_cast<Tick>(i), [&] { ++count; });
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, RunUntilExecutesInclusiveBoundary)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    eq.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, ScheduleAtAbsoluteTick)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.scheduleAt(42, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    ASSERT_EQ(eq.now(), 100u);
+    EXPECT_DEATH(eq.scheduleAt(50, [] {}), "past");
+}
+
+TEST(EventQueue, ExecutedCountTracksEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, DeterministicAcrossRuns)
+{
+    auto run = []() {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 100; ++i)
+            eq.schedule(static_cast<Tick>((i * 37) % 13),
+                        [&order, i] { order.push_back(i); });
+        eq.run();
+        return order;
+    };
+    EXPECT_EQ(run(), run());
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the experiment/technique layer and the report formatting
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace dashsim;
+
+TEST(Technique, LabelsAreDescriptive)
+{
+    EXPECT_EQ(Technique::sc().label(), "SC");
+    EXPECT_EQ(Technique::rc().label(), "RC");
+    EXPECT_EQ(Technique::noCache().label(), "NoCache SC");
+    EXPECT_EQ(Technique::rcPrefetch().label(), "RC+PF");
+    EXPECT_EQ(Technique::multiContext(4, 16).label(), "SC 4ctx/sw16");
+    EXPECT_EQ(
+        Technique::multiContext(2, 4, Consistency::RC, true).label(),
+        "RC+PF 2ctx/sw4");
+}
+
+TEST(Technique, MachineConfigMapping)
+{
+    Technique t = Technique::multiContext(4, 16, Consistency::RC, true);
+    MachineConfig cfg = makeMachineConfig(t);
+    EXPECT_EQ(cfg.cpu.numContexts, 4u);
+    EXPECT_EQ(cfg.cpu.switchCycles, 16u);
+    EXPECT_EQ(cfg.cpu.consistency, Consistency::RC);
+    EXPECT_TRUE(cfg.cpu.prefetch);
+    EXPECT_TRUE(cfg.mem.cacheSharedData);
+
+    MachineConfig nc = makeMachineConfig(Technique::noCache());
+    EXPECT_FALSE(nc.mem.cacheSharedData);
+}
+
+TEST(Technique, FullSizeCachesConfig)
+{
+    MemConfig full = MemConfig::fullSizeCaches();
+    EXPECT_EQ(full.primary.sizeBytes, 64u * 1024u);
+    EXPECT_EQ(full.secondary.sizeBytes, 256u * 1024u);
+    EXPECT_EQ(full.primary.numLines(), 4096u);
+}
+
+TEST(Report, NormalizationMath)
+{
+    RunResult base;
+    base.execTime = 1000;
+    base.numProcessors = 16;
+    RunResult r;
+    r.execTime = 500;
+    r.numProcessors = 16;
+    r.buckets[static_cast<std::size_t>(Bucket::Busy)] = 16 * 200;
+
+    EXPECT_DOUBLE_EQ(normalizedTime(r, base), 50.0);
+    EXPECT_DOUBLE_EQ(speedup(r, base), 2.0);
+    EXPECT_DOUBLE_EQ(normalizedBucket(r, Bucket::Busy, base), 20.0);
+}
+
+TEST(Report, BreakdownPrintsAllRows)
+{
+    RunResult base;
+    base.execTime = 1000;
+    base.numProcessors = 16;
+    base.buckets[static_cast<std::size_t>(Bucket::Busy)] = 4000;
+    std::ostringstream os;
+    printBreakdown(os, "Title",
+                   {{"Base", base}, {"Variant", base}}, 0, false);
+    auto s = os.str();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("Base"), std::string::npos);
+    EXPECT_NE(s.find("Variant"), std::string::npos);
+    EXPECT_NE(s.find("Busy"), std::string::npos);
+}
+
+TEST(Report, Table2Prints)
+{
+    RunResult r;
+    r.workload = "MP3D";
+    r.busyCycles = 5774000;
+    r.sharedReads = 1170000;
+    r.sharedWrites = 530000;
+    r.barriers = 448;
+    r.sharedDataBytes = 401 * 1024;
+    std::ostringstream os;
+    printTable2(os, {r});
+    EXPECT_NE(os.str().find("MP3D"), std::string::npos);
+    EXPECT_NE(os.str().find("5774"), std::string::npos);
+}
+
+TEST(Report, PaperVsMeasuredFormat)
+{
+    auto s = paperVsMeasured(2.20, 2.04);
+    EXPECT_NE(s.find("2.20"), std::string::npos);
+    EXPECT_NE(s.find("2.04"), std::string::npos);
+}
+
+TEST(Workloads, PaperAndTestListsCoverAllThree)
+{
+    auto paper = paperWorkloads();
+    auto test = testWorkloads();
+    ASSERT_EQ(paper.size(), 3u);
+    ASSERT_EQ(test.size(), 3u);
+    EXPECT_EQ(paper[0].first, "MP3D");
+    EXPECT_EQ(paper[1].first, "LU");
+    EXPECT_EQ(paper[2].first, "PTHOR");
+    // Factories build fresh instances.
+    auto a = paper[0].second();
+    auto b = paper[0].second();
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(a->name(), "MP3D");
+}
+
+TEST(Machine, ProcessPlacementRoundRobin)
+{
+    MachineConfig cfg;
+    cfg.cpu.numContexts = 4;
+    Machine m(cfg);
+    EXPECT_EQ(m.numProcesses(), 64u);
+    EXPECT_EQ(m.nodeOfProcess(0), 0u);
+    EXPECT_EQ(m.nodeOfProcess(15), 15u);
+    EXPECT_EQ(m.nodeOfProcess(16), 0u);
+    EXPECT_EQ(m.nodeOfProcess(63), 15u);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Interplay tests between the extensions and the core machinery:
+ * traces with multiple contexts, apps on the mesh topology, queued
+ * locks under every consistency model, and WC/PC fencing at the
+ * synchronization primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/mp3d.hh"
+#include "core/experiment.hh"
+#include "tango/sync.hh"
+#include "tango/trace.hh"
+
+using namespace dashsim;
+
+namespace {
+
+class Lambda : public Workload
+{
+  public:
+    using Setup = std::function<void(Machine &)>;
+    using Body = std::function<SimProcess(Env)>;
+
+    Lambda(Setup s, Body b) : _setup(std::move(s)), _body(std::move(b)) {}
+
+    std::string name() const override { return "ext-lambda"; }
+    void setup(Machine &m) override { _setup(m); }
+    SimProcess run(Env env) override { return _body(env); }
+
+  private:
+    Setup _setup;
+    Body _body;
+};
+
+struct G
+{
+    Addr data = 0, lock = 0, bar = 0;
+};
+G g;
+
+void
+setupG(Machine &m)
+{
+    g.data = m.memory().allocRoundRobin(64 * 1024);
+    g.lock = sync::allocLock(m.memory());
+    g.bar = sync::allocBarrier(m.memory());
+}
+
+} // namespace
+
+TEST(ExtensionInterplay, TraceRoundTripWithMultipleContexts)
+{
+    Mp3dConfig mc;
+    mc.particles = 400;
+    mc.steps = 1;
+    Technique t = Technique::multiContext(2, 4, Consistency::RC);
+
+    Machine m1(makeMachineConfig(t));
+    Mp3d direct(mc);
+    RunResult d = m1.run(direct);
+
+    Machine m2(makeMachineConfig(t));
+    TraceRecorder rec(std::make_unique<Mp3d>(mc));
+    m2.run(rec);
+    Trace tr = rec.takeTrace();
+    ASSERT_EQ(tr.procs.size(), 32u);
+
+    Machine m3(makeMachineConfig(t));
+    TraceWorkload replay(std::move(tr));
+    RunResult r = m3.run(replay);
+    EXPECT_EQ(r.execTime, d.execTime);
+}
+
+TEST(ExtensionInterplay, AppsVerifyOnMesh)
+{
+    MemConfig mesh;
+    mesh.lat.mesh = true;
+    for (auto &[name, factory] : testWorkloads()) {
+        for (auto t : {Technique::sc(), Technique::rc()}) {
+            RunResult r = runExperiment(factory, t, mesh);
+            EXPECT_GT(r.execTime, 0u) << name;
+        }
+    }
+}
+
+TEST(ExtensionInterplay, MeshIsDeterministicToo)
+{
+    MemConfig mesh;
+    mesh.lat.mesh = true;
+    auto wls = testWorkloads();
+    auto a = runExperiment(wls[0].second, Technique::rc(), mesh);
+    auto b = runExperiment(wls[0].second, Technique::rc(), mesh);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(ExtensionInterplay, QueuedLocksUnderEveryModel)
+{
+    for (auto c : {Consistency::SC, Consistency::PC, Consistency::WC,
+                   Consistency::RC}) {
+        MachineConfig cfg;
+        cfg.cpu.consistency = c;
+        Machine m(cfg);
+        Lambda w(setupG, [](Env env) -> SimProcess {
+            for (int i = 0; i < 8; ++i) {
+                co_await env.lockQueued(g.lock);
+                auto v = co_await env.read<std::uint64_t>(g.data);
+                co_await env.write<std::uint64_t>(g.data, v + 1);
+                co_await env.unlockQueued(g.lock);
+            }
+        });
+        m.run(w);
+        EXPECT_EQ(m.memory().load<std::uint64_t>(g.data), 16u * 8u)
+            << "model " << static_cast<int>(c);
+    }
+}
+
+TEST(ExtensionInterplay, QueuedUnlockIsAReleaseUnderRc)
+{
+    // Data written before unlockQueued must be visible to the next
+    // queued-lock holder.
+    MachineConfig cfg;
+    cfg.cpu.consistency = Consistency::RC;
+    Machine m(cfg);
+    bool ok = true;
+    Lambda w(setupG, [&ok](Env env) -> SimProcess {
+        for (int i = 0; i < 6; ++i) {
+            co_await env.lockQueued(g.lock);
+            auto seq = co_await env.read<std::uint32_t>(g.data);
+            auto echo = co_await env.read<std::uint32_t>(g.data + 4);
+            if (seq != echo)
+                ok = false;  // saw the counter without its echo
+            co_await env.write<std::uint32_t>(g.data, seq + 1);
+            co_await env.compute(7);
+            co_await env.write<std::uint32_t>(g.data + 4, seq + 1);
+            co_await env.unlockQueued(g.lock);
+        }
+    });
+    m.run(w);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(m.memory().load<std::uint32_t>(g.data), 96u);
+}
+
+TEST(ExtensionInterplay, TracesCaptureQueuedWorkloadsViaSyncOps)
+{
+    // The trace records t&t&s locks; queued locks are a processor
+    // primitive not yet traced - make sure the recorder at least does
+    // not disturb a queued-lock workload.
+    MachineConfig cfg;
+    cfg.cpu.consistency = Consistency::RC;
+    Machine m(cfg);
+    auto mk = []() {
+        return std::make_unique<Lambda>(setupG, [](Env env) -> SimProcess {
+            co_await env.lock(g.lock);
+            auto v = co_await env.read<std::uint64_t>(g.data);
+            co_await env.write<std::uint64_t>(g.data, v + 1);
+            co_await env.unlock(g.lock);
+        });
+    };
+    TraceRecorder rec(mk());
+    m.run(rec);
+    Trace t = rec.takeTrace();
+    unsigned locks = 0;
+    for (auto &ops : t.procs)
+        for (auto &op : ops)
+            locks += op.kind == TraceOp::Kind::Lock ? 1 : 0;
+    EXPECT_EQ(locks, 16u);
+}
+
+TEST(ExtensionInterplay, WcBarrierStillCorrect)
+{
+    MachineConfig cfg;
+    cfg.cpu.consistency = Consistency::WC;
+    Machine m(cfg);
+    std::array<std::uint32_t, 16> sums{};
+    Lambda w(setupG, [&sums](Env env) -> SimProcess {
+        co_await env.write<std::uint32_t>(g.data + 64 * env.pid(), 3);
+        co_await env.barrier(g.bar, env.nprocs());
+        std::uint32_t s = 0;
+        for (unsigned p = 0; p < env.nprocs(); ++p)
+            s += co_await env.read<std::uint32_t>(g.data + 64 * p);
+        sums[env.pid()] = s;
+    });
+    m.run(w);
+    for (auto s : sums)
+        EXPECT_EQ(s, 48u);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the machine-inspection reports and the CSV exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "core/inspect.hh"
+#include "core/report.hh"
+#include "tango/sync.hh"
+
+using namespace dashsim;
+
+namespace {
+
+class Sweep : public Workload
+{
+  public:
+    std::string name() const override { return "sweep"; }
+
+    void
+    setup(Machine &m) override
+    {
+        base = m.memory().allocRoundRobin(32 * 1024);
+        bar = sync::allocBarrier(m.memory());
+    }
+
+    SimProcess
+    run(Env env) override
+    {
+        Addr mine = base + env.pid() * 2048;
+        for (int i = 0; i < 40; ++i) {
+            auto v = co_await env.read<std::uint64_t>(mine + 16 * i);
+            co_await env.compute(5);
+            co_await env.write<std::uint64_t>(mine + 16 * i, v + 1);
+        }
+        co_await env.barrier(bar, env.nprocs());
+    }
+
+    Addr base = 0, bar = 0;
+};
+
+} // namespace
+
+TEST(Inspect, ServiceCountsCoverAllAccesses)
+{
+    Machine m(makeMachineConfig(Technique::sc()));
+    Sweep w;
+    RunResult r = m.run(w);
+    MemoryInspection mi = inspectMemory(m, r.execTime);
+
+    std::uint64_t total = 0;
+    for (auto c : mi.serviceCounts)
+        total += c;
+    // Reads + writes + rmws all land in some service level.
+    EXPECT_GE(total, r.sharedReads + r.sharedWrites);
+    EXPECT_GT(mi.avgBusUtilization, 0.0);
+    EXPECT_LE(mi.avgBusUtilization, 1.0);
+    EXPECT_GE(mi.maxBusUtilization, mi.avgBusUtilization);
+    EXPECT_GE(mi.remoteMissFraction, 0.0);
+    EXPECT_LE(mi.remoteMissFraction, 1.0);
+}
+
+TEST(Inspect, UncachedRunsReportUncachedLevel)
+{
+    Machine m(makeMachineConfig(Technique::noCache()));
+    Sweep w;
+    RunResult r = m.run(w);
+    MemoryInspection mi = inspectMemory(m, r.execTime);
+    EXPECT_GT(mi.serviceCounts[static_cast<std::size_t>(
+                  ServiceLevel::Uncached)],
+              0u);
+    EXPECT_EQ(mi.serviceCounts[static_cast<std::size_t>(
+                  ServiceLevel::PrimaryHit)],
+              0u);
+}
+
+TEST(Inspect, PrintedReportContainsSections)
+{
+    Machine m(makeMachineConfig(Technique::rc()));
+    Sweep w;
+    RunResult r = m.run(w);
+    std::ostringstream os;
+    printInspection(os, inspectMemory(m, r.execTime));
+    auto s = os.str();
+    EXPECT_NE(s.find("bus utilization"), std::string::npos);
+    EXPECT_NE(s.find("remote-miss share"), std::string::npos);
+}
+
+TEST(Inspect, ServiceLevelNamesDistinct)
+{
+    for (int i = 0; i < 7; ++i)
+        for (int j = i + 1; j < 7; ++j)
+            EXPECT_STRNE(
+                serviceLevelName(static_cast<ServiceLevel>(i)),
+                serviceLevelName(static_cast<ServiceLevel>(j)));
+}
+
+TEST(Csv, WriteAndParseBack)
+{
+    Machine m(makeMachineConfig(Technique::rc()));
+    Sweep w;
+    RunResult r = m.run(w);
+    std::string path = "/tmp/dashsim_csv_test.csv";
+    writeCsv(path, "test series", {{"RC", r}});
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "# test series");
+    std::getline(in, line);  // header
+    EXPECT_NE(line.find("exec_cycles"), std::string::npos);
+    std::getline(in, line);  // the row
+    EXPECT_EQ(line.rfind("RC,", 0), 0u);
+    // exec_cycles field round-trips.
+    auto comma = line.find(',');
+    auto next = line.find(',', comma + 1);
+    EXPECT_EQ(std::stoull(line.substr(comma + 1, next - comma - 1)),
+              r.execTime);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Unit tests for the DASH-style memory system: Table 1 latencies,
+ * directory-protocol state transitions, read-exclusive grants, write
+ * and prefetch buffers, store forwarding, invalidation-based watches,
+ * and the uncached mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+#include "sim/event_queue.hh"
+
+using namespace dashsim;
+
+namespace {
+
+struct Rig : ::testing::Test
+{
+    EventQueue eq;
+    SharedMemory mem{16};
+    MemConfig cfg{};
+    MemorySystem ms{eq, mem, cfg};
+    Addr local, homed4, homed9;
+
+    Rig()
+        : local(mem.allocLocal(4096, 0)),
+          homed4(mem.allocLocal(4096, 4)),
+          homed9(mem.allocLocal(4096, 9))
+    {}
+
+    void settle() { eq.run(); }
+    void settle(Tick t) { eq.runUntil(t); }
+};
+
+struct UncachedRig : Rig
+{
+    EventQueue eq2;
+    SharedMemory mem2{16};
+    MemConfig ucfg{};
+    UncachedRig() { ucfg.cacheSharedData = false; }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Table 1 latencies (uncontended).
+// ---------------------------------------------------------------------
+
+TEST_F(Rig, Table1ReadLatencies)
+{
+    EXPECT_EQ(ms.read(0, local, 0).complete, 26u);     // local fill
+    settle();
+    EXPECT_EQ(ms.read(0, local, eq.now()).complete - eq.now(), 1u);
+
+    EXPECT_EQ(ms.read(1, homed4, eq.now()).complete - eq.now(), 72u);
+}
+
+TEST_F(Rig, Table1SecondaryFill)
+{
+    ms.read(0, local, 0);
+    settle();
+    // Conflict in the 128-line primary but not the 256-line secondary.
+    ms.read(0, local + 2048, eq.now());
+    settle();
+    Tick t0 = eq.now();
+    auto o = ms.read(0, local, t0);
+    EXPECT_EQ(o.complete - t0, 14u);
+    EXPECT_EQ(o.level, ServiceLevel::SecondaryHit);
+}
+
+TEST_F(Rig, Table1WriteLatencies)
+{
+    EXPECT_EQ(ms.writeSc(0, local, 1, 4, 0).complete, 18u);
+    settle();
+    Tick t0 = eq.now();
+    EXPECT_EQ(ms.writeSc(0, local, 2, 4, t0).complete - t0, 2u);
+
+    EXPECT_EQ(ms.writeSc(1, homed4, 1, 4, t0).complete - t0, 64u);
+}
+
+TEST_F(Rig, Table1ThreeHopLatencies)
+{
+    // Node 9 dirties a line homed on node 4; node 0 then accesses it.
+    ms.writeSc(9, homed4, 1, 4, 0);
+    settle();
+    Tick t0 = eq.now();
+    EXPECT_EQ(ms.read(0, homed4, t0).complete - t0, 90u);
+    settle();
+
+    ms.writeSc(9, homed4 + 64, 1, 4, eq.now());
+    settle();
+    t0 = eq.now();
+    EXPECT_EQ(ms.writeSc(0, homed4 + 64, 2, 4, t0).complete - t0, 82u);
+}
+
+// ---------------------------------------------------------------------
+// Directory-protocol behavior.
+// ---------------------------------------------------------------------
+
+TEST_F(Rig, LocalReadGetsExclusiveGrant)
+{
+    ms.read(0, local, 0);
+    settle();
+    // The home granted ownership: the write retires in the cache.
+    Tick t0 = eq.now();
+    auto w = ms.writeSc(0, local, 1, 4, t0);
+    EXPECT_EQ(w.complete - t0, 2u);
+    EXPECT_TRUE(w.hit);
+}
+
+TEST_F(Rig, RemoteReadIsSharedNotExclusive)
+{
+    ms.read(1, homed4, 0);
+    settle();
+    Tick t0 = eq.now();
+    auto w = ms.writeSc(1, homed4, 1, 4, t0);
+    EXPECT_FALSE(w.hit);
+    EXPECT_EQ(w.complete - t0, 64u);  // ownership upgrade at the home
+}
+
+TEST_F(Rig, WriteInvalidatesSharers)
+{
+    ms.read(1, homed4, 0);
+    ms.read(2, homed4, 0);
+    settle();
+    // Node 3 writes: nodes 1 and 2 lose their copies.
+    ms.writeSc(3, homed4, 7, 4, eq.now());
+    settle();
+    EXPECT_EQ(ms.stats(1).invalidationsReceived, 1u);
+    EXPECT_EQ(ms.stats(2).invalidationsReceived, 1u);
+    // Their next reads miss (three-hop to the new owner).
+    Tick t0 = eq.now();
+    auto o = ms.read(1, homed4, t0);
+    EXPECT_FALSE(o.hit);
+    EXPECT_EQ(o.level, ServiceLevel::RemoteNode);
+}
+
+TEST_F(Rig, SharingWritebackDowngradesOwner)
+{
+    ms.writeSc(9, homed4, 5, 4, 0);
+    settle();
+    ms.read(0, homed4, eq.now());  // 3-hop; 9 is downgraded to Shared
+    settle();
+    // Node 9 reading again still hits (kept a Shared copy)...
+    Tick t0 = eq.now();
+    EXPECT_TRUE(ms.read(9, homed4, t0).hit);
+    // ...but writing again needs an ownership upgrade.
+    auto w = ms.writeSc(9, homed4, 6, 4, t0);
+    EXPECT_FALSE(w.hit);
+}
+
+TEST_F(Rig, InvalidationAcksArriveAfterOwnership)
+{
+    ms.read(1, homed4, 0);
+    ms.read(2, homed4, 0);
+    settle();
+    Tick t0 = eq.now();
+    auto w = ms.writeSc(3, homed4, 7, 4, t0);
+    EXPECT_GT(w.ackDone, w.complete);
+}
+
+TEST_F(Rig, WritebackReturnsLineToMemory)
+{
+    // Dirty a line, then force its eviction with a conflicting fill.
+    ms.writeSc(0, local, 1, 4, 0);
+    settle();
+    ms.read(0, local + 4096, eq.now());  // same secondary set
+    settle();
+    // After the writeback arrives the directory is Uncached, so another
+    // node's read is serviced at the home (72), not three-hop (90).
+    Tick t0 = eq.now();
+    auto o = ms.read(3, local, t0);
+    EXPECT_EQ(o.complete - t0, 72u);
+    EXPECT_EQ(o.level, ServiceLevel::HomeNode);
+}
+
+TEST_F(Rig, ValueVisibleAfterCommit)
+{
+    ms.writeSc(0, local, 0x1234, 4, 0);
+    settle();
+    EXPECT_EQ(mem.loadRaw(local, 4), 0x1234u);
+    // And a remote read observes it.
+    auto o = ms.read(5, local, eq.now());
+    settle();
+    EXPECT_EQ(mem.loadRaw(local, 4), 0x1234u);
+    (void)o;
+}
+
+// ---------------------------------------------------------------------
+// MSHR combining and poisoning.
+// ---------------------------------------------------------------------
+
+TEST_F(Rig, DemandReadCombinesWithInFlightFill)
+{
+    auto o1 = ms.read(0, homed4, 0);
+    // Second read of the same line before the first returns.
+    auto o2 = ms.read(0, homed4 + 8, 5);
+    EXPECT_EQ(o2.level, ServiceLevel::Combined);
+    EXPECT_LE(o2.complete, o1.complete + 14);
+    settle();
+}
+
+TEST_F(Rig, DemandCombinesWithPrefetch)
+{
+    auto p = ms.prefetch(0, homed4, false, 0);
+    EXPECT_FALSE(p.dropped);
+    auto o = ms.read(0, homed4, 10);
+    EXPECT_EQ(o.level, ServiceLevel::Combined);
+    settle();
+    EXPECT_EQ(ms.stats(0).prefetchesCombined, 1u);
+}
+
+TEST_F(Rig, RacingInvalidationPoisonsFill)
+{
+    // Node 1 starts a read fill of a shared line; node 2 writes it
+    // before the fill response lands. The response must not install.
+    ms.read(1, homed4, 0);
+    ms.writeSc(2, homed4, 9, 4, 1);
+    settle();
+    Tick t0 = eq.now();
+    auto o = ms.read(1, homed4, t0);
+    EXPECT_FALSE(o.hit);  // stale fill was discarded
+}
+
+// ---------------------------------------------------------------------
+// Write buffer (release consistency).
+// ---------------------------------------------------------------------
+
+TEST_F(Rig, WriteBufferAcceptsImmediatelyWhenNotFull)
+{
+    auto o = ms.writeRc(0, homed4, 1, 4, 0, false);
+    EXPECT_EQ(o.acceptTick, 0u);
+    EXPECT_GT(o.complete, 0u);
+    settle();
+}
+
+TEST_F(Rig, WriteBufferFullStalls)
+{
+    // 16-deep buffer: fill it with distinct remote lines; entry 17
+    // must wait for a slot.
+    BufferOutcome last{};
+    for (unsigned i = 0; i < 17; ++i)
+        last = ms.writeRc(0, homed4 + i * 64, 1, 4, 0, false);
+    EXPECT_GT(last.acceptTick, 0u);
+    settle();
+}
+
+TEST_F(Rig, WritesPipelineUnderRc)
+{
+    // Two remote writes issued back to back complete far closer than
+    // two serial 64-cycle transactions.
+    auto w1 = ms.writeRc(0, homed4, 1, 4, 0, false);
+    auto w2 = ms.writeRc(0, homed4 + 64, 2, 4, 0, false);
+    EXPECT_LT(w2.complete, w1.complete + 40);
+    settle();
+}
+
+TEST_F(Rig, ReleaseWaitsForPriorWritesAndAcks)
+{
+    // Give the line a sharer so the first write generates an ack.
+    ms.read(5, homed4, 0);
+    settle();
+    Tick t0 = eq.now();
+    auto w1 = ms.writeRc(0, homed4, 1, 4, t0, false);
+    auto rel = ms.writeRc(0, homed9, 2, 4, t0 + 1, true);
+    EXPECT_GE(rel.complete, w1.ackDone);
+    settle();
+}
+
+TEST_F(Rig, ReleaseOrderingIsPerContext)
+{
+    // Give the line a sharer so context 0's write carries a slow ack.
+    ms.read(5, homed4, 0);
+    settle();
+    Tick t0 = eq.now();
+    auto w1 = ms.writeRc(0, homed4, 1, 4, t0, false, /*ctx=*/0);
+    ASSERT_GT(w1.ackDone, w1.complete);
+    // A release from context 1 does not wait for context 0's write...
+    auto rel1 = ms.writeRc(0, homed9, 2, 4, t0 + 1, true, /*ctx=*/1);
+    EXPECT_LT(rel1.complete, w1.ackDone);
+    // ...but a release from context 0 does.
+    auto rel0 = ms.writeRc(0, homed9 + 64, 3, 4, t0 + 2, true, /*ctx=*/0);
+    EXPECT_GE(rel0.complete, w1.ackDone);
+    settle();
+}
+
+TEST_F(Rig, StoreForwardingReturnsPendingValue)
+{
+    ms.writeRc(0, homed4, 0xabcd, 4, 0, false);
+    auto v = ms.pendingStoreValue(0, homed4);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0xabcdu);
+    settle();
+    // After the write commits the entry is gone.
+    EXPECT_FALSE(ms.pendingStoreValue(0, homed4).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Read-modify-write.
+// ---------------------------------------------------------------------
+
+TEST_F(Rig, TestAndSetAtomicity)
+{
+    // Two racing test&sets: exactly one sees 0.
+    std::uint64_t old1 = 99, old2 = 99;
+    ms.rmw(1, homed4, RmwOp::TestAndSet, 0, 4, 0,
+           [&](std::uint64_t o) { old1 = o; });
+    ms.rmw(2, homed4, RmwOp::TestAndSet, 0, 4, 0,
+           [&](std::uint64_t o) { old2 = o; });
+    settle();
+    EXPECT_TRUE((old1 == 0 && old2 == 1) || (old1 == 1 && old2 == 0));
+    EXPECT_EQ(mem.loadRaw(homed4, 4), 1u);
+}
+
+TEST_F(Rig, FetchAddAccumulates)
+{
+    for (NodeId n = 0; n < 8; ++n)
+        ms.rmw(n, homed4, RmwOp::FetchAdd, 3, 4, n, nullptr);
+    settle();
+    EXPECT_EQ(mem.loadRaw(homed4, 4), 24u);
+}
+
+TEST_F(Rig, ExchangeSwaps)
+{
+    mem.storeRaw(homed4, 7, 4);
+    std::uint64_t old = 0;
+    ms.rmw(0, homed4, RmwOp::Exchange, 42, 4, 0,
+           [&](std::uint64_t o) { old = o; });
+    settle();
+    EXPECT_EQ(old, 7u);
+    EXPECT_EQ(mem.loadRaw(homed4, 4), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Prefetch buffer.
+// ---------------------------------------------------------------------
+
+TEST_F(Rig, PrefetchInstallsLine)
+{
+    auto p = ms.prefetch(0, homed4, false, 0);
+    EXPECT_FALSE(p.dropped);
+    settle();
+    Tick t0 = eq.now();
+    auto o = ms.read(0, homed4, t0);
+    EXPECT_TRUE(o.hit);
+    EXPECT_EQ(o.complete - t0, 1u);
+}
+
+TEST_F(Rig, RedundantPrefetchDropped)
+{
+    ms.read(0, homed4, 0);
+    settle();
+    auto p = ms.prefetch(0, homed4, false, eq.now());
+    EXPECT_TRUE(p.dropped);
+    EXPECT_EQ(ms.stats(0).prefetchesDropped, 1u);
+}
+
+TEST_F(Rig, SharedCopyInadequateForExclusivePrefetch)
+{
+    ms.read(1, homed4, 0);   // another sharer exists
+    ms.read(0, homed4, 0);
+    settle();
+    auto p = ms.prefetch(0, homed4, true, eq.now());
+    EXPECT_FALSE(p.dropped);  // must still acquire ownership
+    settle();
+    Tick t0 = eq.now();
+    auto w = ms.writeSc(0, homed4, 1, 4, t0);
+    EXPECT_TRUE(w.hit);       // ...after which writes are cheap
+}
+
+TEST_F(Rig, ExclusivePrefetchMakesWriteCheap)
+{
+    auto p = ms.prefetch(0, homed4, true, 0);
+    EXPECT_FALSE(p.dropped);
+    settle();
+    Tick t0 = eq.now();
+    EXPECT_EQ(ms.writeSc(0, homed4, 1, 4, t0).complete - t0, 2u);
+}
+
+TEST_F(Rig, PrefetchBufferFullStalls)
+{
+    BufferOutcome last{};
+    for (unsigned i = 0; i < 20; ++i)
+        last = ms.prefetch(0, homed4 + i * 16, false, 0);
+    EXPECT_GT(last.acceptTick, 0u);
+    settle();
+}
+
+// ---------------------------------------------------------------------
+// Watches.
+// ---------------------------------------------------------------------
+
+TEST_F(Rig, WatchFiresOnCommit)
+{
+    bool fired = false;
+    ms.watchLine(homed4, [&] { fired = true; });
+    ms.writeSc(0, homed4, 1, 4, 0);
+    settle();
+    EXPECT_TRUE(fired);
+}
+
+TEST_F(Rig, WatchIsOneShot)
+{
+    int fires = 0;
+    ms.watchLine(homed4, [&] { ++fires; });
+    ms.writeSc(0, homed4, 1, 4, 0);
+    settle();
+    ms.writeSc(0, homed4, 2, 4, eq.now());
+    settle();
+    EXPECT_EQ(fires, 1);
+}
+
+TEST_F(Rig, WatchScopedToLine)
+{
+    bool fired = false;
+    ms.watchLine(homed4, [&] { fired = true; });
+    ms.writeSc(0, homed4 + lineBytes, 1, 4, 0);  // neighbouring line
+    settle();
+    EXPECT_FALSE(fired);
+}
+
+// ---------------------------------------------------------------------
+// Uncached mode (Figure 2 baseline).
+// ---------------------------------------------------------------------
+
+TEST(UncachedMode, LatenciesBelowCachedFills)
+{
+    EventQueue eq;
+    SharedMemory mem(16);
+    MemConfig cfg;
+    cfg.cacheSharedData = false;
+    MemorySystem ms(eq, mem, cfg);
+    Addr local = mem.allocLocal(256, 0);
+    Addr remote = mem.allocLocal(256, 7);
+
+    auto r1 = ms.read(0, local, 0);
+    EXPECT_EQ(r1.complete, 20u);  // 26 - 6
+    auto r2 = ms.read(3, remote, 0);  // unrelated node: no bus overlap
+    EXPECT_EQ(r2.complete, 64u);  // 72 - 8
+    // Uncached reads schedule no events; advance the clock explicitly
+    // so the earlier resource bookings are in the past.
+    eq.runUntil(500);
+
+    // Repeated reads never hit: nothing is cached.
+    Tick t0 = eq.now();
+    EXPECT_EQ(ms.read(0, local, t0).complete - t0, 20u);
+
+    // Probe the write separately so it does not queue behind the read.
+    Tick t1 = t0 + 100;
+    auto w = ms.writeSc(0, local, 1, 4, t1);
+    EXPECT_EQ(w.complete - t1, 12u);  // 18 - 6
+    eq.run();
+}
+
+TEST(UncachedMode, PrefetchIsNoop)
+{
+    EventQueue eq;
+    SharedMemory mem(16);
+    MemConfig cfg;
+    cfg.cacheSharedData = false;
+    MemorySystem ms(eq, mem, cfg);
+    Addr a = mem.allocLocal(256, 0);
+    auto p = ms.prefetch(0, a, false, 0);
+    EXPECT_TRUE(p.dropped);
+}
+
+// ---------------------------------------------------------------------
+// Statistics.
+// ---------------------------------------------------------------------
+
+TEST_F(Rig, HitRatesTracked)
+{
+    ms.read(0, local, 0);
+    settle();
+    ms.read(0, local, eq.now());
+    ms.tryFastRead(0, local);
+    settle();
+    auto hr = ms.totalReadHits();
+    EXPECT_EQ(hr.accesses, 3u);
+    EXPECT_EQ(hr.hits, 2u);
+}
+
+TEST_F(Rig, FillHookInvoked)
+{
+    int fills = 0;
+    ms.setFillHook([&](NodeId, Tick, bool) { ++fills; });
+    ms.read(0, homed4, 0);
+    settle();
+    EXPECT_EQ(fills, 1);
+}

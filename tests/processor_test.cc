@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the processor model: time accounting, consistency-model
+ * stall behavior, context switching, and the synchronization
+ * primitives, driven through small hand-written workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "tango/sync.hh"
+
+using namespace dashsim;
+
+namespace {
+
+/** Workload whose body is supplied as a per-process lambda. */
+class Lambda : public Workload
+{
+  public:
+    using Setup = std::function<void(Machine &)>;
+    using Body = std::function<SimProcess(Env)>;
+
+    Lambda(Setup s, Body b) : _setup(std::move(s)), _body(std::move(b)) {}
+
+    std::string name() const override { return "lambda"; }
+    void setup(Machine &m) override { _setup(m); }
+    SimProcess run(Env env) override { return _body(env); }
+
+  private:
+    Setup _setup;
+    Body _body;
+};
+
+struct Shared
+{
+    Addr data = 0;
+    Addr lock = 0;
+    Addr bar = 0;
+};
+
+Shared g;
+
+MachineConfig
+cfgWith(Consistency c, std::uint32_t ctxs = 1, Tick sw = 4)
+{
+    MachineConfig cfg;
+    cfg.cpu.consistency = c;
+    cfg.cpu.numContexts = ctxs;
+    cfg.cpu.switchCycles = sw;
+    return cfg;
+}
+
+void
+basicSetup(Machine &m)
+{
+    auto &mem = m.memory();
+    g.data = mem.allocRoundRobin(64 * 1024);
+    g.lock = sync::allocLock(mem);
+    g.bar = sync::allocBarrier(mem);
+}
+
+/** Check the core accounting invariant on a result. */
+void
+expectAccountingSane(const RunResult &r)
+{
+    EXPECT_GT(r.execTime, 0u);
+    EXPECT_GT(r.busyCycles, 0u);
+    // Every processor accounts at least the full run; keep-cpu stalls
+    // may extend slightly past the end tick.
+    EXPECT_GE(r.totalCycles(),
+              static_cast<std::uint64_t>(r.execTime) * r.numProcessors);
+    EXPECT_LE(r.totalCycles(),
+              static_cast<std::uint64_t>(r.execTime) * r.numProcessors +
+                  r.numProcessors * 200u);
+}
+
+} // namespace
+
+TEST(Processor, ComputeOnlyIsAllBusy)
+{
+    Machine m(cfgWith(Consistency::SC));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        co_await env.compute(1000);
+    });
+    auto r = m.run(w);
+    EXPECT_EQ(r.busyCycles, 16u * 1000u);
+    EXPECT_EQ(r.execTime, 1000u);
+    expectAccountingSane(r);
+}
+
+TEST(Processor, ReadStallAccountedUnderSc)
+{
+    Machine m(cfgWith(Consistency::SC));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        // Each process reads its own distinct remote-ish line once.
+        Addr a = g.data + env.pid() * 1024;
+        (void)co_await env.read<std::uint64_t>(a);
+        co_await env.compute(10);
+    });
+    auto r = m.run(w);
+    EXPECT_GT(r.bucket(Bucket::Read), 0u);
+    EXPECT_EQ(r.bucket(Bucket::Write), 0u);
+    expectAccountingSane(r);
+}
+
+TEST(Processor, WriteStallOnlyUnderSc)
+{
+    auto body = [](Env env) -> SimProcess {
+        // Distinct lines with some computation between writes - the
+        // pattern RC's write pipelining is designed for. (A pure
+        // back-to-back burst of >16 writes legitimately fills the
+        // write buffer and stalls even under RC.)
+        Addr a = g.data + env.pid() * 1024;
+        for (int i = 0; i < 12; ++i) {
+            co_await env.write<std::uint32_t>(a + 64 * i, i);
+            co_await env.compute(20);
+        }
+    };
+    Machine msc(cfgWith(Consistency::SC));
+    Lambda wsc(basicSetup, body);
+    auto rsc = msc.run(wsc);
+
+    Machine mrc(cfgWith(Consistency::RC));
+    Lambda wrc(basicSetup, body);
+    auto rrc = mrc.run(wrc);
+
+    EXPECT_GT(rsc.bucket(Bucket::Write), 0u);
+    EXPECT_EQ(rrc.bucket(Bucket::Write), 0u);  // buffered, never stalls
+    EXPECT_LT(rrc.execTime, rsc.execTime);
+}
+
+TEST(Processor, RcWriteValuesStillCommit)
+{
+    Machine m(cfgWith(Consistency::RC));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        Addr a = g.data + env.pid() * 1024;
+        for (std::uint32_t i = 0; i < 16; ++i)
+            co_await env.write<std::uint32_t>(a + 4 * i, i + 1);
+        co_await env.compute(1);
+    });
+    auto r = m.run(w);
+    (void)r;
+    for (unsigned pid = 0; pid < 16; ++pid)
+        for (std::uint32_t i = 0; i < 16; ++i)
+            EXPECT_EQ(m.memory().load<std::uint32_t>(
+                          g.data + pid * 1024 + 4 * i),
+                      i + 1);
+}
+
+TEST(Processor, ReadAfterOwnWriteForwardsValue)
+{
+    Machine m(cfgWith(Consistency::RC));
+    std::uint32_t seen = 0;
+    Lambda w(basicSetup, [&seen](Env env) -> SimProcess {
+        if (env.pid() == 0) {
+            co_await env.write<std::uint32_t>(g.data, 77);
+            seen = co_await env.read<std::uint32_t>(g.data);
+        }
+        co_await env.compute(1);
+    });
+    m.run(w);
+    EXPECT_EQ(seen, 77u);
+}
+
+TEST(Processor, LockProvidesMutualExclusion)
+{
+    Machine m(cfgWith(Consistency::RC));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        for (int i = 0; i < 25; ++i) {
+            co_await env.lock(g.lock);
+            auto v = co_await env.read<std::uint64_t>(g.data);
+            co_await env.compute(3);
+            co_await env.write<std::uint64_t>(g.data, v + 1);
+            co_await env.unlock(g.lock);
+        }
+    });
+    auto r = m.run(w);
+    EXPECT_EQ(m.memory().load<std::uint64_t>(g.data), 16u * 25u);
+    EXPECT_EQ(r.locks, 16u * 25u);
+    EXPECT_GT(r.bucket(Bucket::Sync), 0u);
+}
+
+TEST(Processor, LockMutualExclusionUnderScToo)
+{
+    Machine m(cfgWith(Consistency::SC));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        for (int i = 0; i < 10; ++i) {
+            co_await env.lock(g.lock);
+            auto v = co_await env.read<std::uint64_t>(g.data);
+            co_await env.write<std::uint64_t>(g.data, v + 1);
+            co_await env.unlock(g.lock);
+        }
+    });
+    m.run(w);
+    EXPECT_EQ(m.memory().load<std::uint64_t>(g.data), 160u);
+}
+
+TEST(Processor, BarrierSeparatesPhases)
+{
+    // Phase 1: everyone writes a slot. Barrier. Phase 2: everyone reads
+    // all slots; every value must be visible.
+    Machine m(cfgWith(Consistency::RC));
+    std::array<std::uint32_t, 16> sums{};
+    Lambda w(basicSetup, [&sums](Env env) -> SimProcess {
+        co_await env.write<std::uint32_t>(g.data + 64 * env.pid(), 5);
+        co_await env.barrier(g.bar, env.nprocs());
+        std::uint32_t sum = 0;
+        for (unsigned p = 0; p < env.nprocs(); ++p)
+            sum += co_await env.read<std::uint32_t>(g.data + 64 * p);
+        sums[env.pid()] = sum;
+        co_await env.barrier(g.bar, env.nprocs());
+    });
+    auto r = m.run(w);
+    for (auto s : sums)
+        EXPECT_EQ(s, 5u * 16u);
+    EXPECT_EQ(r.barriers, 2u * 16u);
+}
+
+TEST(Processor, BarrierReusableManyTimes)
+{
+    Machine m(cfgWith(Consistency::SC));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        for (int i = 0; i < 12; ++i) {
+            co_await env.compute(5 + env.pid());
+            co_await env.barrier(g.bar, env.nprocs());
+        }
+    });
+    auto r = m.run(w);
+    EXPECT_EQ(r.barriers, 12u * 16u);
+}
+
+TEST(Processor, WaitFlagReleasesWaiters)
+{
+    Machine m(cfgWith(Consistency::RC));
+    std::array<std::uint32_t, 16> seen{};
+    Lambda w(basicSetup, [&seen](Env env) -> SimProcess {
+        Addr flag = g.data;
+        Addr value = g.data + 64;
+        if (env.pid() == 0) {
+            co_await env.compute(500);
+            co_await env.write<std::uint32_t>(value, 31337);
+            co_await env.writeRelease<std::uint32_t>(flag, 1);
+        } else {
+            co_await env.waitFlag(flag, 1);
+            seen[env.pid()] =
+                co_await env.read<std::uint32_t>(value);
+        }
+    });
+    auto r = m.run(w);
+    for (unsigned p = 1; p < 16; ++p)
+        EXPECT_EQ(seen[p], 31337u) << "pid " << p;
+    EXPECT_EQ(r.locks, 15u);  // waitFlag counts as a lock acquisition
+}
+
+TEST(Processor, FetchAddIsAtomicAcrossProcessors)
+{
+    Machine m(cfgWith(Consistency::SC));
+    std::array<std::uint64_t, 16> olds{};
+    Lambda w(basicSetup, [&olds](Env env) -> SimProcess {
+        olds[env.pid()] = co_await env.fetchAdd(g.data, 1);
+    });
+    m.run(w);
+    EXPECT_EQ(m.memory().load<std::uint32_t>(g.data), 16u);
+    // All old values distinct.
+    std::sort(olds.begin(), olds.end());
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(olds[i], i);
+}
+
+TEST(Processor, MultiContextRunsAllProcesses)
+{
+    for (std::uint32_t ctxs : {2u, 4u}) {
+        Machine m(cfgWith(Consistency::SC, ctxs));
+        std::vector<int> ran(16 * ctxs, 0);
+        Lambda w(basicSetup, [&ran](Env env) -> SimProcess {
+            Addr a = g.data + env.pid() * 128;
+            for (int i = 0; i < 5; ++i) {
+                (void)co_await env.read<std::uint64_t>(a);
+                co_await env.compute(20);
+                co_await env.write<std::uint64_t>(a, i);
+            }
+            ran[env.pid()] = 1;
+        });
+        auto r = m.run(w);
+        for (auto x : ran)
+            EXPECT_EQ(x, 1);
+        EXPECT_GT(r.contextSwitches, 0u);
+        EXPECT_GT(r.bucket(Bucket::Switching), 0u);
+        expectAccountingSane(r);
+    }
+}
+
+TEST(Processor, SwitchOverheadScalesWithSwitchCycles)
+{
+    auto run = [](Tick sw) {
+        Machine m(cfgWith(Consistency::SC, 4, sw));
+        Lambda w(basicSetup, [](Env env) -> SimProcess {
+            Addr a = g.data + env.pid() * 512;
+            for (int i = 0; i < 50; ++i) {
+                (void)co_await env.read<std::uint64_t>(a + 16 * (i % 30));
+                co_await env.compute(8);
+            }
+        });
+        return m.run(w);
+    };
+    auto r4 = run(4);
+    auto r16 = run(16);
+    ASSERT_GT(r4.contextSwitches, 0u);
+    // Same switch count pattern, 4x the per-switch cost.
+    EXPECT_GT(r16.bucket(Bucket::Switching),
+              2 * r4.bucket(Bucket::Switching));
+}
+
+TEST(Processor, SingleContextNeverSwitches)
+{
+    Machine m(cfgWith(Consistency::SC, 1));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        (void)co_await env.read<std::uint64_t>(g.data + env.pid() * 64);
+        co_await env.compute(10);
+    });
+    auto r = m.run(w);
+    EXPECT_EQ(r.contextSwitches, 0u);
+    EXPECT_EQ(r.bucket(Bucket::Switching), 0u);
+    EXPECT_EQ(r.bucket(Bucket::AllIdle), 0u);
+}
+
+TEST(Processor, PrefetchChargesOverhead)
+{
+    MachineConfig cfg = cfgWith(Consistency::RC);
+    cfg.cpu.prefetch = true;
+    Machine m(cfg);
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        Addr a = g.data + env.pid() * 2048;
+        for (int i = 0; i < 20; ++i) {
+            co_await env.prefetch(a + 16 * (i + 4));
+            (void)co_await env.read<std::uint64_t>(a + 16 * i);
+            co_await env.compute(10);
+        }
+    });
+    auto r = m.run(w);
+    EXPECT_GT(r.bucket(Bucket::PfOverhead), 0u);
+    EXPECT_GT(r.prefetchesIssued, 0u);
+}
+
+TEST(Processor, DeterministicExecution)
+{
+    auto run = []() {
+        Machine m(cfgWith(Consistency::RC, 2));
+        Lambda w(basicSetup, [](Env env) -> SimProcess {
+            for (int i = 0; i < 10; ++i) {
+                co_await env.lock(g.lock);
+                auto v = co_await env.read<std::uint64_t>(g.data);
+                co_await env.write<std::uint64_t>(g.data, v + 1);
+                co_await env.unlock(g.lock);
+                co_await env.compute(7);
+            }
+        });
+        return m.run(w);
+    };
+    auto a = run();
+    auto b = run();
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.buckets, b.buckets);
+    EXPECT_EQ(a.locks, b.locks);
+}
+
+TEST(Processor, QueuedLockMutualExclusion)
+{
+    for (auto cons : {Consistency::SC, Consistency::RC}) {
+        Machine m(cfgWith(cons));
+        Lambda w(basicSetup, [](Env env) -> SimProcess {
+            for (int i = 0; i < 15; ++i) {
+                co_await env.lockQueued(g.lock);
+                auto v = co_await env.read<std::uint64_t>(g.data);
+                co_await env.compute(4);
+                co_await env.write<std::uint64_t>(g.data, v + 1);
+                co_await env.unlockQueued(g.lock);
+            }
+        });
+        auto r = m.run(w);
+        EXPECT_EQ(m.memory().load<std::uint64_t>(g.data), 16u * 15u);
+        EXPECT_EQ(r.locks, 16u * 15u);
+        EXPECT_EQ(r.lockRetries, 0u);  // handoff: nobody ever retries
+    }
+}
+
+TEST(Processor, QueuedLockFifoGrantOrder)
+{
+    // All processes contend once; grants must be handed off without
+    // any retry storm and every process gets the lock exactly once.
+    Machine m(cfgWith(Consistency::RC, 2));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        co_await env.barrier(g.bar, env.nprocs());
+        co_await env.lockQueued(g.lock);
+        auto v = co_await env.read<std::uint64_t>(g.data);
+        co_await env.write<std::uint64_t>(g.data, v + 1);
+        co_await env.unlockQueued(g.lock);
+    });
+    auto r = m.run(w);
+    EXPECT_EQ(m.memory().load<std::uint64_t>(g.data), 32u);
+    EXPECT_EQ(r.locks, 32u);
+    EXPECT_EQ(r.lockRetries, 0u);
+}
+
+TEST(Processor, RunLengthSampled)
+{
+    Machine m(cfgWith(Consistency::SC));
+    Lambda w(basicSetup, [](Env env) -> SimProcess {
+        Addr a = g.data + env.pid() * 512;
+        for (int i = 0; i < 10; ++i) {
+            co_await env.compute(11);
+            (void)co_await env.read<std::uint64_t>(a + 16 * i);
+        }
+    });
+    auto r = m.run(w);
+    EXPECT_NEAR(r.medianRunLength, 12.0, 3.0);  // 11 compute + 1 issue
+}

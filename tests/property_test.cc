@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Property-based tests: machine-wide invariants that must hold for
+ * every technique configuration and for randomized workloads.
+ *
+ *   P1. Time accounting: every processor's bucket sum covers the run.
+ *   P2. Determinism: identical configurations produce identical runs.
+ *   P3. Memory semantics: lock-protected counters are exact; values
+ *       written before a release are visible after the matching
+ *       acquire, under every consistency/context combination.
+ *   P4. Monotone technique sanity: caches and RC never lose big.
+ *   P5. Protocol liveness: randomized access storms always drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "sim/random.hh"
+#include "tango/sync.hh"
+
+using namespace dashsim;
+
+namespace {
+
+class Lambda : public Workload
+{
+  public:
+    using Setup = std::function<void(Machine &)>;
+    using Body = std::function<SimProcess(Env)>;
+
+    Lambda(Setup s, Body b) : _setup(std::move(s)), _body(std::move(b)) {}
+
+    std::string name() const override { return "prop-lambda"; }
+    void setup(Machine &m) override { _setup(m); }
+    SimProcess run(Env env) override { return _body(env); }
+
+  private:
+    Setup _setup;
+    Body _body;
+};
+
+struct Shared
+{
+    Addr data = 0;
+    Addr lock = 0;
+    Addr bar = 0;
+    Addr flag = 0;
+};
+
+Shared g;
+
+void
+setupShared(Machine &m)
+{
+    auto &mem = m.memory();
+    g.data = mem.allocRoundRobin(256 * 1024);
+    g.lock = sync::allocLock(mem);
+    g.bar = sync::allocBarrier(mem);
+    g.flag = mem.allocRoundRobin(lineBytes);
+}
+
+/**
+ * A mixed workload touching every operation type: strided reads and
+ * writes, a lock-protected counter, a flag handoff, and barriers, with
+ * per-process deterministic randomness.
+ */
+SimProcess
+mixedBody(Env env)
+{
+    Rng rng(1000 + env.pid());
+    const unsigned np = env.nprocs();
+    co_await env.barrier(g.bar, np);
+
+    for (int round = 0; round < 3; ++round) {
+        // Strided private-ish region.
+        Addr mine = g.data + 4096 + env.pid() * 2048;
+        for (int i = 0; i < 24; ++i) {
+            Addr a = mine + 16 * static_cast<Addr>(rng.below(100));
+            auto v = co_await env.read<std::uint64_t>(a);
+            co_await env.compute(6);
+            co_await env.write<std::uint64_t>(a, v + 1);
+            if (env.prefetching() && i % 4 == 0)
+                co_await env.prefetch(mine + 16 * rng.below(100));
+        }
+        // Shared counter under the lock.
+        co_await env.lock(g.lock);
+        auto c = co_await env.read<std::uint64_t>(g.data);
+        co_await env.compute(2);
+        co_await env.write<std::uint64_t>(g.data, c + 1);
+        co_await env.unlock(g.lock);
+
+        co_await env.barrier(g.bar, np);
+    }
+
+    // Flag handoff: pid 0 publishes, everyone else consumes.
+    if (env.pid() == 0) {
+        co_await env.write<std::uint64_t>(g.data + 64, 0xfeedULL);
+        co_await env.writeRelease<std::uint32_t>(g.flag, 1);
+    } else {
+        co_await env.waitFlag(g.flag, 1);
+        auto v = co_await env.read<std::uint64_t>(g.data + 64);
+        if (v != 0xfeedULL)
+            panic("release/acquire visibility violated: %llx",
+                  static_cast<unsigned long long>(v));
+    }
+    co_await env.barrier(g.bar, np);
+}
+
+} // namespace
+
+class TechniqueGrid : public ::testing::TestWithParam<Technique>
+{};
+
+TEST_P(TechniqueGrid, MixedWorkloadInvariants)
+{
+    const Technique t = GetParam();
+    auto once = [&]() {
+        Machine m(makeMachineConfig(t));
+        Lambda w(setupShared, mixedBody);
+        RunResult r = m.run(w);
+        // P3: exact counter.
+        EXPECT_EQ(m.memory().load<std::uint64_t>(g.data),
+                  3u * m.numProcesses());
+        return r;
+    };
+    RunResult r1 = once();
+    RunResult r2 = once();
+
+    // P1: accounting covers the run on every processor.
+    EXPECT_GE(r1.totalCycles(),
+              static_cast<std::uint64_t>(r1.execTime) *
+                  r1.numProcessors);
+
+    // P2: determinism.
+    EXPECT_EQ(r1.execTime, r2.execTime);
+    EXPECT_EQ(r1.buckets, r2.buckets);
+    EXPECT_EQ(r1.sharedReads, r2.sharedReads);
+    EXPECT_EQ(r1.locks, r2.locks);
+
+    // Single-context runs never report multi-context buckets and
+    // vice versa for stall categories.
+    if (t.contexts == 1) {
+        EXPECT_EQ(r1.bucket(Bucket::Switching), 0u);
+        EXPECT_EQ(r1.bucket(Bucket::AllIdle), 0u);
+    }
+    if (t.consistency == Consistency::RC)
+        EXPECT_EQ(r1.bucket(Bucket::Write), 0u);
+    if (!t.prefetch)
+        EXPECT_EQ(r1.prefetchesIssued, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, TechniqueGrid,
+    ::testing::Values(
+        Technique::noCache(), Technique::sc(), Technique::rc(),
+        Technique::scPrefetch(), Technique::rcPrefetch(),
+        Technique::multiContext(2, 16), Technique::multiContext(4, 16),
+        Technique::multiContext(2, 4), Technique::multiContext(4, 4),
+        Technique::multiContext(2, 4, Consistency::RC),
+        Technique::multiContext(4, 4, Consistency::RC),
+        Technique::multiContext(4, 4, Consistency::RC, true)),
+    [](const ::testing::TestParamInfo<Technique> &info) {
+        std::string s = info.param.label();
+        for (auto &ch : s)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return s;
+    });
+
+// ---------------------------------------------------------------------
+// P5: randomized protocol storms (raw MemorySystem level).
+// ---------------------------------------------------------------------
+
+class ProtocolStorm : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ProtocolStorm, RandomAccessesAlwaysDrain)
+{
+    EventQueue eq;
+    SharedMemory mem(16);
+    MemConfig cfg;
+    MemorySystem ms(eq, mem, cfg);
+    Rng rng(GetParam());
+
+    // A small pool of lines so nodes constantly conflict.
+    Addr pool = mem.allocRoundRobin(64 * lineBytes);
+    Tick t = 0;
+    for (int i = 0; i < 3000; ++i) {
+        NodeId n = static_cast<NodeId>(rng.below(16));
+        Addr a = pool + rng.below(64) * lineBytes;
+        switch (rng.below(4)) {
+          case 0: {
+            auto o = ms.read(n, a, t);
+            ASSERT_GE(o.complete, t);
+            ASSERT_LE(o.complete - t, 5000u);
+            break;
+          }
+          case 1: {
+            auto o = ms.writeSc(n, a, i, 4, t);
+            ASSERT_GE(o.complete, t);
+            ASSERT_LE(o.ackDone - t, 5000u);
+            break;
+          }
+          case 2:
+            ms.writeRc(n, a, i, 4, t, rng.chance(0.2),
+                       static_cast<ContextId>(rng.below(4)));
+            break;
+          default:
+            ms.rmw(n, a, RmwOp::FetchAdd, 1, 4, t, nullptr);
+            break;
+        }
+        t += rng.below(20);
+        if (i % 256 == 0)
+            eq.runUntil(t);
+    }
+    eq.run();  // must drain without panics
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolStorm,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1991u));
+
+// ---------------------------------------------------------------------
+// P4: technique-ordering sanity on the scaled-down apps.
+// ---------------------------------------------------------------------
+
+TEST(TechniqueOrdering, CachesAndRcNeverCatastrophic)
+{
+    for (auto &[name, factory] : testWorkloads()) {
+        auto nocache = runExperiment(factory, Technique::noCache());
+        auto sc = runExperiment(factory, Technique::sc());
+        auto rc = runExperiment(factory, Technique::rc());
+        EXPECT_LT(sc.execTime, nocache.execTime) << name;
+        EXPECT_LT(rc.execTime, 1.05 * sc.execTime) << name;
+    }
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Systematic directory-protocol transition tests: for every initial
+ * sharing state x access type x requester relationship, check the
+ * service level, the uncontended latency, and the resulting state
+ * (observed through follow-up probes). This is the state-machine
+ * coverage that the scenario tests in mem_system_test.cc sample only
+ * pointwise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+#include "sim/event_queue.hh"
+
+using namespace dashsim;
+
+namespace {
+
+/** Initial sharing state of the line under test. */
+enum class InitState
+{
+    Uncached,       // nobody has it
+    SharedByOther,  // node `other` holds a read-shared copy
+    SharedBySelf,   // requester holds a read-shared copy
+    DirtyOther,     // node `other` owns it dirty
+    DirtySelf,      // requester owns it dirty
+};
+
+/** Which access the requester performs. */
+enum class Op
+{
+    Read,
+    Write,
+    Rmw,
+};
+
+struct Case
+{
+    InitState init;
+    Op op;
+    bool home_local;        // requester == home?
+    Tick expected_latency;  // uncontended, from Table 1 (0 = don't check)
+    bool expected_hit;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    const Case &c = info.param;
+    std::string s;
+    switch (c.init) {
+      case InitState::Uncached: s = "Uncached"; break;
+      case InitState::SharedByOther: s = "SharedOther"; break;
+      case InitState::SharedBySelf: s = "SharedSelf"; break;
+      case InitState::DirtyOther: s = "DirtyOther"; break;
+      case InitState::DirtySelf: s = "DirtySelf"; break;
+    }
+    s += c.op == Op::Read ? "_Read" : c.op == Op::Write ? "_Write"
+                                                        : "_Rmw";
+    s += c.home_local ? "_LocalHome" : "_RemoteHome";
+    return s;
+}
+
+class ProtocolMatrix : public ::testing::TestWithParam<Case>
+{
+  protected:
+    EventQueue eq;
+    SharedMemory mem{16};
+    MemConfig cfg{};
+    MemorySystem ms{eq, mem, cfg};
+
+    static constexpr NodeId req = 0;
+    static constexpr NodeId other = 7;
+
+    Addr line = 0;
+
+    /** Prepare the line in the requested initial state. */
+    void
+    prepare(const Case &c)
+    {
+        line = mem.allocLocal(lineBytes, c.home_local ? req : 4);
+        switch (c.init) {
+          case InitState::Uncached:
+            break;
+          case InitState::SharedByOther:
+            ms.read(other, line, eq.now());
+            break;
+          case InitState::SharedBySelf:
+            // A remote-home read from req leaves a Shared copy; make
+            // the line shared by another node first so a local-home
+            // read is not exclusive-granted.
+            ms.read(other, line, eq.now());
+            eq.run();
+            ms.read(req, line, eq.now());
+            break;
+          case InitState::DirtyOther:
+            ms.writeSc(other, line, 1, 4, eq.now());
+            break;
+          case InitState::DirtySelf:
+            ms.writeSc(req, line, 1, 4, eq.now());
+            break;
+        }
+        eq.run();
+        eq.runUntil(eq.now() + 500);  // quiesce acks and writebacks
+    }
+};
+
+} // namespace
+
+TEST_P(ProtocolMatrix, LatencyAndStateTransitions)
+{
+    const Case &c = GetParam();
+    prepare(c);
+
+    Tick t0 = eq.now();
+    AccessOutcome o{};
+    switch (c.op) {
+      case Op::Read:
+        o = ms.read(req, line, t0);
+        break;
+      case Op::Write:
+        o = ms.writeSc(req, line, 7, 4, t0);
+        break;
+      case Op::Rmw:
+        o = ms.rmw(req, line, RmwOp::FetchAdd, 1, 4, t0, nullptr);
+        break;
+    }
+    if (c.expected_latency)
+        EXPECT_EQ(o.complete - t0, c.expected_latency);
+    EXPECT_EQ(o.hit, c.expected_hit);
+    eq.run();
+    eq.runUntil(eq.now() + 500);
+
+    // Post-state sanity: after any access the requester can read the
+    // line as a hit, and after a write/rmw it can write it as a hit.
+    Tick t1 = eq.now();
+    EXPECT_TRUE(ms.read(req, line, t1).hit);
+    if (c.op != Op::Read) {
+        auto w = ms.writeSc(req, line, 9, 4, t1);
+        EXPECT_TRUE(w.hit);
+        EXPECT_EQ(w.complete - t1, 2u);
+    }
+    eq.run();
+
+    // And the data committed.
+    if (c.op == Op::Write)
+        EXPECT_EQ(mem.loadRaw(line, 4), 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransitions, ProtocolMatrix,
+    ::testing::Values(
+        // --- reads ---
+        Case{InitState::Uncached, Op::Read, true, 26, false},
+        Case{InitState::Uncached, Op::Read, false, 72, false},
+        Case{InitState::SharedByOther, Op::Read, true, 26, false},
+        Case{InitState::SharedByOther, Op::Read, false, 72, false},
+        Case{InitState::SharedBySelf, Op::Read, true, 1, true},
+        Case{InitState::SharedBySelf, Op::Read, false, 1, true},
+        Case{InitState::DirtyOther, Op::Read, false, 90, false},
+        Case{InitState::DirtySelf, Op::Read, true, 1, true},
+        Case{InitState::DirtySelf, Op::Read, false, 1, true},
+        // --- writes ---
+        Case{InitState::Uncached, Op::Write, true, 18, false},
+        Case{InitState::Uncached, Op::Write, false, 64, false},
+        Case{InitState::SharedByOther, Op::Write, true, 18, false},
+        Case{InitState::SharedByOther, Op::Write, false, 64, false},
+        Case{InitState::SharedBySelf, Op::Write, true, 18, false},
+        Case{InitState::SharedBySelf, Op::Write, false, 64, false},
+        Case{InitState::DirtyOther, Op::Write, false, 82, false},
+        Case{InitState::DirtySelf, Op::Write, true, 2, true},
+        Case{InitState::DirtySelf, Op::Write, false, 2, true},
+        // --- read-modify-writes (need the data: read-path timing) ---
+        Case{InitState::Uncached, Op::Rmw, true, 26, false},
+        Case{InitState::Uncached, Op::Rmw, false, 72, false},
+        Case{InitState::DirtyOther, Op::Rmw, false, 90, false},
+        Case{InitState::DirtySelf, Op::Rmw, true, 2, true},
+        Case{InitState::DirtySelf, Op::Rmw, false, 2, true}),
+    caseName);
+
+// ---------------------------------------------------------------------
+// Mesh-topology latency structure (the uniform case is Table 1 above).
+// ---------------------------------------------------------------------
+
+TEST(MeshTopology, LatencyGrowsWithDistance)
+{
+    EventQueue eq;
+    SharedMemory mem(16);
+    MemConfig cfg;
+    cfg.lat.mesh = true;
+    MemorySystem ms(eq, mem, cfg);
+
+    // Node 0 is grid (0,0); node 1 is one hop; node 15 is (3,3), six
+    // hops away.
+    Addr near = mem.allocLocal(lineBytes, 1);
+    Addr far = mem.allocLocal(lineBytes, 15);
+    auto near_o = ms.read(0, near, 0);
+    auto far_o = ms.read(0, far, 0);
+    EXPECT_LT(near_o.complete, far_o.complete);
+
+    // One-hop round trip is cheaper than the uniform model; the
+    // far-corner round trip costs more.
+    EXPECT_LT(near_o.complete, 72u);
+    EXPECT_GT(far_o.complete, 72u);
+    eq.run();
+}
+
+TEST(MeshTopology, LocalAccessesUnaffected)
+{
+    EventQueue eq;
+    SharedMemory mem(16);
+    MemConfig cfg;
+    cfg.lat.mesh = true;
+    MemorySystem ms(eq, mem, cfg);
+    Addr local = mem.allocLocal(lineBytes, 0);
+    EXPECT_EQ(ms.read(0, local, 0).complete, 26u);
+    eq.run();
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the distributed shared-memory arena and its page
+ * placement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/shared_memory.hh"
+
+using namespace dashsim;
+
+TEST(SharedMemory, AddressZeroNeverAllocated)
+{
+    SharedMemory m(4);
+    Addr a = m.allocRoundRobin(8);
+    EXPECT_NE(a, 0u);
+    EXPECT_FALSE(m.mapped(0));
+    EXPECT_TRUE(m.mapped(a));
+}
+
+TEST(SharedMemory, AllocationsAreLineAligned)
+{
+    SharedMemory m(4);
+    for (int i = 0; i < 20; ++i) {
+        Addr a = m.allocRoundRobin(3);  // odd size
+        EXPECT_EQ(a % lineBytes, 0u);
+    }
+}
+
+TEST(SharedMemory, CustomAlignmentHonored)
+{
+    SharedMemory m(2);
+    Addr a = m.allocRoundRobin(8, 256);
+    EXPECT_EQ(a % 256, 0u);
+}
+
+TEST(SharedMemory, RoundRobinPagePlacement)
+{
+    SharedMemory m(4);
+    // Allocate several pages worth and check homes cycle.
+    Addr first = m.allocRoundRobin(4 * pageBytes);
+    NodeId h0 = m.homeOf(first);
+    NodeId h1 = m.homeOf(first + pageBytes);
+    NodeId h2 = m.homeOf(first + 2 * pageBytes);
+    EXPECT_EQ((h0 + 1) % 4, h1);
+    EXPECT_EQ((h1 + 1) % 4, h2);
+}
+
+TEST(SharedMemory, AllocLocalPinsEveryPage)
+{
+    SharedMemory m(8);
+    Addr a = m.allocLocal(3 * pageBytes, 5);
+    for (Addr off = 0; off < 3 * pageBytes; off += pageBytes)
+        EXPECT_EQ(m.homeOf(a + off), 5u);
+}
+
+TEST(SharedMemory, AllocLocalDoesNotInheritForeignPageTail)
+{
+    SharedMemory m(8);
+    Addr a = m.allocLocal(64, 2);
+    Addr b = m.allocLocal(64, 3);
+    EXPECT_EQ(m.homeOf(a), 2u);
+    EXPECT_EQ(m.homeOf(b), 3u);
+}
+
+TEST(SharedMemory, AllocLocalPacksSameNode)
+{
+    SharedMemory m(8);
+    Addr a = m.allocLocal(64, 2);
+    Addr b = m.allocLocal(64, 2);
+    // Same node: no page bump, allocations stay adjacent.
+    EXPECT_EQ(b - a, 64u);
+}
+
+TEST(SharedMemory, TypedLoadStoreRoundTrip)
+{
+    SharedMemory m(2);
+    Addr a = m.allocRoundRobin(64);
+    m.store<double>(a, 3.25);
+    m.store<std::uint32_t>(a + 8, 0xdeadbeef);
+    m.store<float>(a + 12, -1.5f);
+    EXPECT_DOUBLE_EQ(m.load<double>(a), 3.25);
+    EXPECT_EQ(m.load<std::uint32_t>(a + 8), 0xdeadbeefu);
+    EXPECT_FLOAT_EQ(m.load<float>(a + 12), -1.5f);
+}
+
+TEST(SharedMemory, RawAccessMatchesTyped)
+{
+    SharedMemory m(2);
+    Addr a = m.allocRoundRobin(16);
+    m.storeRaw(a, 0x1122334455667788ull, 8);
+    EXPECT_EQ(m.load<std::uint64_t>(a), 0x1122334455667788ull);
+    EXPECT_EQ(m.loadRaw(a, 4), 0x55667788ull);
+    EXPECT_EQ(m.loadRaw(a, 2), 0x7788ull);
+    EXPECT_EQ(m.loadRaw(a, 1), 0x88ull);
+}
+
+TEST(SharedMemory, FootprintTracksAllocations)
+{
+    SharedMemory m(4);
+    std::size_t before = m.footprint();
+    m.allocRoundRobin(1000);
+    EXPECT_GE(m.footprint(), before + 1000);
+}
+
+TEST(SharedMemory, FreshMemoryIsZeroed)
+{
+    SharedMemory m(4);
+    Addr a = m.allocRoundRobin(256);
+    for (unsigned i = 0; i < 256; i += 8)
+        EXPECT_EQ(m.load<std::uint64_t>(a + i), 0u);
+}
+
+TEST(SharedMemoryDeathTest, BadNodePanics)
+{
+    SharedMemory m(4);
+    EXPECT_DEATH(m.allocLocal(8, 9), "bad node");
+}
+
+TEST(SharedMemoryDeathTest, OutOfBoundsLoadPanics)
+{
+    SharedMemory m(2);
+    EXPECT_DEATH(m.load<std::uint64_t>(1u << 30), "");
+}

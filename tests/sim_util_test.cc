@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the small simulator utilities: address arithmetic,
+ * logging formatting, and configuration defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_config.hh"
+#include "mem/mem_config.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+using namespace dashsim;
+
+TEST(Types, LineAddressArithmetic)
+{
+    EXPECT_EQ(lineAddr(0), 0u);
+    EXPECT_EQ(lineAddr(15), 0u);
+    EXPECT_EQ(lineAddr(16), 16u);
+    EXPECT_EQ(lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(lineIndex(0), 0u);
+    EXPECT_EQ(lineIndex(16), 1u);
+    EXPECT_EQ(lineIndex(0xff), 0xfu);
+    EXPECT_EQ(Addr{1} << lineShift, Addr{lineBytes});
+}
+
+TEST(Types, Sentinels)
+{
+    EXPECT_GT(maxTick, Tick{1} << 62);
+    EXPECT_GE(invalidNode, 1u << 30);
+}
+
+TEST(Logging, VformatBasics)
+{
+    using dashsim::detail::vformat;
+    EXPECT_EQ(vformat("plain"), "plain");
+    EXPECT_EQ(vformat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(vformat("%s/%u", "x", 7u), "x/7");
+    // Long output is not truncated.
+    std::string big(500, 'a');
+    EXPECT_EQ(vformat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(Config, PaperDefaults)
+{
+    MemConfig m;
+    EXPECT_EQ(m.numNodes, 16u);
+    EXPECT_EQ(m.primary.sizeBytes, 2u * 1024u);
+    EXPECT_EQ(m.secondary.sizeBytes, 4u * 1024u);
+    EXPECT_EQ(m.primary.numLines(), 128u);
+    EXPECT_EQ(m.secondary.numLines(), 256u);
+    EXPECT_EQ(m.writeBufferDepth, 16u);
+    EXPECT_EQ(m.prefetchBufferDepth, 16u);
+    EXPECT_TRUE(m.cacheSharedData);
+    EXPECT_FALSE(m.lat.mesh);
+
+    // The Table 1 anchor latencies.
+    EXPECT_EQ(m.lat.readPrimaryHit, 1u);
+    EXPECT_EQ(m.lat.readSecondary, 14u);
+    EXPECT_EQ(m.lat.readLocal, 26u);
+    EXPECT_EQ(m.lat.readHome, 72u);
+    EXPECT_EQ(m.lat.readRemote, 90u);
+    EXPECT_EQ(m.lat.writeSecondary, 2u);
+    EXPECT_EQ(m.lat.writeLocal, 18u);
+    EXPECT_EQ(m.lat.writeHome, 64u);
+    EXPECT_EQ(m.lat.writeRemote, 82u);
+}
+
+TEST(Config, CpuDefaultsMatchPaper)
+{
+    CpuConfig c;
+    EXPECT_EQ(c.consistency, Consistency::SC);
+    EXPECT_EQ(c.numContexts, 1u);
+    EXPECT_EQ(c.switchCycles, 4u);
+    EXPECT_FALSE(c.prefetch);
+    // Switch threshold: anything beyond the secondary cache.
+    EXPECT_EQ(c.switchThreshold, 26u);
+}
+
+TEST(Config, BuffersWritesPredicate)
+{
+    EXPECT_FALSE(buffersWrites(Consistency::SC));
+    EXPECT_TRUE(buffersWrites(Consistency::PC));
+    EXPECT_TRUE(buffersWrites(Consistency::WC));
+    EXPECT_TRUE(buffersWrites(Consistency::RC));
+}

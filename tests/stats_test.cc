@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+using namespace dashsim;
+
+TEST(SampleStat, EmptyIsZero)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    EXPECT_DOUBLE_EQ(s.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 0.0);
+}
+
+TEST(SampleStat, BasicMoments)
+{
+    SampleStat s;
+    for (double v : {2.0, 4.0, 6.0, 8.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.minValue(), 2.0);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 8.0);
+}
+
+TEST(SampleStat, MedianOfSmallIntegers)
+{
+    SampleStat s;
+    for (double v : {1, 2, 3, 4, 100})
+        s.sample(v);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(SampleStat, MedianSkewedDistribution)
+{
+    SampleStat s;
+    for (int i = 0; i < 99; ++i)
+        s.sample(10.0);
+    s.sample(100000.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+}
+
+TEST(SampleStat, MedianLargeValuesQuantized)
+{
+    SampleStat s;
+    for (int i = 0; i < 101; ++i)
+        s.sample(1000.0);
+    // Bucketing past 128 is exponential; the median must be within the
+    // bucket width of the true value.
+    EXPECT_NEAR(s.median(), 1000.0, 1000.0 / 2);
+}
+
+TEST(SampleStat, ResetClears)
+{
+    SampleStat s;
+    s.sample(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(HitRate, Percentages)
+{
+    HitRate hr;
+    EXPECT_DOUBLE_EQ(hr.percent(), 0.0);
+    hr.record(true);
+    hr.record(true);
+    hr.record(false);
+    hr.record(true);
+    EXPECT_EQ(hr.hits, 3u);
+    EXPECT_EQ(hr.accesses, 4u);
+    EXPECT_DOUBLE_EQ(hr.percent(), 75.0);
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the shared-memory synchronization library: allocation
+ * helpers and the lock-protected task queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/machine.hh"
+#include "tango/sync.hh"
+
+using namespace dashsim;
+
+namespace {
+
+class Lambda : public Workload
+{
+  public:
+    using Setup = std::function<void(Machine &)>;
+    using Body = std::function<SimProcess(Env)>;
+
+    Lambda(Setup s, Body b) : _setup(std::move(s)), _body(std::move(b)) {}
+
+    std::string name() const override { return "sync-lambda"; }
+    void setup(Machine &m) override { _setup(m); }
+    SimProcess run(Env env) override { return _body(env); }
+
+  private:
+    Setup _setup;
+    Body _body;
+};
+
+} // namespace
+
+TEST(SyncAlloc, LockInitializedFree)
+{
+    SharedMemory mem(4);
+    Addr l = sync::allocLock(mem);
+    EXPECT_EQ(mem.load<std::uint32_t>(l), 0u);
+    Addr l2 = sync::allocLock(mem, 3);
+    EXPECT_EQ(mem.homeOf(l2), 3u);
+}
+
+TEST(SyncAlloc, BarrierHasCountAndSenseLines)
+{
+    SharedMemory mem(4);
+    Addr b = sync::allocBarrier(mem);
+    EXPECT_EQ(mem.load<std::uint32_t>(b), 0u);
+    EXPECT_EQ(mem.load<std::uint32_t>(b + lineBytes), 0u);
+    // Count and sense on separate lines so waiters spin on sense only.
+    EXPECT_NE(lineIndex(b), lineIndex(b + lineBytes));
+}
+
+TEST(SyncAlloc, TaskQueueLayout)
+{
+    SharedMemory mem(4);
+    auto q = sync::allocTaskQueue(mem, 8, 2);
+    EXPECT_EQ(mem.homeOf(q.base), 2u);
+    EXPECT_EQ(q.capacity, 8u);
+    EXPECT_NE(lineIndex(q.lockAddr()), lineIndex(q.headAddr()));
+    EXPECT_EQ(q.slotAddr(0), q.base + 2 * lineBytes);
+    EXPECT_EQ(q.slotAddr(8), q.slotAddr(0));  // wraps modulo capacity
+}
+
+TEST(TaskQueue, FifoSingleProcess)
+{
+    MachineConfig cfg;
+    cfg.mem.numNodes = 1;
+    Machine m(cfg);
+    sync::TaskQueue q;
+    std::vector<std::uint64_t> popped;
+    Lambda w(
+        [&](Machine &mm) {
+            q = sync::allocTaskQueue(mm.memory(), 8, 0);
+        },
+        [&](Env env) -> SimProcess {
+            bool ok = false;
+            for (std::uint64_t v : {10, 20, 30})
+                co_await sync::push(env, q, v, ok);
+            std::uint64_t item = 0;
+            while (true) {
+                co_await sync::pop(env, q, item, ok);
+                if (!ok)
+                    break;
+                popped.push_back(item);
+            }
+        });
+    m.run(w);
+    EXPECT_EQ(popped, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(TaskQueue, FullRejectsPush)
+{
+    MachineConfig cfg;
+    cfg.mem.numNodes = 1;
+    Machine m(cfg);
+    sync::TaskQueue q;
+    int accepted = 0;
+    bool overflow_ok = true;
+    Lambda w(
+        [&](Machine &mm) {
+            q = sync::allocTaskQueue(mm.memory(), 4, 0);
+        },
+        [&](Env env) -> SimProcess {
+            for (std::uint64_t v = 0; v < 6; ++v) {
+                bool ok = false;
+                co_await sync::push(env, q, v, ok);
+                if (ok)
+                    ++accepted;
+                else if (v < 4)
+                    overflow_ok = false;
+            }
+        });
+    m.run(w);
+    EXPECT_EQ(accepted, 4);
+    EXPECT_TRUE(overflow_ok);
+}
+
+TEST(TaskQueue, ConcurrentPushersNoLostItems)
+{
+    Machine m(MachineConfig{});
+    sync::TaskQueue q;
+    std::multiset<std::uint64_t> drained;
+    Lambda w(
+        [&](Machine &mm) {
+            q = sync::allocTaskQueue(mm.memory(), 4096, 0);
+        },
+        [&](Env env) -> SimProcess {
+            bool ok = false;
+            // Everyone pushes 8 tagged items; process 0 drains at the
+            // end (after a barrier implemented with a flag-free trick:
+            // just pushing is enough since pop happens post-run... use
+            // the machine barrier instead).
+            for (int i = 0; i < 8; ++i) {
+                co_await sync::push(
+                    env, q,
+                    static_cast<std::uint64_t>(env.pid()) * 100 + i, ok);
+                if (!ok)
+                    panic("queue overflow in test");
+            }
+        });
+    m.run(w);
+    // Drain host-side: head/tail bookkeeping must show 128 items and
+    // each slot must hold a valid tag.
+    auto &mem = m.memory();
+    auto head = mem.load<std::uint32_t>(q.headAddr());
+    auto tail = mem.load<std::uint32_t>(q.tailAddr());
+    EXPECT_EQ(tail - head, 128u);
+    for (std::uint32_t i = head; i != tail; ++i)
+        drained.insert(mem.load<std::uint64_t>(q.slotAddr(i)));
+    for (unsigned pid = 0; pid < 16; ++pid)
+        for (int i = 0; i < 8; ++i)
+            EXPECT_EQ(drained.count(pid * 100 + i), 1u)
+                << "pid " << pid << " item " << i;
+}
+
+TEST(TaskQueue, ProducerConsumerAcrossProcessors)
+{
+    Machine m(MachineConfig{});
+    sync::TaskQueue q;
+    Addr done = 0;
+    std::uint64_t consumed = 0;
+    Lambda w(
+        [&](Machine &mm) {
+            q = sync::allocTaskQueue(mm.memory(), 256, 0);
+            done = mm.memory().allocRoundRobin(lineBytes);
+        },
+        [&](Env env) -> SimProcess {
+            bool ok = false;
+            if (env.pid() != 0) {
+                for (int i = 0; i < 4; ++i)
+                    co_await sync::push(env, q, env.pid(), ok);
+                co_await env.fetchAdd(done, 1);
+            } else {
+                // Consumer: drain until all 15 producers finished and
+                // the queue is empty.
+                while (true) {
+                    std::uint64_t item = 0;
+                    co_await sync::pop(env, q, item, ok);
+                    if (ok) {
+                        ++consumed;
+                        continue;
+                    }
+                    auto d = co_await env.read<std::uint32_t>(done);
+                    if (d == 15) {
+                        std::uint32_t len = 0;
+                        co_await sync::lengthEstimate(env, q, len);
+                        if (!len)
+                            break;
+                    }
+                    co_await env.compute(30);
+                }
+            }
+        });
+    m.run(w);
+    EXPECT_EQ(consumed, 15u * 4u);
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the coroutine runtime (SimProcess / SubTask) and the Env
+ * awaitables: nesting, value typing, and process lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "tango/process.hh"
+#include "tango/sync.hh"
+
+using namespace dashsim;
+
+namespace {
+
+class Lambda : public Workload
+{
+  public:
+    using Setup = std::function<void(Machine &)>;
+    using Body = std::function<SimProcess(Env)>;
+
+    Lambda(Setup s, Body b) : _setup(std::move(s)), _body(std::move(b)) {}
+
+    std::string name() const override { return "tango-lambda"; }
+    void setup(Machine &m) override { _setup(m); }
+    SimProcess run(Env env) override { return _body(env); }
+
+  private:
+    Setup _setup;
+    Body _body;
+};
+
+Addr gData = 0;
+
+void
+setupData(Machine &m)
+{
+    gData = m.memory().allocRoundRobin(64 * 1024);
+}
+
+MachineConfig
+oneNode()
+{
+    MachineConfig cfg;
+    cfg.mem.numNodes = 1;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Tango, SimProcessStartsSuspended)
+{
+    bool ran = false;
+    auto make = [&]() -> SimProcess {
+        ran = true;
+        co_return;
+    };
+    SimProcess p = make();
+    EXPECT_FALSE(ran);         // created suspended
+    EXPECT_FALSE(p.done());
+    p.handle().resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(p.done());
+}
+
+TEST(Tango, SimProcessMoveTransfersOwnership)
+{
+    auto make = []() -> SimProcess { co_return; };
+    SimProcess a = make();
+    SimProcess b = std::move(a);
+    EXPECT_FALSE(b.done());
+    b.handle().resume();
+    EXPECT_TRUE(b.done());
+}
+
+TEST(Tango, TypedReadsRoundTripAllWidths)
+{
+    Machine m(oneNode());
+    bool checked = false;
+    Lambda w(setupData, [&checked](Env env) -> SimProcess {
+        co_await env.write<std::uint8_t>(gData + 0, 0xab);
+        co_await env.write<std::uint16_t>(gData + 2, 0xbeef);
+        co_await env.write<std::uint32_t>(gData + 4, 0xcafebabe);
+        co_await env.write<std::uint64_t>(gData + 8,
+                                          0x1122334455667788ull);
+        co_await env.write<float>(gData + 16, 2.5f);
+        co_await env.write<double>(gData + 24, -7.25);
+
+        EXPECT_EQ(co_await env.read<std::uint8_t>(gData + 0), 0xab);
+        EXPECT_EQ(co_await env.read<std::uint16_t>(gData + 2), 0xbeef);
+        EXPECT_EQ(co_await env.read<std::uint32_t>(gData + 4),
+                  0xcafebabeu);
+        EXPECT_EQ(co_await env.read<std::uint64_t>(gData + 8),
+                  0x1122334455667788ull);
+        EXPECT_FLOAT_EQ(co_await env.read<float>(gData + 16), 2.5f);
+        EXPECT_DOUBLE_EQ(co_await env.read<double>(gData + 24), -7.25);
+        checked = true;
+    });
+    m.run(w);
+    EXPECT_TRUE(checked);
+}
+
+namespace {
+
+SubTask
+leaf(Env env, Addr a, int depth)
+{
+    auto v = co_await env.read<std::uint32_t>(a);
+    co_await env.compute(3);
+    co_await env.write<std::uint32_t>(a, v + depth);
+}
+
+SubTask
+middle(Env env, Addr a)
+{
+    co_await leaf(env, a, 1);
+    co_await leaf(env, a, 10);
+    co_await env.compute(2);
+}
+
+} // namespace
+
+TEST(Tango, SubTasksNestAcrossSuspensions)
+{
+    Machine m(oneNode());
+    Lambda w(setupData, [](Env env) -> SimProcess {
+        co_await env.write<std::uint32_t>(gData, 100);
+        co_await middle(env, gData);   // two nested levels
+        co_await leaf(env, gData, 1000);
+    });
+    m.run(w);
+    EXPECT_EQ(m.memory().load<std::uint32_t>(gData), 1111u);
+}
+
+TEST(Tango, SubTaskLoopManyIterations)
+{
+    // Exercises SubTask frame churn: thousands of create/await/destroy
+    // cycles with real suspensions inside.
+    Machine m(oneNode());
+    Lambda w(setupData, [](Env env) -> SimProcess {
+        for (int i = 0; i < 2000; ++i)
+            co_await leaf(env, gData + 16 * (i % 64), 1);
+    });
+    m.run(w);
+    std::uint32_t sum = 0;
+    for (int s = 0; s < 64; ++s)
+        sum += m.memory().load<std::uint32_t>(gData + 16 * s);
+    EXPECT_EQ(sum, 2000u);
+}
+
+TEST(Tango, EnvIdentityAndConfig)
+{
+    MachineConfig cfg;
+    cfg.cpu.numContexts = 2;
+    cfg.cpu.prefetch = true;
+    Machine m(cfg);
+    std::vector<int> seen(32, 0);
+    Lambda w(setupData, [&seen](Env env) -> SimProcess {
+        EXPECT_EQ(env.nprocs(), 32u);
+        EXPECT_EQ(env.node(), env.pid() % 16);
+        EXPECT_TRUE(env.prefetching());
+        seen[env.pid()]++;
+        co_await env.compute(1);
+    });
+    m.run(w);
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST(Tango, ProcessesFinishIndependently)
+{
+    // Wildly unequal process lengths must all complete and the end
+    // tick must reflect the slowest.
+    Machine m(MachineConfig{});
+    Lambda w(setupData, [](Env env) -> SimProcess {
+        co_await env.compute(1 + 500 * env.pid());
+    });
+    auto r = m.run(w);
+    EXPECT_EQ(r.execTime, 1u + 500u * 15u);
+}
+
+TEST(Tango, ComputeZeroIsHarmless)
+{
+    Machine m(oneNode());
+    Lambda w(setupData, [](Env env) -> SimProcess {
+        co_await env.compute(0);
+        co_await env.compute(5);
+        co_await env.compute(0);
+    });
+    auto r = m.run(w);
+    EXPECT_EQ(r.busyCycles, 5u);
+}
