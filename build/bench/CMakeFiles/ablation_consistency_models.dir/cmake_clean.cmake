@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_consistency_models.dir/ablation_consistency_models.cc.o"
+  "CMakeFiles/ablation_consistency_models.dir/ablation_consistency_models.cc.o.d"
+  "ablation_consistency_models"
+  "ablation_consistency_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_consistency_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

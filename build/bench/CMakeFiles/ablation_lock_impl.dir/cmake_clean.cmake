@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_impl.dir/ablation_lock_impl.cc.o"
+  "CMakeFiles/ablation_lock_impl.dir/ablation_lock_impl.cc.o.d"
+  "ablation_lock_impl"
+  "ablation_lock_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_problem_size.dir/ablation_problem_size.cc.o"
+  "CMakeFiles/ablation_problem_size.dir/ablation_problem_size.cc.o.d"
+  "ablation_problem_size"
+  "ablation_problem_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_problem_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pthor_sched.dir/ablation_pthor_sched.cc.o"
+  "CMakeFiles/ablation_pthor_sched.dir/ablation_pthor_sched.cc.o.d"
+  "ablation_pthor_sched"
+  "ablation_pthor_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pthor_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

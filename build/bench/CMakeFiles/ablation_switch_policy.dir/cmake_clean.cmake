@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_policy.dir/ablation_switch_policy.cc.o"
+  "CMakeFiles/ablation_switch_policy.dir/ablation_switch_policy.cc.o.d"
+  "ablation_switch_policy"
+  "ablation_switch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_caches.dir/fig2_caches.cc.o"
+  "CMakeFiles/fig2_caches.dir/fig2_caches.cc.o.d"
+  "fig2_caches"
+  "fig2_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

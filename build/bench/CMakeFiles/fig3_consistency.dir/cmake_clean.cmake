@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_consistency.dir/fig3_consistency.cc.o"
+  "CMakeFiles/fig3_consistency.dir/fig3_consistency.cc.o.d"
+  "fig3_consistency"
+  "fig3_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_prefetch.dir/fig4_prefetch.cc.o"
+  "CMakeFiles/fig4_prefetch.dir/fig4_prefetch.cc.o.d"
+  "fig4_prefetch"
+  "fig4_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_contexts.dir/fig5_contexts.cc.o"
+  "CMakeFiles/fig5_contexts.dir/fig5_contexts.cc.o.d"
+  "fig5_contexts"
+  "fig5_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

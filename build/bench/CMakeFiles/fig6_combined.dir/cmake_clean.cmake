@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_combined.dir/fig6_combined.cc.o"
+  "CMakeFiles/fig6_combined.dir/fig6_combined.cc.o.d"
+  "fig6_combined"
+  "fig6_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_shapes.dir/verify_shapes.cc.o"
+  "CMakeFiles/verify_shapes.dir/verify_shapes.cc.o.d"
+  "verify_shapes"
+  "verify_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

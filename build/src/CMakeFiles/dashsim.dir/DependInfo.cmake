@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/lu.cc" "src/CMakeFiles/dashsim.dir/apps/lu.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/apps/lu.cc.o.d"
+  "/root/repo/src/apps/mp3d.cc" "src/CMakeFiles/dashsim.dir/apps/mp3d.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/apps/mp3d.cc.o.d"
+  "/root/repo/src/apps/pthor.cc" "src/CMakeFiles/dashsim.dir/apps/pthor.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/apps/pthor.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/dashsim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/inspect.cc" "src/CMakeFiles/dashsim.dir/core/inspect.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/core/inspect.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/dashsim.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/dashsim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/core/report.cc.o.d"
+  "/root/repo/src/cpu/processor.cc" "src/CMakeFiles/dashsim.dir/cpu/processor.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/cpu/processor.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/dashsim.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/dashsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/tango/sync.cc" "src/CMakeFiles/dashsim.dir/tango/sync.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/tango/sync.cc.o.d"
+  "/root/repo/src/tango/trace.cc" "src/CMakeFiles/dashsim.dir/tango/trace.cc.o" "gcc" "src/CMakeFiles/dashsim.dir/tango/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashsim.dir/apps/lu.cc.o"
+  "CMakeFiles/dashsim.dir/apps/lu.cc.o.d"
+  "CMakeFiles/dashsim.dir/apps/mp3d.cc.o"
+  "CMakeFiles/dashsim.dir/apps/mp3d.cc.o.d"
+  "CMakeFiles/dashsim.dir/apps/pthor.cc.o"
+  "CMakeFiles/dashsim.dir/apps/pthor.cc.o.d"
+  "CMakeFiles/dashsim.dir/core/experiment.cc.o"
+  "CMakeFiles/dashsim.dir/core/experiment.cc.o.d"
+  "CMakeFiles/dashsim.dir/core/inspect.cc.o"
+  "CMakeFiles/dashsim.dir/core/inspect.cc.o.d"
+  "CMakeFiles/dashsim.dir/core/machine.cc.o"
+  "CMakeFiles/dashsim.dir/core/machine.cc.o.d"
+  "CMakeFiles/dashsim.dir/core/report.cc.o"
+  "CMakeFiles/dashsim.dir/core/report.cc.o.d"
+  "CMakeFiles/dashsim.dir/cpu/processor.cc.o"
+  "CMakeFiles/dashsim.dir/cpu/processor.cc.o.d"
+  "CMakeFiles/dashsim.dir/mem/mem_system.cc.o"
+  "CMakeFiles/dashsim.dir/mem/mem_system.cc.o.d"
+  "CMakeFiles/dashsim.dir/sim/logging.cc.o"
+  "CMakeFiles/dashsim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/dashsim.dir/tango/sync.cc.o"
+  "CMakeFiles/dashsim.dir/tango/sync.cc.o.d"
+  "CMakeFiles/dashsim.dir/tango/trace.cc.o"
+  "CMakeFiles/dashsim.dir/tango/trace.cc.o.d"
+  "libdashsim.a"
+  "libdashsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_behavior_test.dir/app_behavior_test.cc.o"
+  "CMakeFiles/app_behavior_test.dir/app_behavior_test.cc.o.d"
+  "app_behavior_test"
+  "app_behavior_test.pdb"
+  "app_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_interplay_test.dir/extension_interplay_test.cc.o"
+  "CMakeFiles/extension_interplay_test.dir/extension_interplay_test.cc.o.d"
+  "extension_interplay_test"
+  "extension_interplay_test.pdb"
+  "extension_interplay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_interplay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_memory_test.dir/shared_memory_test.cc.o"
+  "CMakeFiles/shared_memory_test.dir/shared_memory_test.cc.o.d"
+  "shared_memory_test"
+  "shared_memory_test.pdb"
+  "shared_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

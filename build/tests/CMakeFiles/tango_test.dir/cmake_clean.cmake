@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tango_test.dir/tango_test.cc.o"
+  "CMakeFiles/tango_test.dir/tango_test.cc.o.d"
+  "tango_test"
+  "tango_test.pdb"
+  "tango_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tango_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

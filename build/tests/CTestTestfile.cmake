@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/app_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_interplay_test[1]_include.cmake")
+include("/root/repo/build/tests/inspect_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_system_test[1]_include.cmake")
+include("/root/repo/build/tests/processor_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/resource_test[1]_include.cmake")
+include("/root/repo/build/tests/shared_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_util_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/tango_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
