@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Litmus demo: run the memory-consistency litmus kernels (message
+ * passing, store buffering, IRIW) under sequential and release
+ * consistency and print the outcome histograms.
+ *
+ * The interesting column is the SC-forbidden outcome count: it must be
+ * zero under SC, while under RC the message-passing and store-buffering
+ * reorderings become observable. IRIW stays at zero under both models
+ * because values commit through a single arena in completion-time
+ * order, i.e. writes are store-atomic.
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/litmus_demo
+ */
+
+#include <cstdio>
+
+#include "check/litmus.hh"
+
+using namespace dashsim;
+
+int
+main()
+{
+    constexpr unsigned iters = 64;
+    for (LitmusKind k : {LitmusKind::MessagePassing,
+                         LitmusKind::StoreBuffering, LitmusKind::Iriw}) {
+        for (Consistency model : {Consistency::SC, Consistency::RC}) {
+            LitmusResult r = runLitmus(k, model, iters);
+            std::printf("%-16s under %s: %llu/%llu reordered\n",
+                        litmusKindName(k),
+                        model == Consistency::SC ? "SC" : "RC",
+                        static_cast<unsigned long long>(r.reordered),
+                        static_cast<unsigned long long>(r.iterations));
+            for (const auto &[outcome, count] : r.outcomes)
+                std::printf("    %-28s %llu\n", outcome.c_str(),
+                            static_cast<unsigned long long>(count));
+        }
+    }
+    return 0;
+}

@@ -239,10 +239,16 @@ Pthor::run(Env env)
         }
         // Input values arrive through the net records (the wires);
         // the event counters stand in for Chandy-Misra timestamps.
-        auto v0 = co_await env.read<std::uint32_t>(naddr(in0) + nValue);
-        (void)co_await env.read<std::uint32_t>(naddr(in0) + nEvents);
-        auto v1 = co_await env.read<std::uint32_t>(naddr(in1) + nValue);
-        (void)co_await env.read<std::uint32_t>(naddr(in1) + nEvents);
+        // Reading a wire while its driver is mid-update is deliberate:
+        // a stale value is corrected by the re-evaluation the driver's
+        // event triggers, so these loads are labeled racy rather than
+        // serialized behind the driver's element.
+        auto v0 =
+            co_await env.readRacy<std::uint32_t>(naddr(in0) + nValue);
+        (void)co_await env.readRacy<std::uint32_t>(naddr(in0) + nEvents);
+        auto v1 =
+            co_await env.readRacy<std::uint32_t>(naddr(in1) + nValue);
+        (void)co_await env.readRacy<std::uint32_t>(naddr(in1) + nEvents);
         co_await env.compute(16);
         std::uint32_t out =
             evalGate(static_cast<GateType>(type), v0, v1);
@@ -388,8 +394,11 @@ Pthor::run(Env env)
                 co_await sync::lengthEstimate(env, qref(pid, q), len);
                 pending += len;
             }
+            // Every process with pending work raises the same flag;
+            // the concurrent same-value stores are deliberate (labeled
+            // racy), saving a lock on the hot termination path.
             if (pending)
-                co_await env.write<std::uint32_t>(anyWorkAddr, 1);
+                co_await env.writeRacy<std::uint32_t>(anyWorkAddr, 1);
             co_await env.barrier(barrierAddr, nprocs);
             auto any = co_await env.read<std::uint32_t>(anyWorkAddr);
             if (!any)

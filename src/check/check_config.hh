@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Configuration for the protocol-verification layer (src/check): the
+ * coherence-invariant checker and the happens-before race detector.
+ *
+ * Both verifiers are runtime-switchable. The default follows the build
+ * type (on in debug builds, off in release builds, where the timing
+ * model should run at full speed) and can be overridden either way
+ * with the DASHSIM_CHECK environment variable; the test suite forces
+ * DASHSIM_CHECK=1 so every test runs fully verified.
+ */
+
+#ifndef CHECK_CHECK_CONFIG_HH
+#define CHECK_CHECK_CONFIG_HH
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace dashsim {
+
+/** Build/environment default for both verifiers. */
+inline bool
+defaultChecksOn()
+{
+    if (const char *e = std::getenv("DASHSIM_CHECK"))
+        return e[0] != '\0' && e[0] != '0';
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+/** Knobs for the verification layer owned by a Machine. */
+struct CheckConfig
+{
+    /** Cross-validate directory / cache-tag / MSHR state. */
+    bool coherence = defaultChecksOn();
+
+    /** Run the happens-before race detector over the reference stream. */
+    bool race = defaultChecksOn();
+
+    /**
+     * Full-state audit every this many protocol transitions (the
+     * per-transition check only examines the affected line). 0 turns
+     * the periodic audit off; the end-of-run audit always runs.
+     */
+    std::uint64_t auditInterval = 4096;
+
+    /** panic() on the first coherence violation instead of collecting. */
+    bool failFast = true;
+};
+
+} // namespace dashsim
+
+#endif // CHECK_CHECK_CONFIG_HH

@@ -1,0 +1,219 @@
+#include "check/invariant.hh"
+
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace dashsim {
+
+const char *
+violationKindName(InvariantViolation::Kind k)
+{
+    switch (k) {
+      case InvariantViolation::Kind::DirtyExclusive:
+        return "dirty-exclusive";
+      case InvariantViolation::Kind::SharedClean:
+        return "shared-clean";
+      case InvariantViolation::Kind::UncachedEmpty:
+        return "uncached-empty";
+      case InvariantViolation::Kind::Inclusion:
+        return "inclusion";
+      case InvariantViolation::Kind::MshrPresent:
+        return "mshr-present";
+    }
+    return "?";
+}
+
+namespace {
+
+const char *
+stateName(DirEntry::State s)
+{
+    switch (s) {
+      case DirEntry::State::Uncached:
+        return "Uncached";
+      case DirEntry::State::Shared:
+        return "Shared";
+      case DirEntry::State::Dirty:
+        return "Dirty";
+    }
+    return "?";
+}
+
+const char *
+stateName(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid:
+        return "I";
+      case LineState::Shared:
+        return "S";
+      case LineState::Dirty:
+        return "D";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+CoherenceChecker::describeLine(Addr line, const DirEntry &e) const
+{
+    std::string s = detail::vformat(
+        "dir=%s sharers=%08x owner=%d wbPending=%d |", stateName(e.state),
+        e.sharers, e.owner == invalidNode ? -1 : static_cast<int>(e.owner),
+        msys.writebackPending(line) ? 1 : 0);
+    for (NodeId n = 0; n < msys.config().numNodes; ++n) {
+        LineState st = msys.secondaryStateOf(n, line);
+        bool p = msys.primaryHolds(n, line);
+        const MshrSet::Entry *m = msys.mshrEntryOf(n, line);
+        if (st == LineState::Invalid && !p && !m)
+            continue;
+        s += detail::vformat(" n%u:L2=%s%s", n, stateName(st),
+                             p ? "+L1" : "");
+        if (m)
+            s += detail::vformat(
+                " mshr(%s%s)", m->exclusive ? "excl" : "shrd",
+                m->poisoned ? ",poisoned" : "");
+    }
+    return s;
+}
+
+void
+CoherenceChecker::report(InvariantViolation::Kind k, Addr line,
+                         const DirEntry &e)
+{
+    if (!reported.emplace(static_cast<std::uint8_t>(k), line).second)
+        return;
+    InvariantViolation v;
+    v.kind = k;
+    v.line = line;
+    v.dir = e;
+    v.detail = describeLine(line, e);
+    if (cfg.failFast)
+        panic("coherence invariant '%s' violated at line %#llx: %s",
+              violationKindName(k),
+              static_cast<unsigned long long>(line), v.detail.c_str());
+    viol.push_back(std::move(v));
+}
+
+void
+CoherenceChecker::checkLine(Addr line)
+{
+    using Kind = InvariantViolation::Kind;
+    const DirEntry e = msys.dirSnapshot(line);
+    const NodeId nn = msys.config().numNodes;
+
+    for (NodeId n = 0; n < nn; ++n) {
+        LineState st = msys.secondaryStateOf(n, line);
+        const MshrSet::Entry *m = msys.mshrEntryOf(n, line);
+
+        // Inclusion: the primary cache only ever holds lines its
+        // secondary also holds (fills go through L2; invalidations and
+        // evictions drop both levels).
+        if (msys.primaryHolds(n, line) && st == LineState::Invalid)
+            report(Kind::Inclusion, line, e);
+
+        // A live fill means the line has not installed yet; finding it
+        // already in the secondary would double-install on response.
+        if (m && !m->poisoned && st != LineState::Invalid)
+            report(Kind::MshrPresent, line, e);
+    }
+
+    switch (e.state) {
+      case DirEntry::State::Dirty: {
+        if (e.owner == invalidNode || e.owner >= nn) {
+            report(Kind::DirtyExclusive, line, e);
+            break;
+        }
+        // The owner holds the only copy - either installed, still in
+        // flight (exclusive fill), or just evicted with the writeback
+        // message still traveling to the home.
+        const MshrSet::Entry *om = msys.mshrEntryOf(e.owner, line);
+        bool ownerOk =
+            msys.secondaryStateOf(e.owner, line) == LineState::Dirty ||
+            (om && !om->poisoned && om->exclusive) ||
+            msys.writebackPending(line);
+        if (!ownerOk)
+            report(Kind::DirtyExclusive, line, e);
+        for (NodeId n = 0; n < nn; ++n) {
+            if (n == e.owner)
+                continue;
+            const MshrSet::Entry *m = msys.mshrEntryOf(n, line);
+            if (msys.secondaryStateOf(n, line) != LineState::Invalid ||
+                msys.primaryHolds(n, line) || (m && !m->poisoned))
+                report(Kind::DirtyExclusive, line, e);
+        }
+        break;
+      }
+      case DirEntry::State::Shared: {
+        if (e.owner != invalidNode)
+            report(Kind::SharedClean, line, e);
+        for (NodeId n = 0; n < nn; ++n) {
+            LineState st = msys.secondaryStateOf(n, line);
+            // Holders must appear in the sharers mask (the mask may be
+            // a superset: clean evictions are silent).
+            if (st == LineState::Dirty ||
+                (st == LineState::Shared && !(e.sharers & (1u << n))))
+                report(Kind::SharedClean, line, e);
+            // An in-flight *exclusive* fill under a Shared entry means
+            // a sharing writeback failed to downgrade it.
+            const MshrSet::Entry *m = msys.mshrEntryOf(n, line);
+            if (m && !m->poisoned && m->exclusive)
+                report(Kind::SharedClean, line, e);
+        }
+        break;
+      }
+      case DirEntry::State::Uncached: {
+        for (NodeId n = 0; n < nn; ++n) {
+            const MshrSet::Entry *m = msys.mshrEntryOf(n, line);
+            if (msys.secondaryStateOf(n, line) != LineState::Invalid ||
+                msys.primaryHolds(n, line) || (m && !m->poisoned))
+                report(Kind::UncachedEmpty, line, e);
+        }
+        break;
+      }
+    }
+}
+
+void
+CoherenceChecker::onTransition(Addr line)
+{
+    ++transitions;
+    checkLine(lineAddr(line));
+    if (cfg.auditInterval && transitions % cfg.auditInterval == 0)
+        auditAll();
+}
+
+void
+CoherenceChecker::auditAll()
+{
+    ++audits;
+    std::unordered_set<Addr> lines;
+    msys.forEachDirLine(
+        [&](Addr line, const DirEntry &) { lines.insert(line); });
+    msys.forEachCachedLine(
+        [&](NodeId, Addr line, LineState) { lines.insert(line); });
+    msys.forEachPrimaryLine(
+        [&](NodeId, Addr line) { lines.insert(line); });
+    msys.forEachMshr(
+        [&](NodeId, Addr line, const MshrSet::Entry &) {
+            lines.insert(line);
+        });
+    for (Addr line : lines)
+        checkLine(line);
+}
+
+void
+CoherenceChecker::finalAudit()
+{
+    auditAll();
+    // Once the event queue drained, every fill response has been
+    // delivered, so no MSHR (poisoned or not) may remain.
+    msys.forEachMshr([&](NodeId, Addr line, const MshrSet::Entry &) {
+        report(InvariantViolation::Kind::MshrPresent, line,
+               msys.dirSnapshot(line));
+    });
+}
+
+} // namespace dashsim

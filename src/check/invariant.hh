@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Coherence-invariant checker: cross-validates the directory against
+ * the per-node cache tags and MSHRs after every protocol transition.
+ *
+ * The memory system updates directory and cache state eagerly (at
+ * transaction-walk time) while data values commit later, so the
+ * invariants are phrased over that eager state plus the explicitly
+ * modeled in-flight windows:
+ *
+ *  - a Dirty directory entry's owner may hold the line in its
+ *    secondary cache, OR have a live exclusive fill in flight (MSHR),
+ *    OR have a dirty-eviction writeback on its way to the home;
+ *  - Shared entries list a *superset* of the actual holders, because
+ *    clean evictions are silent (the directory is never told);
+ *  - a line present in a primary cache must also be in that node's
+ *    secondary cache (inclusion);
+ *  - a live (non-poisoned) MSHR means the fill has not installed yet,
+ *    so the line must not simultaneously be in the secondary cache.
+ */
+
+#ifndef CHECK_INVARIANT_HH
+#define CHECK_INVARIANT_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/check_config.hh"
+#include "mem/mem_system.hh"
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/** One detected coherence-protocol inconsistency. */
+struct InvariantViolation
+{
+    enum class Kind : std::uint8_t
+    {
+        DirtyExclusive, ///< Dirty line: owner lost it, or a second copy
+        SharedClean,    ///< Shared line: Dirty copy / holder not in mask
+        UncachedEmpty,  ///< Uncached line still cached or in flight
+        Inclusion,      ///< primary holds a line its secondary lost
+        MshrPresent,    ///< live MSHR for a line already in the secondary
+    };
+
+    Kind kind;
+    Addr line = 0;      ///< line address the violation is about
+    DirEntry dir;       ///< directory snapshot at detection time
+    std::string detail; ///< formatted per-node cache/MSHR states
+};
+
+/** Human-readable name of a violation kind. */
+const char *violationKindName(InvariantViolation::Kind k);
+
+/**
+ * The checker itself. Wire its onTransition into
+ * MemorySystem::setCheckHook; call finalAudit() after the event queue
+ * drains. Detection is O(numNodes) per transition; the periodic and
+ * final audits sweep every line known to the directory, any cache, or
+ * any MSHR.
+ */
+class CoherenceChecker
+{
+  public:
+    CoherenceChecker(const MemorySystem &msys, const CheckConfig &cfg)
+        : msys(msys), cfg(cfg)
+    {}
+
+    /** Incremental check of one line (the memory system's hook). */
+    void onTransition(Addr line);
+
+    /** Sweep every known line. */
+    void auditAll();
+
+    /** End-of-run audit; also flags MSHRs that never drained. */
+    void finalAudit();
+
+    const std::vector<InvariantViolation> &
+    violations() const
+    {
+        return viol;
+    }
+
+    std::uint64_t transitionsChecked() const { return transitions; }
+    std::uint64_t auditsRun() const { return audits; }
+
+  private:
+    void checkLine(Addr line);
+    void report(InvariantViolation::Kind k, Addr line, const DirEntry &e);
+    std::string describeLine(Addr line, const DirEntry &e) const;
+
+    const MemorySystem &msys;
+    CheckConfig cfg;
+    std::vector<InvariantViolation> viol;
+    /** (kind, line) pairs already reported, to avoid flooding. */
+    std::set<std::pair<std::uint8_t, Addr>> reported;
+    std::uint64_t transitions = 0;
+    std::uint64_t audits = 0;
+};
+
+} // namespace dashsim
+
+#endif // CHECK_INVARIANT_HH

@@ -1,0 +1,234 @@
+#include "check/litmus.hh"
+
+#include <array>
+#include <vector>
+
+#include "core/machine.hh"
+#include "sim/logging.hh"
+#include "tango/sync.hh"
+
+namespace dashsim {
+
+const char *
+litmusKindName(LitmusKind k)
+{
+    switch (k) {
+      case LitmusKind::MessagePassing:
+        return "message-passing";
+      case LitmusKind::StoreBuffering:
+        return "store-buffering";
+      case LitmusKind::Iriw:
+        return "iriw";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * All three kernels share the same shape: a reset phase, a barrier, the
+ * racing phase with per-iteration delay perturbation (to scan the
+ * relative timing of the two sides across the reordering window), and a
+ * closing barrier. Observed register values land in regs[iteration].
+ *
+ * Variable placement engineers the latency gap the reordering needs:
+ * the MP data line is home at the reader's node but owned dirty by a
+ * third node, so the writer's store takes the full 3-hop remote path
+ * (slow commit) while its flag store hits its own dirty line (fast).
+ */
+class LitmusWorkload : public Workload
+{
+  public:
+    LitmusWorkload(LitmusKind k, unsigned iters) : kind(k), iters(iters) {}
+
+    std::string
+    name() const override
+    {
+        return std::string("litmus-") + litmusKindName(kind);
+    }
+
+    void
+    setup(Machine &m) override
+    {
+        fatal_if(m.numProcesses() != 4, "litmus kernels need 4 processes");
+        SharedMemory &mem = m.memory();
+        switch (kind) {
+          case LitmusKind::MessagePassing:
+            // data: home at the reader (node 1), reset-owned by node 2.
+            // flag: home at the writer (node 0).
+            data = mem.allocLocal(lineBytes, 1, lineBytes);
+            flag = mem.allocLocal(lineBytes, 0, lineBytes);
+            break;
+          case LitmusKind::StoreBuffering:
+            // Each variable is home at the *other* writer's node, so a
+            // store is a remote upgrade (slow) while the cross-read of
+            // the locally-homed variable is fast.
+            x = mem.allocLocal(lineBytes, 1, lineBytes);
+            y = mem.allocLocal(lineBytes, 0, lineBytes);
+            break;
+          case LitmusKind::Iriw:
+            x = mem.allocLocal(lineBytes, 0, lineBytes);
+            y = mem.allocLocal(lineBytes, 1, lineBytes);
+            break;
+        }
+        bar = sync::allocBarrier(mem);
+        regs.assign(iters, {0, 0, 0, 0});
+    }
+
+    SimProcess
+    run(Env env) override
+    {
+        switch (kind) {
+          case LitmusKind::MessagePassing:
+            return runMp(env);
+          case LitmusKind::StoreBuffering:
+            return runSb(env);
+          case LitmusKind::Iriw:
+          default:
+            return runIriw(env);
+        }
+    }
+
+    LitmusKind kind;
+    unsigned iters;
+    Addr data = 0, flag = 0, x = 0, y = 0, bar = 0;
+    std::vector<std::array<std::uint32_t, 4>> regs;
+
+  private:
+    SimProcess
+    runMp(Env env)
+    {
+        const unsigned pid = env.pid();
+        for (unsigned i = 0; i < iters; ++i) {
+            if (pid == 2)
+                co_await env.write<std::uint32_t>(data, 0);
+            if (pid == 0)
+                co_await env.write<std::uint32_t>(flag, 0);
+            co_await env.barrier(bar, 4);
+            if (pid == 0) {
+                co_await env.compute(60);
+                co_await env.write<std::uint32_t>(data, 1);
+                co_await env.write<std::uint32_t>(flag, 1);
+            } else if (pid == 1) {
+                co_await env.compute(1 + i % 60);
+                auto f = co_await env.readRacy<std::uint32_t>(flag);
+                auto d = co_await env.readRacy<std::uint32_t>(data);
+                regs[i][0] = f;
+                regs[i][1] = d;
+            }
+            co_await env.barrier(bar, 4);
+        }
+    }
+
+    SimProcess
+    runSb(Env env)
+    {
+        const unsigned pid = env.pid();
+        for (unsigned i = 0; i < iters; ++i) {
+            if (pid == 0)
+                co_await env.write<std::uint32_t>(x, 0);
+            if (pid == 1)
+                co_await env.write<std::uint32_t>(y, 0);
+            co_await env.barrier(bar, 4);
+            // Warm both variables into both testers' caches so the
+            // cross-reads below can hit before the invalidations land.
+            if (pid < 2) {
+                (void)co_await env.readRacy<std::uint32_t>(x);
+                (void)co_await env.readRacy<std::uint32_t>(y);
+            }
+            co_await env.barrier(bar, 4);
+            if (pid == 0) {
+                co_await env.write<std::uint32_t>(x, 1);
+                regs[i][0] = co_await env.readRacy<std::uint32_t>(y);
+            } else if (pid == 1) {
+                co_await env.compute(1 + i % 32);
+                co_await env.write<std::uint32_t>(y, 1);
+                regs[i][1] = co_await env.readRacy<std::uint32_t>(x);
+            }
+            co_await env.barrier(bar, 4);
+        }
+    }
+
+    SimProcess
+    runIriw(Env env)
+    {
+        const unsigned pid = env.pid();
+        for (unsigned i = 0; i < iters; ++i) {
+            if (pid == 0)
+                co_await env.write<std::uint32_t>(x, 0);
+            if (pid == 1)
+                co_await env.write<std::uint32_t>(y, 0);
+            co_await env.barrier(bar, 4);
+            if (pid == 0) {
+                co_await env.compute(1 + i % 24);
+                co_await env.write<std::uint32_t>(x, 1);
+            } else if (pid == 1) {
+                co_await env.compute(1 + (i * 5) % 24);
+                co_await env.write<std::uint32_t>(y, 1);
+            } else if (pid == 2) {
+                co_await env.compute(1 + (i * 3) % 24);
+                regs[i][0] = co_await env.readRacy<std::uint32_t>(x);
+                regs[i][1] = co_await env.readRacy<std::uint32_t>(y);
+            } else {
+                co_await env.compute(1 + (i * 7) % 24);
+                regs[i][2] = co_await env.readRacy<std::uint32_t>(y);
+                regs[i][3] = co_await env.readRacy<std::uint32_t>(x);
+            }
+            co_await env.barrier(bar, 4);
+        }
+    }
+};
+
+} // namespace
+
+LitmusResult
+runLitmus(LitmusKind k, Consistency model, unsigned iterations)
+{
+    MachineConfig cfg;
+    cfg.mem.numNodes = 4;
+    cfg.cpu.consistency = model;
+    cfg.check.race = false; // the kernels race on purpose
+
+    // Stretch the remote write-ownership latencies far beyond Table 1.
+    // Whether the forbidden outcome can appear is decided by the
+    // consistency model (SC stalls on every store; RC pipelines them);
+    // the latencies only decide whether the legal reordering window is
+    // wide enough to observe at a practical iteration count. At the
+    // paper's values the racing read completes a handful of cycles
+    // after the slow store commits, so RC's reordering - while
+    // architecturally permitted - would essentially never be sampled.
+    cfg.mem.lat.writeHome = 200;
+    cfg.mem.lat.writeRemote = 200;
+    Machine m(cfg);
+    LitmusWorkload w(k, iterations);
+    m.run(w);
+
+    LitmusResult r;
+    r.iterations = iterations;
+    for (const auto &v : w.regs) {
+        std::string key;
+        bool interesting = false;
+        switch (k) {
+          case LitmusKind::MessagePassing:
+            key = detail::vformat("flag=%u data=%u", v[0], v[1]);
+            interesting = v[0] == 1 && v[1] == 0;
+            break;
+          case LitmusKind::StoreBuffering:
+            key = detail::vformat("r0=%u r1=%u", v[0], v[1]);
+            interesting = v[0] == 0 && v[1] == 0;
+            break;
+          case LitmusKind::Iriw:
+            key = detail::vformat("r1=%u r2=%u r3=%u r4=%u", v[0], v[1],
+                                  v[2], v[3]);
+            interesting =
+                v[0] == 1 && v[1] == 0 && v[2] == 1 && v[3] == 0;
+            break;
+        }
+        r.outcomes[key]++;
+        if (interesting)
+            r.reordered++;
+    }
+    return r;
+}
+
+} // namespace dashsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Memory-consistency litmus harness: small two/four-process kernels
+ * run on the full simulated machine under a chosen consistency model,
+ * with outcome counting across perturbed iterations.
+ *
+ *  - MessagePassing (MP):  P0: data=1; flag=1.   P1: spin(flag); r=data.
+ *    flag=1 && data=0 is forbidden under SC; under RC the buffered
+ *    data write (slow, dirty-remote line) commits after the flag
+ *    write (fast, local line), so the stale outcome is observable.
+ *  - StoreBuffering (SB):  P0: x=1; r0=y.        P1: y=1; r1=x.
+ *    r0==0 && r1==0 is forbidden under SC; under RC reads bypass the
+ *    write buffer and both can complete before either write commits.
+ *  - Iriw: P0: x=1. P1: y=1. P2: r=x,y. P3: r=y,x. The exotic outcome
+ *    (the two readers disagree on the write order) requires
+ *    non-store-atomic writes; this machine commits values through a
+ *    single arena in completion-time order, so it can never appear -
+ *    under either model. The harness doubles as a store-atomicity
+ *    check.
+ */
+
+#ifndef CHECK_LITMUS_HH
+#define CHECK_LITMUS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cpu/cpu_config.hh"
+
+namespace dashsim {
+
+enum class LitmusKind : std::uint8_t
+{
+    MessagePassing,
+    StoreBuffering,
+    Iriw,
+};
+
+const char *litmusKindName(LitmusKind k);
+
+/** Outcome histogram of one litmus run. */
+struct LitmusResult
+{
+    std::uint64_t iterations = 0;
+    /** Iterations showing the SC-forbidden / exotic outcome. */
+    std::uint64_t reordered = 0;
+    /** Full histogram, keyed by a printable outcome string. */
+    std::map<std::string, std::uint64_t> outcomes;
+};
+
+/**
+ * Run @p iterations perturbed instances of litmus test @p k under
+ * consistency model @p model on a 4-node machine (coherence checking
+ * on, race detection off - the kernels race on purpose).
+ */
+LitmusResult runLitmus(LitmusKind k, Consistency model,
+                       unsigned iterations);
+
+} // namespace dashsim
+
+#endif // CHECK_LITMUS_HH

@@ -1,0 +1,189 @@
+#include "check/race.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dashsim {
+
+RaceDetector::RaceDetector(unsigned nprocs)
+    : nprocs(nprocs), vc(nprocs, VC(nprocs, 0))
+{
+    // Start each clock at 1 so epoch 0 means "never accessed".
+    for (unsigned p = 0; p < nprocs; ++p)
+        vc[p][p] = 1;
+}
+
+void
+RaceDetector::joinInto(VC &dst, const VC &src)
+{
+    for (unsigned i = 0; i < nprocs; ++i)
+        dst[i] = std::max(dst[i], src[i]);
+}
+
+void
+RaceDetector::acquire(unsigned pid, Addr a)
+{
+    auto it = syncVC.find(a);
+    if (it != syncVC.end())
+        joinInto(vc[pid], it->second);
+}
+
+void
+RaceDetector::release(unsigned pid, Addr a)
+{
+    VC &s = syncVC.try_emplace(a, nprocs, 0).first->second;
+    joinInto(s, vc[pid]);
+    vc[pid][pid]++;
+}
+
+void
+RaceDetector::acquireRelease(unsigned pid, Addr a)
+{
+    VC &s = syncVC.try_emplace(a, nprocs, 0).first->second;
+    joinInto(vc[pid], s);
+    s = vc[pid];
+    vc[pid][pid]++;
+}
+
+void
+RaceDetector::barrierArrive(unsigned pid, Addr a, unsigned participants)
+{
+    BarrierState &bs = barriers[a];
+    if (bs.acc.empty())
+        bs.acc.assign(nprocs, 0);
+    joinInto(bs.acc, vc[pid]);
+    bs.pids.push_back(pid);
+    if (++bs.count < participants)
+        return;
+    // Rendezvous complete: everyone's post-barrier clock is the join
+    // of all arrivals. Arrivals are recorded at issue, so this runs
+    // before any participant's first post-barrier operation reaches
+    // the stream.
+    for (unsigned p : bs.pids) {
+        vc[p] = bs.acc;
+        vc[p][p]++;
+    }
+    barriers.erase(a);
+}
+
+void
+RaceDetector::flagAcquire(unsigned pid, Addr a)
+{
+    acquire(pid, a);
+    // The releasing side of flag synchronization is a write to the
+    // flag word. Release-classified writes publish their full clock
+    // through syncVC (handled above); for a plain write we still have
+    // its epoch in the access history, which orders the writer's
+    // pre-flag operations before us.
+    auto it = memState.find(a);
+    if (it != memState.end() && it->second.wPid >= 0) {
+        std::uint32_t &c = vc[pid][it->second.wPid];
+        c = std::max(c, it->second.wClk);
+    }
+}
+
+void
+RaceDetector::reportRace(Addr a, unsigned firstPid, bool firstWrite,
+                         unsigned secondPid, bool secondWrite)
+{
+    if (!reportedAddrs.insert(a).second)
+        return;
+    found.push_back({a, firstPid, secondPid, firstWrite, secondWrite});
+}
+
+void
+RaceDetector::checkRead(unsigned pid, Addr a)
+{
+    MemState &s = memState[a];
+    if (s.wPid >= 0 && s.wPid != static_cast<std::int32_t>(pid) &&
+        s.wClk > vc[pid][s.wPid])
+        reportRace(a, s.wPid, true, pid, false);
+
+    std::uint32_t c = vc[pid][pid];
+    if (s.rVec) {
+        (*s.rVec)[pid] = c;
+    } else if (s.rPid < 0 || s.rPid == static_cast<std::int32_t>(pid) ||
+               s.rClk <= vc[pid][s.rPid]) {
+        // The previous read happens-before this one: keep one epoch.
+        s.rPid = static_cast<std::int32_t>(pid);
+        s.rClk = c;
+    } else {
+        // Concurrent readers: escalate to a full read vector.
+        s.rVec = std::make_unique<VC>(nprocs, 0);
+        (*s.rVec)[s.rPid] = s.rClk;
+        (*s.rVec)[pid] = c;
+        s.rPid = -1;
+    }
+}
+
+void
+RaceDetector::checkWrite(unsigned pid, Addr a)
+{
+    MemState &s = memState[a];
+    if (s.wPid >= 0 && s.wPid != static_cast<std::int32_t>(pid) &&
+        s.wClk > vc[pid][s.wPid])
+        reportRace(a, s.wPid, true, pid, true);
+    if (s.rVec) {
+        for (unsigned q = 0; q < nprocs; ++q)
+            if (q != pid && (*s.rVec)[q] > vc[pid][q])
+                reportRace(a, q, false, pid, true);
+    } else if (s.rPid >= 0 && s.rPid != static_cast<std::int32_t>(pid) &&
+               s.rClk > vc[pid][s.rPid]) {
+        reportRace(a, s.rPid, false, pid, true);
+    }
+    s.wPid = static_cast<std::int32_t>(pid);
+    s.wClk = vc[pid][pid];
+    // Reads before this write are ordered or already reported; later
+    // read-write checks only need reads that follow this write.
+    s.rPid = -1;
+    s.rVec.reset();
+}
+
+void
+RaceDetector::record(unsigned pid, const TraceOp &op)
+{
+    panic_if(pid >= nprocs, "race detector saw pid %u of %u", pid, nprocs);
+    ++ops;
+    switch (op.kind) {
+      case TraceOp::Kind::Read:
+        checkRead(pid, op.addr);
+        break;
+      case TraceOp::Kind::Write:
+        checkWrite(pid, op.addr);
+        break;
+      case TraceOp::Kind::WriteRelease:
+        checkWrite(pid, op.addr);
+        release(pid, op.addr);
+        break;
+      case TraceOp::Kind::Lock:
+      case TraceOp::Kind::QueuedLock:
+        acquire(pid, op.addr);
+        break;
+      case TraceOp::Kind::Unlock:
+      case TraceOp::Kind::QueuedUnlock:
+        release(pid, op.addr);
+        break;
+      case TraceOp::Kind::Barrier:
+        barrierArrive(pid, op.addr,
+                      static_cast<unsigned>(op.operand));
+        break;
+      case TraceOp::Kind::WaitFlag:
+        flagAcquire(pid, op.addr);
+        break;
+      case TraceOp::Kind::FetchAdd:
+      case TraceOp::Kind::TestAndSet:
+        acquireRelease(pid, op.addr);
+        break;
+      case TraceOp::Kind::Prefetch:
+      case TraceOp::Kind::PrefetchEx:
+      case TraceOp::Kind::ReadRacy:
+      case TraceOp::Kind::WriteRacy:
+        // Prefetches move no values; ReadRacy/WriteRacy are the
+        // proper-labeling annotations for deliberate races - all
+        // benign.
+        break;
+    }
+}
+
+} // namespace dashsim

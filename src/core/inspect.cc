@@ -64,6 +64,17 @@ inspectMemory(Machine &m, Tick exec_time)
         misses ? static_cast<double>(remote) /
                      static_cast<double>(misses)
                : 0.0;
+
+    if (CoherenceChecker *cc = m.coherenceChecker()) {
+        mi.checksEnabled = true;
+        mi.checkTransitions = cc->transitionsChecked();
+        mi.checkAudits = cc->auditsRun();
+        mi.coherenceViolations = cc->violations().size();
+    }
+    if (RaceDetector *rd = m.raceDetector()) {
+        mi.checksEnabled = true;
+        mi.racesDetected = rd->races().size();
+    }
     return mi;
 }
 
@@ -106,6 +117,17 @@ printInspection(std::ostream &os, const MemoryInspection &mi)
                           mi.prefetchesIssued),
                       static_cast<unsigned long long>(
                           mi.prefetchesDropped));
+        os << buf;
+    }
+    if (mi.checksEnabled) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  verification      %12llu checks, %llu audits, "
+            "%llu violations, %llu races\n",
+            static_cast<unsigned long long>(mi.checkTransitions),
+            static_cast<unsigned long long>(mi.checkAudits),
+            static_cast<unsigned long long>(mi.coherenceViolations),
+            static_cast<unsigned long long>(mi.racesDetected));
         os << buf;
     }
 }

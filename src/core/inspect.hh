@@ -34,6 +34,13 @@ struct MemoryInspection
 
     /** Fraction of misses serviced beyond the local node. */
     double remoteMissFraction = 0.0;
+
+    // --- verification layer (src/check), when enabled ---
+    bool checksEnabled = false;
+    std::uint64_t checkTransitions = 0; ///< incremental invariant checks
+    std::uint64_t checkAudits = 0;      ///< full-state sweeps
+    std::uint64_t coherenceViolations = 0;
+    std::uint64_t racesDetected = 0;
 };
 
 /** Gather the inspection from a machine after a run. */

@@ -15,6 +15,14 @@ Machine::Machine(const MachineConfig &cfg)
     msys.setFillHook([this](NodeId n, Tick when, bool prefetch) {
         procs[n]->onFillLockout(when, prefetch);
     });
+
+    if (cfg.check.coherence) {
+        coherence = std::make_unique<CoherenceChecker>(msys, cfg.check);
+        msys.setCheckHook(
+            [this](Addr line) { coherence->onTransition(line); });
+    }
+    if (cfg.check.race)
+        race = std::make_unique<RaceDetector>(numProcesses());
 }
 
 RunResult
@@ -35,11 +43,18 @@ Machine::run(Workload &w)
         };
     }
 
+    // The race detector listens to the same reference stream a trace
+    // recorder does; fan the stream out when both want it.
+    TeeSink tee(traceSink, race.get());
+    TraceSink *sink = traceSink;
+    if (race)
+        sink = traceSink ? static_cast<TraceSink *>(&tee) : race.get();
+
     for (unsigned pid = 0; pid < nprocs; ++pid) {
         NodeId node = nodeOfProcess(pid);
         ContextId ctx = pid / cfg.mem.numNodes;
         Context &c = procs[node]->context(ctx);
-        Env env(&c, &msys, pid, nprocs, traceSink);
+        Env env(&c, &msys, pid, nprocs, sink);
         processes.push_back(w.run(env));
         procs[node]->bindProcess(ctx, processes.back().handle());
     }
@@ -75,6 +90,10 @@ Machine::run(Workload &w)
     for (auto &p : procs)
         p->finalize(end_tick);
 
+    // With the event queue drained the protocol must be quiescent.
+    if (coherence)
+        coherence->finalAudit();
+
     w.verify(*this);
 
     // --- collect results ---
@@ -107,6 +126,10 @@ Machine::run(Workload &w)
     r.busyCycles = r.bucket(Bucket::Busy);
     r.readHitPct = msys.totalReadHits().percent();
     r.writeHitPct = msys.totalWriteHits().percent();
+    if (coherence)
+        r.coherenceViolations = coherence->violations().size();
+    if (race)
+        r.racesDetected = race->races().size();
 
     // Median run length / mean miss latency, pooled across processors.
     // (SampleStat cannot merge medians exactly; use the widest node as

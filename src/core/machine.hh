@@ -18,6 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "check/check_config.hh"
+#include "check/invariant.hh"
+#include "check/race.hh"
 #include "cpu/processor.hh"
 #include "mem/mem_system.hh"
 #include "mem/shared_memory.hh"
@@ -57,6 +60,7 @@ struct MachineConfig
 {
     MemConfig mem{};
     CpuConfig cpu{};
+    CheckConfig check{};  ///< protocol-verification layer (src/check)
 };
 
 /** Everything a run produces. */
@@ -96,6 +100,10 @@ struct RunResult
 
     std::uint32_t numProcessors = 0;
     std::uint32_t numContexts = 1;
+
+    // --- verification-layer results (0 when the checkers are off) ---
+    std::uint64_t coherenceViolations = 0;
+    std::uint64_t racesDetected = 0;
 
     /** Sum of all buckets (>= numProcessors * execTime). */
     std::uint64_t
@@ -139,6 +147,12 @@ class Machine
     Processor &processor(NodeId n) { return *procs[n]; }
     const MachineConfig &config() const { return cfg; }
 
+    /** The coherence-invariant checker (null when disabled). */
+    CoherenceChecker *coherenceChecker() { return coherence.get(); }
+
+    /** The happens-before race detector (null when disabled). */
+    RaceDetector *raceDetector() { return race.get(); }
+
     /**
      * Install (or clear) a trace sink: every process's Env reports its
      * shared-memory operations there (tango/trace.hh). Must be set in
@@ -168,6 +182,8 @@ class Machine
     MemorySystem msys;
     std::vector<std::unique_ptr<Processor>> procs;
     TraceSink *traceSink = nullptr;
+    std::unique_ptr<CoherenceChecker> coherence;
+    std::unique_ptr<RaceDetector> race;
 };
 
 } // namespace dashsim

@@ -346,6 +346,13 @@ Processor::suspendPrefetchStall(Context *c, std::coroutine_handle<> h)
                  resumeContinuation(c, h));
 }
 
+void
+Processor::suspendPause(Context *c, Tick n, std::coroutine_handle<> h)
+{
+    Tick s = flushPending(c);
+    blockContext(c, s, s + n, StallReason::Sync, resumeContinuation(c, h));
+}
+
 Tick
 Processor::syncFenceTick(Context *c, Tick s) const
 {

@@ -220,6 +220,14 @@ class Processor
                       bool release, std::coroutine_handle<> h);
     void suspendWriteStall(Context *c, std::coroutine_handle<> h);
     void suspendPrefetchStall(Context *c, std::coroutine_handle<> h);
+
+    /**
+     * Yield the processor for @p n cycles. Unlike compute(), which only
+     * accrues busy time within the current grant, this genuinely blocks
+     * the context and lets the event queue (and other contexts) run —
+     * required by anything that polls simulator-level state.
+     */
+    void suspendPause(Context *c, Tick n, std::coroutine_handle<> h);
     void suspendRmw(Context *c, Addr a, RmwOp op, std::uint64_t operand,
                     unsigned size, std::coroutine_handle<> h);
     void suspendLock(Context *c, Addr a, std::coroutine_handle<> h);

@@ -76,6 +76,16 @@ class PrimaryCache
             l.valid = false;
     }
 
+    /** Call @p cb with the line address of every valid line. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&cb) const
+    {
+        for (const Line &l : lines)
+            if (l.valid)
+                cb(l.tag << lineShift);
+    }
+
   private:
     struct Line
     {
@@ -171,6 +181,16 @@ class SecondaryCache
             l.state = LineState::Invalid;
     }
 
+    /** Call @p cb(lineAddr, state) for every non-Invalid line. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&cb) const
+    {
+        for (const Line &l : lines)
+            if (l.state != LineState::Invalid)
+                cb(l.tag << lineShift, l.state);
+    }
+
   private:
     struct Line
     {
@@ -217,6 +237,22 @@ class MshrSet
     {
         auto it = entries.find(lineIndex(a));
         return it == entries.end() ? nullptr : &it->second;
+    }
+
+    const Entry *
+    find(Addr a) const
+    {
+        auto it = entries.find(lineIndex(a));
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
+    /** Call @p cb(lineAddr, entry) for every outstanding entry. */
+    template <typename Fn>
+    void
+    forEach(Fn &&cb) const
+    {
+        for (const auto &[line, e] : entries)
+            cb(line << lineShift, e);
     }
 
     /**

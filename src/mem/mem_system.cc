@@ -154,6 +154,11 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             e.owner != req) {
             // Sharing writeback: the previous owner keeps a Shared copy.
             nodes[e.owner].secondary.downgrade(line);
+            // The owner's exclusive fill may still be in flight; it must
+            // now install Shared, or its cache would diverge from the
+            // directory (Dirty copy under a Shared directory entry).
+            if (auto *m = nodes[e.owner].mshrs.find(line))
+                m->exclusive = false;
             e.sharers = 1u << e.owner;
             e.state = DirEntry::State::Shared;
             e.sharers |= 1u << req;
@@ -226,13 +231,27 @@ MemorySystem::writebackVictim(NodeId node, Addr victim_line, Tick t)
         arrive = w.stage(nodes[home].dir, 8 + L.netHop, L.dirOccupancy);
     }
     // The directory learns of the eviction when the message arrives.
+    pendingWritebacks[lineIndex(victim_line)]++;
     eq.scheduleAt(arrive, [this, victim_line, node]() {
         DirEntry &e = dirEntry(victim_line);
-        if (e.state == DirEntry::State::Dirty && e.owner == node) {
+        // The evictor may have re-requested the line while this message
+        // was in flight (its new fill walked the directory first and
+        // re-established ownership). A live MSHR or an installed copy at
+        // the evictor means the Dirty entry describes the *new* epoch,
+        // and this stale writeback must not clear it.
+        const bool refetched =
+            nodes[node].secondary.probe(victim_line) != LineState::Invalid ||
+            nodes[node].mshrs.find(victim_line) != nullptr;
+        if (e.state == DirEntry::State::Dirty && e.owner == node &&
+            !refetched) {
             e.state = DirEntry::State::Uncached;
             e.owner = invalidNode;
             e.sharers = 0;
         }
+        auto it = pendingWritebacks.find(lineIndex(victim_line));
+        if (it != pendingWritebacks.end() && --it->second == 0)
+            pendingWritebacks.erase(it);
+        noteTransition(victim_line);
     });
 }
 
@@ -243,23 +262,34 @@ MemorySystem::scheduleFill(NodeId node, Addr line, bool exclusive,
     eq.scheduleAt(t, [this, node, line, exclusive, prefetch]() {
         Node &nd = nodes[node];
         bool poisoned = false;
-        if (auto *m = nd.mshrs.find(line))
+        // The fill's ownership may have changed while it was in flight
+        // (a write upgraded it; a remote read's sharing writeback
+        // downgraded it), so the install state comes from the MSHR, not
+        // from the state captured at issue time.
+        bool excl = exclusive;
+        if (auto *m = nd.mshrs.find(line)) {
             poisoned = m->poisoned;
+            excl = m->exclusive;
+        }
         nd.mshrs.release(line);
-        if (poisoned)
+        if (poisoned) {
+            noteTransition(line);
             return;
+        }
         auto victim = nd.secondary.fill(
-            line, exclusive ? LineState::Dirty : LineState::Shared);
+            line, excl ? LineState::Dirty : LineState::Shared);
         if (victim.valid) {
             nd.primary.invalidate(victim.addr);
             if (victim.dirty)
                 writebackVictim(node, victim.addr, eq.now());
+            noteTransition(victim.addr);
         }
         nd.primary.fill(line);
         Tick busy_until = eq.now() + cfg.lat.primaryFillBusy;
         nd.primaryBusy = std::max(nd.primaryBusy, busy_until);
         if (prefetch)
             nd.pfFillBusy = std::max(nd.pfFillBusy, busy_until);
+        noteTransition(line);
         if (fillHook)
             fillHook(node, eq.now(), prefetch);
     });
@@ -457,7 +487,11 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
         nd.stats.sharedReadHits.record(true);
         nd.stats.serviceCount[static_cast<int>(o.level)]++;
         // Fill the primary cache when the line arrives from secondary.
+        // An invalidation (or eviction) may race the transfer; installing
+        // then would break the L1-subset-of-L2 inclusion property.
         eq.scheduleAt(o.complete, [this, node, a]() {
+            if (nodes[node].secondary.probe(a) == LineState::Invalid)
+                return;
             nodes[node].primary.fill(a);
             nodes[node].primaryBusy =
                 std::max(nodes[node].primaryBusy,
@@ -488,6 +522,7 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
     FillResult fr = walkFill(node, lineAddr(a), false, issue);
     nd.mshrs.allocate(lineAddr(a), fr.dataAt, fr.exclusiveGrant, false);
     scheduleFill(node, lineAddr(a), fr.exclusiveGrant, false, fr.dataAt);
+    noteTransition(lineAddr(a));
     o.complete = fr.dataAt;
     o.ackDone = fr.dataAt;
     o.level = fr.level;
@@ -536,15 +571,19 @@ MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
     } else {
         nd.stats.sharedWriteHits.record(false);
         if (auto *m = nd.mshrs.find(a)) {
-            // A fill is already outstanding. If it is not exclusive,
-            // upgrade it: walk an ownership transaction and extend it.
-            if (!m->exclusive) {
+            // A fill is already outstanding. If it is not exclusive -
+            // or was poisoned by a racing invalidation, revoking its
+            // right to install - upgrade it: walk a fresh ownership
+            // transaction and extend it.
+            if (!m->exclusive || m->poisoned) {
                 FillResult fr = walkFill(node, lineAddr(a), true, t);
                 m->exclusive = true;
+                m->poisoned = false;
                 m->complete = std::max(m->complete, fr.dataAt);
                 o.complete = fr.ownAt;
                 o.ackDone = fr.ackDone;
                 o.level = fr.level;
+                noteTransition(lineAddr(a));
             } else {
                 o.complete = std::max(m->complete, t + L.writeSecondary);
                 o.ackDone = o.complete;
@@ -557,6 +596,7 @@ MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
             o.complete = fr.ownAt;
             o.ackDone = fr.ackDone;
             o.level = fr.level;
+            noteTransition(lineAddr(a));
         } else {
             Tick issue = t;
             if (nd.mshrs.full())
@@ -567,6 +607,7 @@ MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
             o.complete = fr.ownAt;
             o.ackDone = fr.ackDone;
             o.level = fr.level;
+            noteTransition(lineAddr(a));
         }
     }
     nd.stats.serviceCount[static_cast<int>(o.level)]++;
@@ -674,17 +715,32 @@ MemorySystem::rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
         o.ackDone = o.complete;
         o.level = ServiceLevel::SecondaryHit;
         o.hit = true;
-    } else if (auto *m = nd.mshrs.find(a); m && m->exclusive) {
+    } else if (auto *m = nd.mshrs.find(a);
+               m && m->exclusive && !m->poisoned) {
         o.complete = std::max(m->complete, t + L.writeSecondary);
         o.ackDone = o.complete;
         o.level = ServiceLevel::Combined;
+    } else if (!m && nd.secondary.probe(a) == LineState::Shared) {
+        // Ownership upgrade of a Shared copy (control-only), like a
+        // write hit on Shared; the data is already cached.
+        FillResult fr = walkFill(node, lineAddr(a), true, t, false);
+        nd.secondary.upgrade(a);
+        o.complete = fr.ownAt;
+        o.ackDone = fr.ackDone;
+        o.level = fr.level;
+        noteTransition(lineAddr(a));
     } else {
         Tick issue = t;
         if (!m && nd.mshrs.full())
             issue = std::max(issue, nd.mshrs.earliestComplete());
         FillResult fr = walkFill(node, lineAddr(a), true, issue);
         if (m) {
+            // The fresh ownership transaction re-establishes the right
+            // to install: a fill poisoned by a racing invalidation is
+            // revived, or the directory would say Dirty here with no
+            // copy ever arriving.
             m->exclusive = true;
+            m->poisoned = false;
             m->complete = std::max(m->complete, fr.dataAt);
         } else {
             nd.mshrs.allocate(lineAddr(a), fr.dataAt, true, false);
@@ -694,6 +750,7 @@ MemorySystem::rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
         o.complete = fr.dataAt;
         o.ackDone = fr.ackDone;
         o.level = fr.level;
+        noteTransition(lineAddr(a));
     }
     nd.stats.serviceCount[static_cast<int>(o.level)]++;
 
@@ -775,16 +832,31 @@ MemorySystem::prefetch(NodeId node, Addr a, bool exclusive, Tick t)
     if (auto *m = nd.mshrs.find(a)) {
         // Already in flight; merge (an exclusive prefetch behind a
         // shared fill upgrades it so the write that follows is fast).
-        if (exclusive && !m->exclusive) {
+        if (exclusive && (!m->exclusive || m->poisoned)) {
             FillResult fr = walkFill(node, lineAddr(a), true, service);
             m->exclusive = true;
+            m->poisoned = false;
             m->complete = std::max(m->complete, fr.dataAt);
+            noteTransition(lineAddr(a));
         }
         pb.nextServiceFree = service + 1;
         pb.slots.insert(service + 1);
         o.dropped = true;
         o.complete = m->complete;
         nd.stats.prefetchesDropped++;
+        return o;
+    }
+    if (exclusive && st == LineState::Shared) {
+        // Exclusive prefetch of a line already cached Shared: ownership
+        // upgrade only (control traffic), no MSHR — the data is here.
+        FillResult fr = walkFill(node, lineAddr(a), true, service, false);
+        nd.secondary.upgrade(a);
+        noteTransition(lineAddr(a));
+        pb.nextServiceFree = service + 1;
+        pb.slots.insert(service + 1);
+        o.complete = fr.ownAt;
+        o.ackDone = fr.ackDone;
+        o.level = fr.level;
         return o;
     }
     if (nd.mshrs.full())
@@ -794,6 +866,7 @@ MemorySystem::prefetch(NodeId node, Addr a, bool exclusive, Tick t)
     const bool excl = exclusive || fr.exclusiveGrant;
     nd.mshrs.allocate(lineAddr(a), fr.dataAt, excl, true);
     scheduleFill(node, lineAddr(a), excl, true, fr.dataAt);
+    noteTransition(lineAddr(a));
     pb.nextServiceFree = service + 2;
     pb.slots.insert(service + 2);  // slot frees once issued onto the bus
     o.complete = fr.dataAt;

@@ -201,6 +201,105 @@ class MemorySystem
                                                    Addr a) const;
 
     // ------------------------------------------------------------------
+    // Protocol-verification interface (src/check). The hook fires after
+    // every coherence-state transition has reached a consistent point
+    // (directory, cache tags, and MSHRs all updated); the const
+    // accessors let a checker cross-validate the structures without
+    // friending into the timing model.
+    // ------------------------------------------------------------------
+
+    /** Called with the line address after each protocol transition. */
+    void
+    setCheckHook(std::function<void(Addr line)> hook)
+    {
+        checkHook = std::move(hook);
+    }
+
+    /** Directory entry for @p line (Uncached default if never touched). */
+    DirEntry
+    dirSnapshot(Addr line) const
+    {
+        auto it = directory.find(lineIndex(line));
+        return it == directory.end() ? DirEntry{} : it->second;
+    }
+
+    /** Secondary-cache state of @p line at @p node. */
+    LineState
+    secondaryStateOf(NodeId node, Addr line) const
+    {
+        return nodes[node].secondary.probe(line);
+    }
+
+    /** Primary-cache presence of @p line at @p node. */
+    bool
+    primaryHolds(NodeId node, Addr line) const
+    {
+        return nodes[node].primary.probe(line);
+    }
+
+    /** Outstanding MSHR entry of @p node for @p line, if any. */
+    const MshrSet::Entry *
+    mshrEntryOf(NodeId node, Addr line) const
+    {
+        return nodes[node].mshrs.find(line);
+    }
+
+    /** A dirty eviction of @p line is still in flight to its home. */
+    bool
+    writebackPending(Addr line) const
+    {
+        return pendingWritebacks.count(lineIndex(line)) != 0;
+    }
+
+    /** Call @p cb(lineAddr, entry) for every directory entry. */
+    template <typename Fn>
+    void
+    forEachDirLine(Fn &&cb) const
+    {
+        for (const auto &[idx, e] : directory)
+            cb(idx << lineShift, e);
+    }
+
+    /** Call @p cb(node, lineAddr, state) for every cached line. */
+    template <typename Fn>
+    void
+    forEachCachedLine(Fn &&cb) const
+    {
+        for (NodeId n = 0; n < cfg.numNodes; ++n) {
+            nodes[n].secondary.forEachLine(
+                [&](Addr line, LineState st) { cb(n, line, st); });
+        }
+    }
+
+    /** Call @p cb(node, lineAddr) for every primary-cache resident. */
+    template <typename Fn>
+    void
+    forEachPrimaryLine(Fn &&cb) const
+    {
+        for (NodeId n = 0; n < cfg.numNodes; ++n)
+            nodes[n].primary.forEachLine([&](Addr line) { cb(n, line); });
+    }
+
+    /** Call @p cb(node, lineAddr, entry) for every outstanding MSHR. */
+    template <typename Fn>
+    void
+    forEachMshr(Fn &&cb) const
+    {
+        for (NodeId n = 0; n < cfg.numNodes; ++n) {
+            nodes[n].mshrs.forEach(
+                [&](Addr line, const MshrSet::Entry &e) { cb(n, line, e); });
+        }
+    }
+
+    // Test-only state mutators: injected-violation tests corrupt the
+    // protocol state through these and assert the invariant checker
+    // fires. Never call them from simulation code.
+    DirEntry &debugDirEntry(Addr line) { return dirEntry(line); }
+    PrimaryCache &debugPrimary(NodeId n) { return nodes[n].primary; }
+    SecondaryCache &debugSecondary(NodeId n) { return nodes[n].secondary; }
+    MshrSet &debugMshrs(NodeId n) { return nodes[n].mshrs; }
+
+    // ------------------------------------------------------------------
     // Processor-visible hierarchy state.
     // ------------------------------------------------------------------
 
@@ -374,6 +473,14 @@ class MemorySystem
         std::deque<std::function<void(Tick)>> waiters;
     };
 
+    /** Invoke the protocol-verification hook, if installed. */
+    void
+    noteTransition(Addr line)
+    {
+        if (checkHook)
+            checkHook(line);
+    }
+
     EventQueue &eq;
     SharedMemory &mem;
     MemConfig cfg;
@@ -382,6 +489,9 @@ class MemorySystem
     std::unordered_map<Addr, QueuedLock> queuedLocks;
     std::unordered_map<Addr, std::vector<std::function<void()>>> watches;
     std::function<void(NodeId, Tick, bool)> fillHook;
+    std::function<void(Addr)> checkHook;
+    /** In-flight dirty-eviction messages by line index (ref-counted). */
+    std::unordered_map<Addr, unsigned> pendingWritebacks;
     std::uint64_t storeSeq = 0;
 };
 

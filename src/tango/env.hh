@@ -114,7 +114,14 @@ struct Write
     void await_resume() const {}
 };
 
-/** Atomic read-modify-write; resumes with the old value. */
+/**
+ * Atomic read-modify-write; resumes with the old value.
+ *
+ * Acquire-type operations report to the trace sink on *resume* rather
+ * than on issue: a lock acquisition is ordered after the release that
+ * handed it over, and recording at issue would let a happens-before
+ * analysis see the acquire before the release it synchronized with.
+ */
 struct Rmw
 {
     Context *c;
@@ -122,6 +129,9 @@ struct Rmw
     RmwOp op;
     std::uint64_t operand;
     unsigned size;
+    TraceSink *sink = nullptr;
+    unsigned pid = 0;
+    TraceOp traceOp{};
 
     bool await_ready() const { return false; }
 
@@ -131,7 +141,13 @@ struct Rmw
         c->proc->suspendRmw(c, a, op, operand, size, h);
     }
 
-    std::uint64_t await_resume() const { return c->rmwOld; }
+    std::uint64_t
+    await_resume() const
+    {
+        if (sink)
+            sink->record(pid, traceOp);
+        return c->rmwOld;
+    }
 };
 
 /** Acquire a spin lock (test&set with invalidation wakeup). */
@@ -139,6 +155,9 @@ struct Lock
 {
     Context *c;
     Addr a;
+    TraceSink *sink = nullptr;
+    unsigned pid = 0;
+    TraceOp traceOp{};
 
     bool await_ready() const { return false; }
 
@@ -148,7 +167,14 @@ struct Lock
         c->proc->suspendLock(c, a, h);
     }
 
-    void await_resume() const {}
+    void
+    await_resume() const
+    {
+        // Recorded at resume: the acquire is ordered after the release
+        // that made the lock available (see aw::Rmw).
+        if (sink)
+            sink->record(pid, traceOp);
+    }
 };
 
 /** Arrive at a sense-reversing barrier with @p n participants. */
@@ -164,6 +190,29 @@ struct Barrier
     await_suspend(std::coroutine_handle<> h) const
     {
         c->proc->suspendBarrier(c, a, n, h);
+    }
+
+    void await_resume() const {}
+};
+
+/**
+ * Yield the processor for a fixed number of cycles. compute() never
+ * suspends (busy cycles accrue within the current grant), so a loop of
+ * computes spins without ever letting simulated time advance; pause()
+ * is the primitive for polling simulator-level state (e.g. the trace
+ * replayer's sync-order gate).
+ */
+struct Pause
+{
+    Context *c;
+    Tick n;
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        c->proc->suspendPause(c, n, h);
     }
 
     void await_resume() const {}
@@ -230,12 +279,33 @@ class Env
         return {ctx, n};
     }
 
+    /** Block for @p n cycles, yielding the processor (see aw::Pause). */
+    aw::Pause
+    pause(Tick n) const
+    {
+        return {ctx, n};
+    }
+
     /** Blocking shared load. */
     template <typename T>
     aw::Read<T>
     read(Addr a) const
     {
         note(TraceOp::Kind::Read, a, 0, sizeof(T));
+        return {ctx, a};
+    }
+
+    /**
+     * Blocking shared load annotated as deliberately unsynchronized
+     * (a racy fast-path probe, like PTHOR's queue-length estimate).
+     * Identical timing to read(); the happens-before race detector
+     * treats it as benign instead of flagging a data race.
+     */
+    template <typename T>
+    aw::Read<T>
+    readRacy(Addr a) const
+    {
+        note(TraceOp::Kind::ReadRacy, a, 0, sizeof(T));
         return {ctx, a};
     }
 
@@ -249,20 +319,35 @@ class Env
         return {ctx, a, raw, sizeof(T), false};
     }
 
+    /**
+     * Shared store annotated as deliberately unsynchronized (e.g.
+     * MP3D's per-cell statistics, where the original program accepts
+     * occasional lost updates rather than pay for a lock). Identical
+     * timing to write(); exempt from race detection.
+     */
+    template <typename T>
+    aw::Write
+    writeRacy(Addr a, T v) const
+    {
+        std::uint64_t raw = rawOf(v);
+        note(TraceOp::Kind::WriteRacy, a, raw, sizeof(T));
+        return {ctx, a, raw, sizeof(T), false};
+    }
+
     /** Atomic fetch&add on a 32-bit counter; resumes with old value. */
     aw::Rmw
     fetchAdd(Addr a, std::uint32_t delta) const
     {
-        note(TraceOp::Kind::FetchAdd, a, delta, 4);
-        return {ctx, a, RmwOp::FetchAdd, delta, 4};
+        return {ctx,  a, RmwOp::FetchAdd, delta, 4, sink, _pid,
+                makeOp(TraceOp::Kind::FetchAdd, a, delta, 4)};
     }
 
     /** Atomic test&set on a 32-bit word; resumes with old value. */
     aw::Rmw
     testAndSet(Addr a) const
     {
-        note(TraceOp::Kind::TestAndSet, a, 0, 4);
-        return {ctx, a, RmwOp::TestAndSet, 0, 4};
+        return {ctx,  a, RmwOp::TestAndSet, 0, 4, sink, _pid,
+                makeOp(TraceOp::Kind::TestAndSet, a, 0, 4)};
     }
 
     /**
@@ -289,6 +374,9 @@ class Env
         Context *c;
         Addr a;
         std::uint32_t value;
+        TraceSink *sink = nullptr;
+        unsigned pid = 0;
+        TraceOp traceOp{};
 
         bool await_ready() const { return false; }
 
@@ -298,14 +386,21 @@ class Env
             c->proc->suspendWaitFlag(c, a, value, h);
         }
 
-        void await_resume() const {}
+        void
+        await_resume() const
+        {
+            // Acquire: recorded at resume, after the release that set
+            // the flag (see aw::Rmw).
+            if (sink)
+                sink->record(pid, traceOp);
+        }
     };
 
     WaitFlagAw
     waitFlag(Addr a, std::uint32_t value) const
     {
-        note(TraceOp::Kind::WaitFlag, a, value, 4);
-        return {ctx, a, value};
+        return {ctx, a, value, sink, _pid,
+                makeOp(TraceOp::Kind::WaitFlag, a, value, 4)};
     }
 
     /**
@@ -319,6 +414,9 @@ class Env
         Context *c;
         Addr a;
         bool acquire;
+        TraceSink *sink = nullptr;
+        unsigned pid = 0;
+        TraceOp traceOp{};
 
         bool await_ready() const { return false; }
 
@@ -331,18 +429,37 @@ class Env
                 c->proc->suspendQueuedUnlock(c, a, h);
         }
 
-        void await_resume() const {}
+        void
+        await_resume() const
+        {
+            // Acquires are recorded at resume (grant time); releases at
+            // issue would be fine but the symmetric point is harmless.
+            if (sink)
+                sink->record(pid, traceOp);
+        }
     };
 
-    QueuedLockAw lockQueued(Addr a) const { return {ctx, a, true}; }
-    QueuedLockAw unlockQueued(Addr a) const { return {ctx, a, false}; }
+    QueuedLockAw
+    lockQueued(Addr a) const
+    {
+        return {ctx, a, true, sink, _pid,
+                makeOp(TraceOp::Kind::QueuedLock, a, 0, 4)};
+    }
+
+    QueuedLockAw
+    unlockQueued(Addr a) const
+    {
+        // The release must be visible to the sink before any later
+        // acquire of the same lock resumes; record it at issue.
+        note(TraceOp::Kind::QueuedUnlock, a, 0, 4);
+        return {ctx, a, false};
+    }
 
     /** Acquire the spin lock at @p a. */
     aw::Lock
     lock(Addr a) const
     {
-        note(TraceOp::Kind::Lock, a, 0, 4);
-        return {ctx, a};
+        return {ctx, a, sink, _pid, makeOp(TraceOp::Kind::Lock, a, 0, 4)};
     }
 
     /**
@@ -399,19 +516,25 @@ class Env
         }
     }
 
-    /** Report an operation to the installed trace sink, if any. */
-    void
-    note(TraceOp::Kind k, Addr a, std::uint64_t operand,
-         unsigned size) const
+    /** Build the TraceOp describing an operation. */
+    static TraceOp
+    makeOp(TraceOp::Kind k, Addr a, std::uint64_t operand, unsigned size)
     {
-        if (!sink)
-            return;
         TraceOp op;
         op.kind = k;
         op.size = static_cast<std::uint8_t>(size ? size : 4);
         op.addr = a;
         op.operand = operand;
-        sink->record(_pid, op);
+        return op;
+    }
+
+    /** Report an operation to the installed trace sink, if any. */
+    void
+    note(TraceOp::Kind k, Addr a, std::uint64_t operand,
+         unsigned size) const
+    {
+        if (sink)
+            sink->record(_pid, makeOp(k, a, operand, size));
     }
 
     Context *ctx;

@@ -80,8 +80,11 @@ pop(Env env, TaskQueue q, std::uint64_t &item, bool &ok)
 SubTask
 lengthEstimate(Env env, TaskQueue q, std::uint32_t &len)
 {
-    auto head = co_await env.read<std::uint32_t>(q.headAddr());
-    auto tail = co_await env.read<std::uint32_t>(q.tailAddr());
+    // Deliberately unsynchronized peek at head/tail (PTHOR-style
+    // scheduling heuristic). The readRacy annotation marks the race as
+    // intentional so the program stays "properly labeled".
+    auto head = co_await env.readRacy<std::uint32_t>(q.headAddr());
+    auto tail = co_await env.readRacy<std::uint32_t>(q.tailAddr());
     len = tail - head;
     co_await env.compute(2);
 }

@@ -58,6 +58,13 @@ TraceRecorder::record(unsigned pid, const TraceOp &op)
         static_cast<std::uint32_t>(std::min<std::uint64_t>(
             pendingCompute[pid], UINT32_MAX));
     pendingCompute[pid] = 0;
+    // Lock acquisitions reach the sink at grant time, so a running
+    // per-lock counter captures the grant order; the ticket rides in
+    // the (otherwise unused) operand so TraceWorkload can optionally
+    // re-impose that order on a machine with different timing.
+    if (op.kind == TraceOp::Kind::Lock ||
+        op.kind == TraceOp::Kind::QueuedLock)
+        copy.operand = lockSeq[op.addr]++;
     trace.procs[pid].push_back(copy);
 }
 
@@ -155,10 +162,15 @@ TraceWorkload::run(Env env)
             break;
           }
           case TraceOp::Kind::Lock:
+            if (enforceSyncOrder)
+                while (grantSeq[op.addr] != op.operand)
+                    co_await env.pause(8);
             co_await env.lock(op.addr);
             break;
           case TraceOp::Kind::Unlock:
             co_await env.unlock(op.addr);
+            if (enforceSyncOrder)
+                grantSeq[op.addr]++;
             break;
           case TraceOp::Kind::Barrier:
             co_await env.barrier(
@@ -180,6 +192,53 @@ TraceWorkload::run(Env env)
             break;
           case TraceOp::Kind::TestAndSet:
             (void)co_await env.testAndSet(op.addr);
+            break;
+          case TraceOp::Kind::QueuedLock:
+            if (enforceSyncOrder)
+                while (grantSeq[op.addr] != op.operand)
+                    co_await env.pause(8);
+            co_await env.lockQueued(op.addr);
+            break;
+          case TraceOp::Kind::QueuedUnlock:
+            co_await env.unlockQueued(op.addr);
+            if (enforceSyncOrder)
+                grantSeq[op.addr]++;
+            break;
+          case TraceOp::Kind::ReadRacy:
+            switch (op.size) {
+              case 1:
+                (void)co_await env.readRacy<std::uint8_t>(op.addr);
+                break;
+              case 2:
+                (void)co_await env.readRacy<std::uint16_t>(op.addr);
+                break;
+              case 4:
+                (void)co_await env.readRacy<std::uint32_t>(op.addr);
+                break;
+              default:
+                (void)co_await env.readRacy<std::uint64_t>(op.addr);
+                break;
+            }
+            break;
+          case TraceOp::Kind::WriteRacy:
+            switch (op.size) {
+              case 1:
+                co_await env.writeRacy<std::uint8_t>(
+                    op.addr, static_cast<std::uint8_t>(op.operand));
+                break;
+              case 2:
+                co_await env.writeRacy<std::uint16_t>(
+                    op.addr, static_cast<std::uint16_t>(op.operand));
+                break;
+              case 4:
+                co_await env.writeRacy<std::uint32_t>(
+                    op.addr, static_cast<std::uint32_t>(op.operand));
+                break;
+              default:
+                co_await env.writeRacy<std::uint64_t>(op.addr,
+                                                      op.operand);
+                break;
+            }
             break;
         }
     }

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/machine.hh"
@@ -86,6 +87,8 @@ class TraceRecorder : public Workload, private TraceSink
     std::unique_ptr<Workload> inner;
     Trace trace;
     std::vector<std::uint64_t> pendingCompute;
+    /** Per-lock grant tickets (lock acquires are recorded at grant). */
+    std::unordered_map<Addr, std::uint32_t> lockSeq;
 };
 
 /**
@@ -103,8 +106,23 @@ class TraceWorkload : public Workload
 
     const Trace &traceData() const { return trace; }
 
+    /**
+     * When set, lock acquisitions replay in their recorded grant order
+     * (acquires are recorded at grant time, and each carries its
+     * per-lock ticket in the operand field). Replaying on a machine
+     * with different timing can otherwise grant contended locks in a
+     * different order, and since replayed writes carry recorded
+     * values, the last critical section to run decides the final
+     * memory contents. Off by default because same-model replay relies
+     * on re-running the contention (spins and all) to reproduce exact
+     * timing.
+     */
+    bool enforceSyncOrder = false;
+
   private:
     Trace trace;
+    /** Next ticket to grant per lock address (enforceSyncOrder). */
+    std::unordered_map<Addr, std::uint32_t> grantSeq;
 };
 
 /** Serialize a trace to @p path. Throws via fatal() on I/O errors. */

@@ -30,6 +30,22 @@ struct TraceOp
         PrefetchEx,   ///< read-exclusive prefetch
         FetchAdd,     ///< atomic fetch&add (operand = delta)
         TestAndSet,   ///< atomic test&set
+        QueuedLock,   ///< DASH queue-based lock acquire
+        QueuedUnlock, ///< DASH queue-based lock release
+        /**
+         * A deliberately unsynchronized read (e.g. PTHOR's lock-free
+         * queue-length estimate). Annotating such reads is what makes a
+         * program "properly labeled" in the paper's sense: the
+         * happens-before race detector treats them as benign.
+         */
+        ReadRacy,
+        /**
+         * A deliberately unsynchronized write (e.g. MP3D's lock-free
+         * per-cell statistics accumulation, which the original program
+         * tolerates losing updates on). The race-detector counterpart
+         * of ReadRacy.
+         */
+        WriteRacy,
     };
 
     Kind kind = Kind::Read;
@@ -58,6 +74,40 @@ class TraceSink
 
     /** @p pid executed @p n private busy cycles. */
     virtual void computeCycles(unsigned pid, Tick n) = 0;
+};
+
+/**
+ * Fans one operation stream out to two sinks (e.g. a TraceRecorder the
+ * workload installed plus the machine's own race detector).
+ */
+class TeeSink : public TraceSink
+{
+  public:
+    TeeSink(TraceSink *first, TraceSink *second)
+        : first(first), second(second)
+    {}
+
+    void
+    record(unsigned pid, const TraceOp &op) override
+    {
+        if (first)
+            first->record(pid, op);
+        if (second)
+            second->record(pid, op);
+    }
+
+    void
+    computeCycles(unsigned pid, Tick n) override
+    {
+        if (first)
+            first->computeCycles(pid, n);
+        if (second)
+            second->computeCycles(pid, n);
+    }
+
+  private:
+    TraceSink *first;
+    TraceSink *second;
 };
 
 } // namespace dashsim

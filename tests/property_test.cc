@@ -144,10 +144,12 @@ TEST_P(TechniqueGrid, MixedWorkloadInvariants)
         EXPECT_EQ(r1.bucket(Bucket::Switching), 0u);
         EXPECT_EQ(r1.bucket(Bucket::AllIdle), 0u);
     }
-    if (t.consistency == Consistency::RC)
+    if (t.consistency == Consistency::RC) {
         EXPECT_EQ(r1.bucket(Bucket::Write), 0u);
-    if (!t.prefetch)
+    }
+    if (!t.prefetch) {
         EXPECT_EQ(r1.prefetchesIssued, 0u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

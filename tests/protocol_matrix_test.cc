@@ -126,8 +126,9 @@ TEST_P(ProtocolMatrix, LatencyAndStateTransitions)
         o = ms.rmw(req, line, RmwOp::FetchAdd, 1, 4, t0, nullptr);
         break;
     }
-    if (c.expected_latency)
+    if (c.expected_latency) {
         EXPECT_EQ(o.complete - t0, c.expected_latency);
+    }
     EXPECT_EQ(o.hit, c.expected_hit);
     eq.run();
     eq.runUntil(eq.now() + 500);
@@ -144,8 +145,9 @@ TEST_P(ProtocolMatrix, LatencyAndStateTransitions)
     eq.run();
 
     // And the data committed.
-    if (c.op == Op::Write)
+    if (c.op == Op::Write) {
         EXPECT_EQ(mem.loadRaw(line, 4), 9u);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

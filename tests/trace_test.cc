@@ -132,12 +132,16 @@ TEST(Trace, ReplayMatchesOriginalTiming)
 TEST(Trace, ReplayUnderDifferentModel)
 {
     // The whole point of trace-driven mode: record once, replay under
-    // another technique. Synchronization is re-established, so the
-    // replay still verifies structurally (the counter in shared memory
-    // reaches 16 again because values are replayed too).
+    // another technique. Synchronization is re-established, and with
+    // enforceSyncOrder the contended lock is granted in its recorded
+    // order, so the replay still verifies structurally (the counter in
+    // shared memory reaches 16 again because values are replayed too;
+    // without order enforcement the different timing could let another
+    // critical section run last and leave its recorded value behind).
     Trace t = recordMixed(Technique::rc());
     Machine m(makeMachineConfig(Technique::sc()));
     TraceWorkload replay(std::move(t));
+    replay.enforceSyncOrder = true;
     RunResult r = m.run(replay);
     EXPECT_GT(r.execTime, 0u);
     EXPECT_GT(r.bucket(Bucket::Write), 0u);  // SC write stalls appear
