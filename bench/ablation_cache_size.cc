@@ -19,11 +19,24 @@ main()
                    "caches");
 
     MemConfig full = MemConfig::fullSizeCaches();
+
+    // One batch over the whole (app x technique x cache-size) grid.
+    RunBatch batch;
     for (auto &[name, factory] : workloads()) {
-        RunResult sc_s = runExperiment(factory, Technique::sc());
-        RunResult rc_s = runExperiment(factory, Technique::rc());
-        RunResult sc_f = runExperiment(factory, Technique::sc(), full);
-        RunResult rc_f = runExperiment(factory, Technique::rc(), full);
+        batch.add(factory, Technique::sc(), {}, name + " SC scaled");
+        batch.add(factory, Technique::rc(), {}, name + " RC scaled");
+        batch.add(factory, Technique::sc(), full, name + " SC full");
+        batch.add(factory, Technique::rc(), full, name + " RC full");
+    }
+    auto outcomes = batch.run();
+
+    std::size_t i = 0;
+    for (auto &[name, factory] : workloads()) {
+        (void)factory;
+        RunResult sc_s = takeResult(outcomes[i++]);
+        RunResult rc_s = takeResult(outcomes[i++]);
+        RunResult sc_f = takeResult(outcomes[i++]);
+        RunResult rc_f = takeResult(outcomes[i++]);
         std::printf("%-6s scaled: exec %9llu  rd-hit %4.1f%%  wr-hit "
                     "%4.1f%%  RC speedup %4.2f\n",
                     name.c_str(),

@@ -32,11 +32,22 @@ main()
 {
     printRunHeader("Ablation: contention modeling (SC and RC)");
 
+    RunBatch batch;
     for (auto &[name, factory] : workloads()) {
         for (auto cons : {Technique::sc(), Technique::rc()}) {
-            RunResult with = runExperiment(factory, cons);
-            RunResult without =
-                runExperiment(factory, cons, noContention());
+            batch.add(factory, cons, {}, name + " modeled");
+            batch.add(factory, cons, noContention(),
+                      name + " uncontended");
+        }
+    }
+    auto outcomes = batch.run();
+
+    std::size_t i = 0;
+    for (auto &[name, factory] : workloads()) {
+        (void)factory;
+        for (auto cons : {Technique::sc(), Technique::rc()}) {
+            RunResult with = takeResult(outcomes[i++]);
+            RunResult without = takeResult(outcomes[i++]);
             std::printf("%-6s %-3s  modeled exec %9llu  uncontended "
                         "%9llu  queueing adds %5.1f%%  "
                         "(miss lat %5.1f -> %5.1f)\n",

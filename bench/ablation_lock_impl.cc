@@ -80,11 +80,20 @@ main()
 
     std::printf("%-11s %-8s %12s %14s\n", "contenders", "lock",
                 "exec cycles", "lock retries");
+    RunBatch batch;
     for (unsigned contenders : {1u, 2u, 4u, 8u, 16u}) {
         for (bool queued : {false, true}) {
-            Machine m(makeMachineConfig(Technique::rc()));
-            LockStress w(queued, contenders);
-            RunResult r = m.run(w);
+            batch.add([queued, contenders] {
+                return std::make_unique<LockStress>(queued, contenders);
+            }, Technique::rc());
+        }
+    }
+    auto outcomes = batch.run();
+
+    std::size_t i = 0;
+    for (unsigned contenders : {1u, 2u, 4u, 8u, 16u}) {
+        for (bool queued : {false, true}) {
+            RunResult r = takeResult(outcomes[i++]);
             std::printf("%-11u %-8s %12llu %14llu\n", contenders,
                         queued ? "queued" : "t&t&s",
                         static_cast<unsigned long long>(r.execTime),

@@ -22,19 +22,26 @@ main()
     if (quickMode())
         base.n = 48;
 
-    Machine m0(makeMachineConfig(Technique::rc()));
-    Lu plain(base);
-    RunResult off = m0.run(plain);
+    RunBatch batch;
+    batch.add([base] { return std::make_unique<Lu>(base); },
+              Technique::rc(), {}, "no prefetch");
+    for (std::uint32_t dist : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        LuConfig lc = base;
+        lc.prefetchDistance = dist;
+        batch.add([lc] { return std::make_unique<Lu>(lc); },
+                  Technique::rcPrefetch(), {},
+                  "distance " + std::to_string(dist));
+    }
+    auto outcomes = batch.run();
+
+    RunResult off = takeResult(outcomes[0]);
     std::printf("%-14s exec %9llu  (baseline, RC, no prefetch)\n",
                 "no prefetch", static_cast<unsigned long long>(
                                    off.execTime));
 
+    std::size_t i = 1;
     for (std::uint32_t dist : {2u, 4u, 8u, 16u, 32u, 64u}) {
-        LuConfig lc = base;
-        lc.prefetchDistance = dist;
-        Machine m(makeMachineConfig(Technique::rcPrefetch()));
-        Lu w(lc);
-        RunResult r = m.run(w);
+        RunResult r = takeResult(outcomes[i++]);
         std::printf("distance %-5u exec %9llu  speedup %4.2f  "
                     "pf-overhead %4.1f%%  rd-hit %4.1f%%  "
                     "dropped %5.1f%%\n",

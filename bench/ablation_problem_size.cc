@@ -25,18 +25,23 @@ main()
                 "particle", "speedup");
 
     const std::uint32_t steps = quickMode() ? 1 : 3;
+    RunBatch batch;
     for (std::uint32_t particles :
          {2500u, 5000u, 10000u, 20000u}) {
         Mp3dConfig c;
         c.particles = particles;
         c.steps = steps;
+        auto factory = [c] { return std::make_unique<Mp3d>(c); };
+        batch.add(factory, Technique::sc());
+        batch.add(factory, Technique::rc());
+    }
+    auto outcomes = batch.run();
 
-        Machine m1(makeMachineConfig(Technique::sc()));
-        Mp3d w1(c);
-        RunResult sc = m1.run(w1);
-        Machine m2(makeMachineConfig(Technique::rc()));
-        Mp3d w2(c);
-        RunResult rc = m2.run(w2);
+    std::size_t i = 0;
+    for (std::uint32_t particles :
+         {2500u, 5000u, 10000u, 20000u}) {
+        RunResult sc = takeResult(outcomes[i++]);
+        RunResult rc = takeResult(outcomes[i++]);
 
         std::printf("%-10u %12llu %7.1f%% %7.1f%% %10.1f %7.2fx\n",
                     particles,

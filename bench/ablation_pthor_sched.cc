@@ -17,6 +17,7 @@ main()
 {
     printRunHeader("Ablation: PTHOR task scheduling policy");
 
+    RunBatch batch;
     for (auto t : {Technique::sc(), Technique::rc(),
                    Technique::multiContext(4, 4)}) {
         for (bool stealing : {false, true}) {
@@ -29,9 +30,16 @@ main()
                 pc.clockCycles = 2;
             }
             pc.workStealing = stealing;
-            Machine m(makeMachineConfig(t));
-            Pthor w(pc);
-            RunResult r = m.run(w);
+            batch.add([pc] { return std::make_unique<Pthor>(pc); }, t);
+        }
+    }
+    auto outcomes = batch.run();
+
+    std::size_t i = 0;
+    for (auto t : {Technique::sc(), Technique::rc(),
+                   Technique::multiContext(4, 4)}) {
+        for (bool stealing : {false, true}) {
+            RunResult r = takeResult(outcomes[i++]);
             std::printf("%-16s %-11s exec %9llu  busy %4.1f%%  sync "
                         "%4.1f%%  locks %7llu  rd-hit %4.1f%%  "
                         "wr-hit %4.1f%%\n",

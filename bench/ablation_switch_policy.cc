@@ -17,14 +17,26 @@ main()
 {
     printRunHeader("Ablation: context-switch threshold (4ctx, sw=4, SC)");
 
+    RunBatch batch;
     for (auto &[name, factory] : workloads()) {
         for (Tick threshold : {2u, 14u, 26u, 64u, 100u}) {
-            MachineConfig cfg =
-                makeMachineConfig(Technique::multiContext(4, 4));
-            cfg.cpu.switchThreshold = threshold;
-            Machine m(cfg);
-            auto w = factory();
-            RunResult r = m.run(*w);
+            RunPoint p;
+            p.factory = factory;
+            p.technique = Technique::multiContext(4, 4);
+            p.label = name;
+            p.configure = [threshold](MachineConfig &cfg) {
+                cfg.cpu.switchThreshold = threshold;
+            };
+            batch.add(std::move(p));
+        }
+    }
+    auto outcomes = batch.run();
+
+    std::size_t i = 0;
+    for (auto &[name, factory] : workloads()) {
+        (void)factory;
+        for (Tick threshold : {2u, 14u, 26u, 64u, 100u}) {
+            RunResult r = takeResult(outcomes[i++]);
             std::printf("%-6s threshold %3llu  exec %9llu  "
                         "switching %4.1f%%  no-switch %4.1f%%  "
                         "all-idle %4.1f%%  switches %7llu\n",

@@ -18,10 +18,21 @@ main()
     MemConfig mesh;
     mesh.lat.mesh = true;
 
+    RunBatch batch;
     for (auto &[name, factory] : workloads()) {
         for (auto t : {Technique::sc(), Technique::rc()}) {
-            RunResult uni = runExperiment(factory, t);
-            RunResult msh = runExperiment(factory, t, mesh);
+            batch.add(factory, t, {}, name + " uniform");
+            batch.add(factory, t, mesh, name + " mesh");
+        }
+    }
+    auto outcomes = batch.run();
+
+    std::size_t i = 0;
+    for (auto &[name, factory] : workloads()) {
+        (void)factory;
+        for (auto t : {Technique::sc(), Technique::rc()}) {
+            RunResult uni = takeResult(outcomes[i++]);
+            RunResult msh = takeResult(outcomes[i++]);
             std::printf("%-6s %-3s  uniform exec %9llu (miss %5.1f)   "
                         "mesh exec %9llu (miss %5.1f)   delta %+5.1f%%\n",
                         name.c_str(),

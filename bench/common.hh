@@ -6,8 +6,15 @@
  * their Section 2 data-set sizes) under a set of technique
  * configurations and prints the corresponding table or figure in the
  * paper's normalized format, next to the paper's published values where
- * we have them. Set DASHSIM_QUICK=1 in the environment to run the
- * scaled-down test data sets instead (useful for smoke testing).
+ * we have them. Independent (workload x technique) points execute
+ * concurrently through the RunBatch thread pool; results are
+ * bit-identical at any job count.
+ *
+ * Environment knobs (each read once per process):
+ *   DASHSIM_QUICK=1    scaled-down test data sets (smoke testing)
+ *   DASHSIM_JOBS=N     worker threads (default: hardware concurrency)
+ *   DASHSIM_NO_CSV=1   suppress CSV emission
+ *   DASHSIM_CSV_DIR=d  CSV output directory (default ./bench_csv)
  */
 
 #ifndef BENCH_COMMON_HH
@@ -15,6 +22,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,6 +30,7 @@
 #include "core/experiment.hh"
 #include "core/machine.hh"
 #include "core/report.hh"
+#include "sim/logging.hh"
 
 namespace benchutil {
 
@@ -30,8 +39,11 @@ using namespace dashsim;
 inline bool
 quickMode()
 {
-    const char *q = std::getenv("DASHSIM_QUICK");
-    return q && q[0] == '1';
+    static const bool quick = [] {
+        const char *q = std::getenv("DASHSIM_QUICK");
+        return q && q[0] == '1';
+    }();
+    return quick;
 }
 
 inline std::vector<std::pair<std::string, WorkloadFactory>>
@@ -40,31 +52,70 @@ workloads()
     return quickMode() ? testWorkloads() : paperWorkloads();
 }
 
+/**
+ * Drain one batch outcome: flush its buffered log, die with context on
+ * a failed point, and hand back the result.
+ */
+inline RunResult
+takeResult(RunOutcome &o)
+{
+    if (!o.log.empty())
+        std::fputs(o.log.c_str(), stderr);
+    fatal_if(!o.ok, "run '%s' failed: %s", o.label.c_str(),
+             o.error.c_str());
+    return std::move(o.result);
+}
+
 /** Run one app under several techniques; first entry is the baseline. */
 inline std::vector<BreakdownRow>
 runSeries(const WorkloadFactory &factory,
           const std::vector<std::pair<std::string, Technique>> &configs)
 {
-    std::vector<BreakdownRow> rows;
-    rows.reserve(configs.size());
+    RunBatch batch;
     for (const auto &[label, t] : configs)
-        rows.push_back({label, runExperiment(factory, t)});
+        batch.add(factory, t, {}, label);
+    auto outcomes = batch.run();
+
+    std::vector<BreakdownRow> rows;
+    rows.reserve(outcomes.size());
+    for (auto &o : outcomes)
+        rows.push_back({o.label, takeResult(o)});
     return rows;
 }
 
+/** Directory CSV series land in (created on first use). */
+inline const std::string &
+csvDir()
+{
+    static const std::string dir = [] {
+        const char *d = std::getenv("DASHSIM_CSV_DIR");
+        return std::string(d && d[0] ? d : "bench_csv");
+    }();
+    return dir;
+}
+
 /**
- * Also drop the series as CSV under ./bench_csv/ for plotting; set
- * DASHSIM_NO_CSV=1 to suppress.
+ * Also drop the series as CSV under csvDir() for plotting; set
+ * DASHSIM_NO_CSV=1 to suppress or DASHSIM_CSV_DIR to redirect.
  */
 inline void
 emitCsv(const std::string &file, const std::string &title,
         const std::vector<BreakdownRow> &rows)
 {
-    const char *no = std::getenv("DASHSIM_NO_CSV");
-    if (no && no[0] == '1')
+    static const bool suppressed = [] {
+        const char *no = std::getenv("DASHSIM_NO_CSV");
+        return no && no[0] == '1';
+    }();
+    if (suppressed)
         return;
-    (void)std::system("mkdir -p bench_csv");
-    writeCsv("bench_csv/" + file, title, rows);
+    std::error_code ec;
+    std::filesystem::create_directories(csvDir(), ec);
+    if (ec) {
+        warn("cannot create %s: %s", csvDir().c_str(),
+             ec.message().c_str());
+        return;
+    }
+    writeCsv(csvDir() + "/" + file, title, rows);
 }
 
 /** "paper X / measured Y" line for a headline speedup. */

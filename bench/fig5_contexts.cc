@@ -65,13 +65,12 @@ main()
         auto &pthor = wls[2].second;
         MemConfig four;
         four.numNodes = 4;
-        RunResult one =
-            runExperiment(pthor, Technique::sc(), four);
-        RunResult mc =
-            runExperiment(pthor, Technique::multiContext(4, 4), four);
+        auto rr = runExperiments(
+            pthor, {Technique::sc(), Technique::multiContext(4, 4)},
+            four);
         std::printf("PTHOR on 4 processors (Section 6.1):\n");
         printHeadline("4-context speedup over single context", 2.0,
-                      speedup(mc, one));
+                      speedup(rr[1], rr[0]));
         std::printf("\n");
     }
 

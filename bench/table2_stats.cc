@@ -14,9 +14,13 @@ main()
 {
     printRunHeader("Table 2: General statistics for the benchmarks");
 
-    std::vector<RunResult> results;
+    RunBatch batch;
     for (auto &[name, factory] : workloads())
-        results.push_back(runExperiment(factory, Technique::sc()));
+        batch.add(factory, Technique::sc(), {}, name);
+
+    std::vector<RunResult> results;
+    for (auto &o : batch.run())
+        results.push_back(takeResult(o));
 
     printTable2(std::cout, results);
 

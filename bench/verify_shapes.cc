@@ -57,18 +57,21 @@ main()
 
     for (auto &[name, factory] : wls) {
         std::printf("%s:\n", name.c_str());
-        RunResult nocache = runExperiment(factory, Technique::noCache());
-        RunResult sc = runExperiment(factory, Technique::sc());
-        RunResult rc = runExperiment(factory, Technique::rc());
-        RunResult scpf = runExperiment(factory, Technique::scPrefetch());
-        RunResult rcpf = runExperiment(factory, Technique::rcPrefetch());
-        RunResult mc4 =
-            runExperiment(factory, Technique::multiContext(4, 4));
-        RunResult rc4 = runExperiment(
-            factory, Technique::multiContext(4, 4, Consistency::RC));
-        RunResult rcpf4 = runExperiment(
+        auto rr = runExperiments(
             factory,
-            Technique::multiContext(4, 4, Consistency::RC, true));
+            {Technique::noCache(), Technique::sc(), Technique::rc(),
+             Technique::scPrefetch(), Technique::rcPrefetch(),
+             Technique::multiContext(4, 4),
+             Technique::multiContext(4, 4, Consistency::RC),
+             Technique::multiContext(4, 4, Consistency::RC, true)});
+        RunResult &nocache = rr[0];
+        RunResult &sc = rr[1];
+        RunResult &rc = rr[2];
+        RunResult &scpf = rr[3];
+        RunResult &rcpf = rr[4];
+        RunResult &mc4 = rr[5];
+        RunResult &rc4 = rr[6];
+        RunResult &rcpf4 = rr[7];
 
         // Section 3: coherent caches are a clear win.
         claim("coherent caches speed up execution",

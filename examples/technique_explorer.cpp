@@ -61,19 +61,19 @@ main(int argc, char **argv)
         }
     }
 
-    std::unique_ptr<Workload> w;
+    WorkloadFactory factory;
     if (app == "mp3d") {
         Mp3dConfig c;
         if (small) {
             c.particles = 1000;
             c.steps = 2;
         }
-        w = std::make_unique<Mp3d>(c);
+        factory = [c] { return std::make_unique<Mp3d>(c); };
     } else if (app == "lu") {
         LuConfig c;
         if (small)
             c.n = 64;
-        w = std::make_unique<Lu>(c);
+        factory = [c] { return std::make_unique<Lu>(c); };
     } else {
         PthorConfig c;
         if (small) {
@@ -81,15 +81,36 @@ main(int argc, char **argv)
             c.flipflops = 200;
             c.clockCycles = 2;
         }
-        w = std::make_unique<Pthor>(c);
+        factory = [c] { return std::make_unique<Pthor>(c); };
     }
 
     std::printf("app=%s technique=%s caches=%s\n\n", app.c_str(),
                 t.label().c_str(),
                 base.primary.sizeBytes > 4096 ? "full-size" : "scaled");
 
-    Machine m(makeMachineConfig(t, base));
-    RunResult r = m.run(*w);
+    // One-point batch: same runner the bench grids use, and a failed
+    // run reports its error instead of aborting the process. The
+    // inspect hook snapshots the memory system before the machine is
+    // torn down.
+    MemoryInspection mi;
+    RunBatch batch;
+    RunPoint point;
+    point.factory = factory;
+    point.technique = t;
+    point.base = base;
+    point.label = app;
+    point.inspect = [&mi](Machine &m, const RunResult &res) {
+        mi = inspectMemory(m, res.execTime);
+    };
+    batch.add(std::move(point));
+    RunOutcome o = batch.run().front();
+    if (!o.log.empty())
+        std::fputs(o.log.c_str(), stderr);
+    if (!o.ok) {
+        std::fprintf(stderr, "run failed: %s\n", o.error.c_str());
+        return 1;
+    }
+    RunResult &r = o.result;
 
     std::printf("execution time      %12llu pclocks  (%.2f ms at "
                 "33MHz)\n",
@@ -124,7 +145,7 @@ main(int argc, char **argv)
                 r.medianRunLength);
     std::printf("avg read-miss lat   %12.0f cycles\n",
                 r.avgReadMissLatency);
-    printInspection(std::cout, inspectMemory(m, r.execTime));
+    printInspection(std::cout, mi);
     if (r.prefetchesIssued) {
         std::printf("prefetches          %12llu issued, %llu dropped, "
                     "%llu combined\n",

@@ -18,17 +18,25 @@
 
 namespace dashsim {
 
-/** Build/environment default for both verifiers. */
+/**
+ * Build/environment default for both verifiers. The environment lookup
+ * runs once (Machines are constructed concurrently by the batch
+ * experiment runner, and getenv is not guaranteed safe against
+ * concurrent environment modification).
+ */
 inline bool
 defaultChecksOn()
 {
-    if (const char *e = std::getenv("DASHSIM_CHECK"))
-        return e[0] != '\0' && e[0] != '0';
+    static const bool on = [] {
+        if (const char *e = std::getenv("DASHSIM_CHECK"))
+            return e[0] != '\0' && e[0] != '0';
 #ifdef NDEBUG
-    return false;
+        return false;
 #else
-    return true;
+        return true;
 #endif
+    }();
+    return on;
 }
 
 /** Knobs for the verification layer owned by a Machine. */

@@ -1,8 +1,13 @@
 #include "core/experiment.hh"
 
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
 #include "apps/lu.hh"
 #include "apps/mp3d.hh"
 #include "apps/pthor.hh"
+#include "sim/logging.hh"
 
 namespace dashsim {
 
@@ -124,6 +129,148 @@ runExperiment(const WorkloadFactory &factory, const Technique &t,
     return m.run(*w);
 }
 
+unsigned
+defaultJobs()
+{
+    if (const char *e = std::getenv("DASHSIM_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(e, &end, 10);
+        if (end != e && *end == '\0' && v > 0 && v <= 1024)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid DASHSIM_JOBS=%s", e);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::size_t
+RunBatch::add(RunPoint p)
+{
+    points.push_back(std::move(p));
+    return points.size() - 1;
+}
+
+std::size_t
+RunBatch::add(WorkloadFactory factory, const Technique &t,
+              const MemConfig &base, std::string label)
+{
+    return add(RunPoint{std::move(factory), t, base, std::move(label)});
+}
+
+unsigned
+RunBatch::jobs() const
+{
+    return njobs ? njobs : defaultJobs();
+}
+
+namespace {
+
+/**
+ * Execute one point start-to-finish on the calling thread. Errors are
+ * captured into the outcome instead of terminating, and warn/inform
+ * output is buffered per run so concurrent points never interleave.
+ */
+RunOutcome
+runPoint(const RunPoint &p)
+{
+    RunOutcome o;
+    o.label = p.label;
+    ScopedErrorCapture errors;
+    ScopedLogCapture logs;
+    try {
+        if (!p.factory)
+            throw SimError(SimError::Kind::Fatal, "null workload factory");
+        auto w = p.factory();
+        MachineConfig cfg = makeMachineConfig(p.technique, p.base);
+        if (p.configure)
+            p.configure(cfg);
+        Machine m(cfg);
+        o.result = m.run(*w);
+        if (p.inspect)
+            p.inspect(m, o.result);
+        o.ok = true;
+    } catch (const SimError &e) {
+        o.error = std::string(e.kind() == SimError::Kind::Panic
+                                  ? "panic: " : "fatal: ") + e.what();
+    } catch (const std::exception &e) {
+        o.error = e.what();
+    }
+    o.log = logs.take();
+    return o;
+}
+
+} // namespace
+
+std::vector<RunOutcome>
+RunBatch::run() const
+{
+    std::vector<RunOutcome> outcomes(points.size());
+    if (points.empty())
+        return outcomes;
+
+    // No point spinning up more workers than points.
+    unsigned nworkers = jobs();
+    if (nworkers > points.size())
+        nworkers = static_cast<unsigned>(points.size());
+
+    if (nworkers <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            outcomes[i] = runPoint(points[i]);
+        return outcomes;
+    }
+
+    // Each worker claims the next unstarted point; every outcome lands
+    // in its submission slot, so the schedule never affects the output.
+    std::atomic<std::size_t> next{0};
+    auto work = [this, &next, &outcomes] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= points.size())
+                return;
+            outcomes[i] = runPoint(points[i]);
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(nworkers);
+    for (unsigned w = 0; w < nworkers; ++w)
+        workers.emplace_back(work);
+    for (auto &t : workers)
+        t.join();
+    return outcomes;
+}
+
+std::vector<RunOutcome>
+runBatch(std::vector<RunPoint> points, unsigned jobs)
+{
+    RunBatch b(jobs);
+    for (auto &p : points)
+        b.add(std::move(p));
+    return b.run();
+}
+
+std::vector<RunResult>
+runExperiments(const WorkloadFactory &factory,
+               const std::vector<Technique> &ts, const MemConfig &base,
+               unsigned jobs)
+{
+    RunBatch b(jobs);
+    for (const auto &t : ts)
+        b.add(factory, t, base, t.label());
+    auto outcomes = b.run();
+
+    std::vector<RunResult> results;
+    results.reserve(outcomes.size());
+    for (auto &o : outcomes) {
+        if (!o.log.empty())
+            std::fputs(o.log.c_str(), stderr);
+        fatal_if(!o.ok, "experiment '%s' failed: %s", o.label.c_str(),
+                 o.error.c_str());
+        results.push_back(std::move(o.result));
+    }
+    return results;
+}
+
 std::vector<std::pair<std::string, WorkloadFactory>>
 paperWorkloads()
 {
@@ -138,29 +285,48 @@ std::vector<std::pair<std::string, WorkloadFactory>>
 testWorkloads()
 {
     return {
-        {"MP3D",
-         [] {
-             Mp3dConfig c;
-             c.particles = 800;
-             c.steps = 2;
-             return std::make_unique<Mp3d>(c);
-         }},
-        {"LU",
-         [] {
-             LuConfig c;
-             c.n = 48;
-             return std::make_unique<Lu>(c);
-         }},
-        {"PTHOR",
-         [] {
-             PthorConfig c;
-             c.elements = 1200;
-             c.flipflops = 120;
-             c.primaryInputs = 32;
-             c.levels = 6;
-             c.clockCycles = 2;
-             return std::make_unique<Pthor>(c);
-         }},
+        {"MP3D", testWorkload("MP3D")},
+        {"LU", testWorkload("LU")},
+        {"PTHOR", testWorkload("PTHOR")},
+    };
+}
+
+WorkloadFactory
+testWorkload(const std::string &name, std::uint64_t seed)
+{
+    if (name == "MP3D") {
+        return [seed] {
+            Mp3dConfig c;
+            c.particles = 800;
+            c.steps = 2;
+            if (seed)
+                c.seed = seed;
+            return std::make_unique<Mp3d>(c);
+        };
+    }
+    if (name == "LU") {
+        return [seed] {
+            LuConfig c;
+            c.n = 48;
+            if (seed)
+                c.seed = seed;
+            return std::make_unique<Lu>(c);
+        };
+    }
+    fatal_if(name != "PTHOR", "unknown test workload '%s'", name.c_str());
+    return [seed] {
+        // Sized so the paper's qualitative shapes survive the scale-down
+        // (smaller circuits under-express the caching benefit: the
+        // fixed sync costs dominate and the Figure 2 speedup collapses).
+        PthorConfig c;
+        c.elements = 2400;
+        c.flipflops = 240;
+        c.primaryInputs = 32;
+        c.levels = 6;
+        c.clockCycles = 2;
+        if (seed)
+            c.seed = seed;
+        return std::make_unique<Pthor>(c);
     };
 }
 

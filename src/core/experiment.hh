@@ -55,11 +55,108 @@ using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
 RunResult runExperiment(const WorkloadFactory &factory, const Technique &t,
                         const MemConfig &base = {});
 
+/** One point of a batch: @p factory's workload under @p technique. */
+struct RunPoint
+{
+    WorkloadFactory factory;
+    Technique technique{};
+    MemConfig base{};
+    std::string label;  ///< carried through to the outcome, optional
+
+    /** Optional last-mile adjustment of the built machine config, for
+     *  knobs outside the technique space (e.g. switchThreshold). */
+    std::function<void(MachineConfig &)> configure;
+
+    /**
+     * Optional observer invoked after a successful run, while the
+     * machine is still alive (post-run inspection). Runs on the worker
+     * thread executing this point; it must not touch state shared with
+     * other points.
+     */
+    std::function<void(Machine &, const RunResult &)> inspect;
+};
+
+/** What one batch point produced: a result or a captured error. */
+struct RunOutcome
+{
+    std::string label;
+    RunResult result{};
+    bool ok = false;
+    std::string error;  ///< why the run failed (empty when ok)
+    std::string log;    ///< warn()/inform() output captured by the run
+};
+
+/**
+ * Worker count for a batch: the DASHSIM_JOBS environment variable when
+ * set to a positive integer, otherwise the host's hardware concurrency
+ * (at least 1).
+ */
+unsigned defaultJobs();
+
+/**
+ * A batch of independent experiment points executed concurrently on a
+ * host thread pool.
+ *
+ * Every point is fully self-contained (its own Machine, workload
+ * instance, and per-run RNGs), so results are bit-identical at any job
+ * count and across repeated runs. A point that panics, fatals, or
+ * throws reports its error in its outcome; sibling points complete
+ * normally. Outcomes always come back in submission order.
+ */
+class RunBatch
+{
+  public:
+    /** @p jobs worker threads; 0 means defaultJobs(). */
+    explicit RunBatch(unsigned jobs = 0) : njobs(jobs) {}
+
+    /** Queue a point; returns its index in the outcome vector. */
+    std::size_t add(RunPoint p);
+    std::size_t add(WorkloadFactory factory, const Technique &t,
+                    const MemConfig &base = {}, std::string label = {});
+
+    std::size_t size() const { return points.size(); }
+
+    /** Worker threads run() will use (resolves 0 to defaultJobs()). */
+    unsigned jobs() const;
+
+    /**
+     * Execute all queued points and return their outcomes in
+     * submission order. The queue is kept, so a batch can be re-run.
+     */
+    std::vector<RunOutcome> run() const;
+
+  private:
+    unsigned njobs;
+    std::vector<RunPoint> points;
+};
+
+/** One-shot convenience over RunBatch. */
+std::vector<RunOutcome> runBatch(std::vector<RunPoint> points,
+                                 unsigned jobs = 0);
+
+/**
+ * Run @p factory's workload under each technique concurrently and
+ * return the RunResults in order; fatal() on any failed point.
+ */
+std::vector<RunResult> runExperiments(const WorkloadFactory &factory,
+                                      const std::vector<Technique> &ts,
+                                      const MemConfig &base = {},
+                                      unsigned jobs = 0);
+
 /** The paper's three benchmarks with their Section 2 data sets. */
 std::vector<std::pair<std::string, WorkloadFactory>> paperWorkloads();
 
 /** Scaled-down variants for unit/integration tests (fast). */
 std::vector<std::pair<std::string, WorkloadFactory>> testWorkloads();
+
+/**
+ * Scaled-down factory for one app ("MP3D", "LU", or "PTHOR") with the
+ * app's RNG reseeded: @p seed = 0 keeps the app's default seed, any
+ * other value perturbs workload generation (particle placement,
+ * circuit topology, stimulus) deterministically.
+ */
+WorkloadFactory testWorkload(const std::string &name,
+                             std::uint64_t seed = 0);
 
 } // namespace dashsim
 

@@ -182,4 +182,51 @@ paperVsMeasured(double paper_value, double measured)
     return buf;
 }
 
+std::string
+serializeResult(const RunResult &r)
+{
+    std::string out;
+    out.reserve(512);
+    char buf[64];
+    auto u = [&](const char *name, std::uint64_t v) {
+        std::snprintf(buf, sizeof(buf), "%s=%llu\n", name,
+                      static_cast<unsigned long long>(v));
+        out += buf;
+    };
+    auto d = [&](const char *name, double v) {
+        // %a round-trips the exact bit pattern of the double.
+        std::snprintf(buf, sizeof(buf), "%s=%a\n", name, v);
+        out += buf;
+    };
+
+    out += "workload=" + r.workload + "\n";
+    u("exec_time", r.execTime);
+    for (std::size_t b = 0; b < numBuckets; ++b) {
+        std::snprintf(buf, sizeof(buf), "bucket%zu=%llu\n", b,
+                      static_cast<unsigned long long>(r.buckets[b]));
+        out += buf;
+    }
+    u("busy_cycles", r.busyCycles);
+    u("shared_reads", r.sharedReads);
+    u("shared_writes", r.sharedWrites);
+    u("locks", r.locks);
+    u("lock_retries", r.lockRetries);
+    u("barriers", r.barriers);
+    u("shared_data_bytes", r.sharedDataBytes);
+    d("read_hit_pct", r.readHitPct);
+    d("write_hit_pct", r.writeHitPct);
+    d("median_run_length", r.medianRunLength);
+    d("avg_read_miss_latency", r.avgReadMissLatency);
+    u("context_switches", r.contextSwitches);
+    u("prefetches_issued", r.prefetchesIssued);
+    u("prefetches_dropped", r.prefetchesDropped);
+    u("prefetches_combined", r.prefetchesCombined);
+    u("invalidations", r.invalidations);
+    u("num_processors", r.numProcessors);
+    u("num_contexts", r.numContexts);
+    u("coherence_violations", r.coherenceViolations);
+    u("races_detected", r.racesDetected);
+    return out;
+}
+
 } // namespace dashsim

@@ -61,6 +61,14 @@ std::string paperVsMeasured(double paper_value, double measured);
 void writeCsv(const std::string &path, const std::string &title,
               const std::vector<BreakdownRow> &rows);
 
+/**
+ * Canonical byte-exact serialization of every RunResult field (doubles
+ * in hex-float form, so no rounding ambiguity). Two results serialize
+ * identically iff they are bit-identical; the determinism suite
+ * compares these strings across job counts and repeated batches.
+ */
+std::string serializeResult(const RunResult &r);
+
 } // namespace dashsim
 
 #endif // CORE_REPORT_HH

@@ -1,9 +1,57 @@
 #include "sim/logging.hh"
 
 #include <cstdarg>
-#include <stdexcept>
+#include <mutex>
 
 namespace dashsim {
+
+namespace {
+
+// Batch runs execute on a host thread pool; serialize direct stdio
+// emission so messages from concurrent runs never interleave.
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+// >0: panic/fatal on this thread throw SimError instead of terminating.
+thread_local int tl_capture_errors = 0;
+
+// Non-null: warn/inform on this thread append here instead of stdio.
+thread_local std::string *tl_log_buffer = nullptr;
+
+} // namespace
+
+ScopedErrorCapture::ScopedErrorCapture()
+{
+    ++tl_capture_errors;
+}
+
+ScopedErrorCapture::~ScopedErrorCapture()
+{
+    --tl_capture_errors;
+}
+
+ScopedLogCapture::ScopedLogCapture() : prev(tl_log_buffer)
+{
+    tl_log_buffer = &text;
+}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    tl_log_buffer = prev;
+}
+
+std::string
+ScopedLogCapture::take()
+{
+    std::string out;
+    out.swap(text);
+    return out;
+}
+
 namespace detail {
 
 std::string
@@ -28,6 +76,9 @@ vformat(const char *fmt, ...)
 void
 terminatePanic(const std::string &msg, const char *file, int line)
 {
+    if (tl_capture_errors > 0)
+        throw SimError(SimError::Kind::Panic,
+                       msg + " (" + file + ":" + std::to_string(line) + ")");
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::fflush(stderr);
     std::abort();
@@ -36,6 +87,8 @@ terminatePanic(const std::string &msg, const char *file, int line)
 void
 terminateFatal(const std::string &msg)
 {
+    if (tl_capture_errors > 0)
+        throw SimError(SimError::Kind::Fatal, msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::fflush(stderr);
     std::exit(1);
@@ -44,12 +97,22 @@ terminateFatal(const std::string &msg)
 void
 emitWarn(const std::string &msg)
 {
+    if (tl_log_buffer) {
+        *tl_log_buffer += "warn: " + msg + "\n";
+        return;
+    }
+    std::lock_guard<std::mutex> lk(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 emitInform(const std::string &msg)
 {
+    if (tl_log_buffer) {
+        *tl_log_buffer += "info: " + msg + "\n";
+        return;
+    }
+    std::lock_guard<std::mutex> lk(logMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -10,9 +10,69 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace dashsim {
+
+/**
+ * A panic()/fatal() raised while a ScopedErrorCapture is active on the
+ * current thread. The batch experiment runner uses this to report one
+ * failed run without killing its siblings (or the process).
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    enum class Kind { Panic, Fatal };
+
+    SimError(Kind kind, const std::string &msg)
+        : std::runtime_error(msg), k(kind)
+    {}
+
+    Kind kind() const { return k; }
+
+  private:
+    Kind k;
+};
+
+/**
+ * While alive, panic()/fatal() on this thread throw SimError instead of
+ * terminating the process. Captures nest; the outermost restores the
+ * terminate behavior. Each simulation run is single-threaded, so a
+ * capture installed by the thread that drives Machine::run covers every
+ * panic the run can raise.
+ */
+class ScopedErrorCapture
+{
+  public:
+    ScopedErrorCapture();
+    ~ScopedErrorCapture();
+
+    ScopedErrorCapture(const ScopedErrorCapture &) = delete;
+    ScopedErrorCapture &operator=(const ScopedErrorCapture &) = delete;
+};
+
+/**
+ * While alive, warn()/inform() on this thread append to an in-memory
+ * buffer instead of writing to stderr/stdout, so concurrent runs never
+ * interleave their messages. take() returns and clears the buffer.
+ */
+class ScopedLogCapture
+{
+  public:
+    ScopedLogCapture();
+    ~ScopedLogCapture();
+
+    ScopedLogCapture(const ScopedLogCapture &) = delete;
+    ScopedLogCapture &operator=(const ScopedLogCapture &) = delete;
+
+    /** The messages captured so far ("warn: ...\n" lines); clears. */
+    std::string take();
+
+  private:
+    std::string *prev;
+    std::string text;
+};
 
 namespace detail {
 

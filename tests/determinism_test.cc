@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Host-parallelism must not perturb simulated results: the same
+ * (workload, technique, seed) point produces a byte-identical
+ * serialized RunResult at any job count, across repeated in-process
+ * batches (which would expose leaked global state), and distinct
+ * workload seeds genuinely change the simulated interleavings.
+ *
+ * The grids below are exactly the five figure grids the bench binaries
+ * run (quick data sets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace dashsim;
+
+namespace {
+
+/** The (app x technique) grid of one figure over the quick data sets. */
+std::vector<RunPoint>
+gridPoints(const std::vector<Technique> &techniques)
+{
+    std::vector<RunPoint> points;
+    for (auto &[name, factory] : testWorkloads()) {
+        for (const auto &t : techniques) {
+            points.push_back(
+                RunPoint{factory, t, {}, name + "/" + t.label()});
+        }
+    }
+    return points;
+}
+
+/** Serialize every outcome, asserting each point succeeded. */
+std::vector<std::string>
+serializeAll(const std::vector<RunOutcome> &outcomes)
+{
+    std::vector<std::string> out;
+    out.reserve(outcomes.size());
+    for (const auto &o : outcomes) {
+        EXPECT_TRUE(o.ok) << o.label << ": " << o.error;
+        out.push_back("label=" + o.label + "\n" +
+                      serializeResult(o.result));
+    }
+    return out;
+}
+
+/** Same grid at 1 worker and at 8: every point byte-identical. */
+void
+expectJobCountInvariant(const std::vector<Technique> &techniques)
+{
+    auto points = gridPoints(techniques);
+    RunBatch serial(1);
+    RunBatch parallel(8);
+    for (const auto &p : points) {
+        serial.add(p);
+        parallel.add(p);
+    }
+    auto s1 = serializeAll(serial.run());
+    auto s8 = serializeAll(parallel.run());
+    ASSERT_EQ(s1.size(), s8.size());
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        EXPECT_EQ(s1[i], s8[i]) << "point " << i
+                                << " differs between 1 and 8 jobs";
+}
+
+} // namespace
+
+TEST(Determinism, Figure2GridJobCountInvariant)
+{
+    expectJobCountInvariant({Technique::noCache(), Technique::sc()});
+}
+
+TEST(Determinism, Figure3GridJobCountInvariant)
+{
+    expectJobCountInvariant({Technique::sc(), Technique::rc()});
+}
+
+TEST(Determinism, Figure4GridJobCountInvariant)
+{
+    expectJobCountInvariant(
+        {Technique::sc(), Technique::scPrefetch(), Technique::rc(),
+         Technique::rcPrefetch()});
+}
+
+TEST(Determinism, Figure5GridJobCountInvariant)
+{
+    expectJobCountInvariant(
+        {Technique::sc(), Technique::multiContext(2, 16),
+         Technique::multiContext(4, 16), Technique::multiContext(2, 4),
+         Technique::multiContext(4, 4)});
+}
+
+TEST(Determinism, Figure6GridJobCountInvariant)
+{
+    expectJobCountInvariant(
+        {Technique::sc(), Technique::multiContext(2, 4),
+         Technique::multiContext(4, 4), Technique::rc(),
+         Technique::multiContext(2, 4, Consistency::RC),
+         Technique::multiContext(4, 4, Consistency::RC),
+         Technique::rcPrefetch(),
+         Technique::multiContext(2, 4, Consistency::RC, true),
+         Technique::multiContext(4, 4, Consistency::RC, true)});
+}
+
+/** Two runs of the same batch object in one process: byte-identical.
+ *  Leaked global state (a shared RNG, an accumulating stat) would make
+ *  the second pass drift. */
+TEST(Determinism, RepeatedInProcessBatchesAreIdentical)
+{
+    RunBatch batch(8);
+    for (auto &p : gridPoints({Technique::sc(), Technique::rc()}))
+        batch.add(std::move(p));
+    auto first = serializeAll(batch.run());
+    auto second = serializeAll(batch.run());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i], second[i])
+            << "point " << i << " drifted on the second batch";
+}
+
+/** Distinct seeds must change PTHOR's simulated lock-grant
+ *  interleavings, not just relabel the same execution. */
+TEST(Determinism, DistinctSeedsChangePthorLockInterleavings)
+{
+    RunBatch batch(8);
+    batch.add(testWorkload("PTHOR", 0x1111), Technique::sc(), {}, "a");
+    batch.add(testWorkload("PTHOR", 0x2222), Technique::sc(), {}, "b");
+    // And the same seed again: seeds, not labels, drive the run.
+    batch.add(testWorkload("PTHOR", 0x1111), Technique::sc(), {}, "c");
+    auto outcomes = batch.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (const auto &o : outcomes)
+        ASSERT_TRUE(o.ok) << o.label << ": " << o.error;
+
+    const RunResult &a = outcomes[0].result;
+    const RunResult &b = outcomes[1].result;
+    EXPECT_NE(serializeResult(a), serializeResult(b));
+    // The circuit topology and stimulus differ, so the lock traffic
+    // (queue-lock grants and the retries lost races produce) shifts.
+    EXPECT_TRUE(a.lockRetries != b.lockRetries ||
+                a.locks != b.locks || a.execTime != b.execTime);
+    EXPECT_EQ(serializeResult(a), serializeResult(outcomes[2].result));
+}

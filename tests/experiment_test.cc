@@ -6,12 +6,41 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "sim/logging.hh"
 
 using namespace dashsim;
+
+namespace {
+
+/** Workload whose setup fails with a plain C++ exception. */
+class ThrowingWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "throws"; }
+    void setup(Machine &) override
+    {
+        throw std::runtime_error("deliberate setup failure");
+    }
+    SimProcess run(Env) override { co_return; }
+};
+
+/** Workload whose verify step fails through the fatal() path. */
+class FatalWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "fatals"; }
+    void setup(Machine &) override {}
+    SimProcess run(Env) override { co_return; }
+    void verify(Machine &) override { fatal("deliberate fatal"); }
+};
+
+} // namespace
 
 TEST(Technique, LabelsAreDescriptive)
 {
@@ -114,6 +143,138 @@ TEST(Workloads, PaperAndTestListsCoverAllThree)
     auto b = paper[0].second();
     EXPECT_NE(a.get(), b.get());
     EXPECT_EQ(a->name(), "MP3D");
+}
+
+TEST(Batch, EmptyBatchReturnsNoOutcomes)
+{
+    RunBatch b;
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_TRUE(b.run().empty());
+    EXPECT_TRUE(runBatch({}).empty());
+}
+
+TEST(Batch, SingleRunMatchesDirectExperiment)
+{
+    auto factory = testWorkload("LU");
+    RunBatch b(2);
+    b.add(factory, Technique::sc(), {}, "lu-sc");
+    auto outcomes = b.run();
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_EQ(outcomes[0].label, "lu-sc");
+
+    RunResult direct = runExperiment(factory, Technique::sc());
+    EXPECT_EQ(serializeResult(outcomes[0].result),
+              serializeResult(direct));
+}
+
+TEST(Batch, ThrowingRunReportsErrorAndSiblingsComplete)
+{
+    RunBatch b(4);
+    b.add(testWorkload("LU"), Technique::sc(), {}, "good-1");
+    b.add([] { return std::make_unique<ThrowingWorkload>(); },
+          Technique::sc(), {}, "bad-throw");
+    b.add([] { return std::make_unique<FatalWorkload>(); },
+          Technique::sc(), {}, "bad-fatal");
+    b.add(testWorkload("LU"), Technique::rc(), {}, "good-2");
+    auto outcomes = b.run();
+    ASSERT_EQ(outcomes.size(), 4u);
+
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_FALSE(outcomes[1].ok);
+    EXPECT_NE(outcomes[1].error.find("deliberate setup failure"),
+              std::string::npos);
+    EXPECT_FALSE(outcomes[2].ok);
+    EXPECT_NE(outcomes[2].error.find("deliberate fatal"),
+              std::string::npos);
+    EXPECT_NE(outcomes[2].error.find("fatal:"), std::string::npos);
+    EXPECT_TRUE(outcomes[3].ok) << outcomes[3].error;
+    EXPECT_GT(outcomes[3].result.execTime, 0u);
+}
+
+TEST(Batch, NullFactoryIsAnErrorNotACrash)
+{
+    RunBatch b(1);
+    b.add(WorkloadFactory{}, Technique::sc(), {}, "null");
+    auto outcomes = b.run();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("null workload factory"),
+              std::string::npos);
+}
+
+TEST(Batch, OversubscriptionMoreJobsThanPoints)
+{
+    RunBatch b(16);
+    b.add(testWorkload("LU"), Technique::sc(), {}, "only");
+    EXPECT_EQ(b.jobs(), 16u);
+    auto outcomes = b.run();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+}
+
+TEST(Batch, ConfigureHookAdjustsMachineConfig)
+{
+    RunPoint p;
+    p.factory = testWorkload("LU");
+    p.technique = Technique::multiContext(4, 4);
+    p.configure = [](MachineConfig &cfg) { cfg.cpu.switchThreshold = 64; };
+    bool inspected = false;
+    p.inspect = [&inspected](Machine &m, const RunResult &r) {
+        inspected = true;
+        EXPECT_EQ(m.config().cpu.switchThreshold, 64u);
+        EXPECT_GT(r.execTime, 0u);
+    };
+    auto outcomes = runBatch({std::move(p)}, 1);
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_TRUE(inspected);
+}
+
+TEST(Batch, RunExperimentsReturnsResultsInOrder)
+{
+    auto rr = runExperiments(testWorkload("LU"),
+                             {Technique::sc(), Technique::rc()});
+    ASSERT_EQ(rr.size(), 2u);
+    // RC removes write stall; the two runs must differ.
+    EXPECT_EQ(rr[1].bucket(Bucket::Write), 0u);
+    EXPECT_NE(serializeResult(rr[0]), serializeResult(rr[1]));
+}
+
+TEST(Batch, DefaultJobsHonorsEnvOverride)
+{
+    ::setenv("DASHSIM_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3u);
+    ::setenv("DASHSIM_JOBS", "not-a-number", 1);
+    EXPECT_GE(defaultJobs(), 1u);
+    ::unsetenv("DASHSIM_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(Logging, ScopedErrorCaptureTurnsFatalIntoException)
+{
+    ScopedErrorCapture capture;
+    bool caught = false;
+    try {
+        fatal("captured %d", 42);
+    } catch (const SimError &e) {
+        caught = true;
+        EXPECT_EQ(e.kind(), SimError::Kind::Fatal);
+        EXPECT_NE(std::string(e.what()).find("captured 42"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST(Logging, ScopedLogCaptureBuffersWarnings)
+{
+    ScopedLogCapture capture;
+    warn("buffered %s", "message");
+    inform("status line");
+    std::string text = capture.take();
+    EXPECT_NE(text.find("warn: buffered message"), std::string::npos);
+    EXPECT_NE(text.find("info: status line"), std::string::npos);
+    EXPECT_TRUE(capture.take().empty());
 }
 
 TEST(Machine, ProcessPlacementRoundRobin)

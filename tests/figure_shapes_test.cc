@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Figure-shape regression suite: runs the quick-mode grids behind
+ * Figures 2-6 through the batch runner and asserts the paper's
+ * qualitative findings as recorded in EXPERIMENTS.md — who wins, and
+ * where the crossovers fall. A perf refactor that silently corrupts
+ * the reproduction target fails here, not in a human's eyeball diff.
+ *
+ * The suite runs with the protocol-verification layer forced on
+ * (DASHSIM_CHECK=1 from tests/CMakeLists.txt), so every grid point is
+ * also a coherence and race audit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace dashsim;
+
+namespace {
+
+/**
+ * All technique points the Figure 2-6 shape claims need, run once per
+ * app through the batch runner and shared across the tests.
+ */
+class FigureShapes : public ::testing::Test
+{
+  protected:
+    static constexpr const char *apps[3] = {"MP3D", "LU", "PTHOR"};
+
+    static void
+    SetUpTestSuite()
+    {
+        results = new std::map<std::string, RunResult>();
+
+        const std::pair<std::string, Technique> techniques[] = {
+            {"nocache", Technique::noCache()},
+            {"sc", Technique::sc()},
+            {"rc", Technique::rc()},
+            {"scpf", Technique::scPrefetch()},
+            {"rcpf", Technique::rcPrefetch()},
+            {"sc4ctx", Technique::multiContext(4, 4)},
+            {"rc4ctx", Technique::multiContext(4, 4, Consistency::RC)},
+        };
+
+        RunBatch batch;
+        for (auto &[name, factory] : testWorkloads())
+            for (const auto &[key, t] : techniques)
+                batch.add(factory, t, {}, name + "/" + key);
+
+        for (auto &o : batch.run()) {
+            ASSERT_TRUE(o.ok) << o.label << ": " << o.error;
+            // The verification layer is on for the whole suite; a grid
+            // point with protocol violations is not a valid shape.
+            ASSERT_EQ(o.result.coherenceViolations, 0u) << o.label;
+            ASSERT_EQ(o.result.racesDetected, 0u) << o.label;
+            (*results)[o.label] = o.result;
+        }
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete results;
+        results = nullptr;
+    }
+
+    static const RunResult &
+    at(const std::string &app, const std::string &key)
+    {
+        auto it = results->find(app + "/" + key);
+        EXPECT_NE(it, results->end()) << app << "/" << key;
+        return it->second;
+    }
+
+    static std::map<std::string, RunResult> *results;
+};
+
+std::map<std::string, RunResult> *FigureShapes::results = nullptr;
+constexpr const char *FigureShapes::apps[3];
+
+} // namespace
+
+/** Figure 2: coherent caching of shared data is a clear win. */
+TEST_F(FigureShapes, CachingSpeedsUpAllApps)
+{
+    for (const char *app : apps) {
+        double s = speedup(at(app, "sc"), at(app, "nocache"));
+        EXPECT_GT(s, 1.4) << app << ": caching speedup " << s;
+    }
+}
+
+/** Figure 3: RC removes all write stall and never loses to SC. */
+TEST_F(FigureShapes, RcAtLeastAsFastAsScEverywhere)
+{
+    for (const char *app : apps) {
+        const RunResult &sc = at(app, "sc");
+        const RunResult &rc = at(app, "rc");
+        EXPECT_EQ(rc.bucket(Bucket::Write), 0u)
+            << app << ": RC left write stall";
+        EXPECT_LE(rc.execTime, sc.execTime)
+            << app << ": RC slower than SC";
+    }
+    // And the paper's gain ordering: MP3D gains most, LU least.
+    double mp3d = speedup(at("MP3D", "rc"), at("MP3D", "sc"));
+    double lu = speedup(at("LU", "rc"), at("LU", "sc"));
+    EXPECT_GT(mp3d, lu);
+}
+
+/** Figure 4: prefetching helps the regular applications. */
+TEST_F(FigureShapes, PrefetchHelpsMp3dAndLu)
+{
+    for (const char *app : {"MP3D", "LU"}) {
+        EXPECT_LT(at(app, "scpf").execTime, at(app, "sc").execTime)
+            << app << ": SC+PF did not beat SC";
+        EXPECT_LT(at(app, "rcpf").execTime, at(app, "rc").execTime)
+            << app << ": RC+PF did not beat RC";
+        EXPECT_GT(at(app, "rcpf").readHitPct, at(app, "rc").readHitPct)
+            << app << ": prefetch did not raise the read hit rate";
+        EXPECT_GT(at(app, "rcpf").bucket(Bucket::PfOverhead), 0u)
+            << app << ": no prefetch overhead section";
+    }
+}
+
+/** Figure 5: 4 contexts with a 4-cycle switch beat a single context. */
+TEST_F(FigureShapes, FourContextsFourCycleSwitchBeatSingleContext)
+{
+    for (const char *app : apps) {
+        const RunResult &one = at(app, "sc");
+        const RunResult &four = at(app, "sc4ctx");
+        EXPECT_LT(four.execTime, one.execTime)
+            << app << ": 4ctx/sw4 normalized time "
+            << normalizedTime(four, one);
+    }
+}
+
+/** Figure 6: combining RC with prefetch is best (or tied) among the
+ *  single-context techniques for the regular applications. */
+TEST_F(FigureShapes, CombinedRcPrefetchBestOrTiedOnMp3dAndLu)
+{
+    for (const char *app : {"MP3D", "LU"}) {
+        Tick best = at(app, "rcpf").execTime;
+        for (const char *other : {"sc", "scpf", "rc"}) {
+            EXPECT_LE(static_cast<double>(best),
+                      1.02 * static_cast<double>(at(app, other).execTime))
+                << app << ": RC+PF loses to " << other;
+        }
+    }
+}
+
+/** Figure 6: RC also improves the multi-context machine. */
+TEST_F(FigureShapes, RcImprovesFourContexts)
+{
+    for (const char *app : apps) {
+        EXPECT_LE(at(app, "rc4ctx").execTime,
+                  at(app, "sc4ctx").execTime)
+            << app << ": RC did not help 4 contexts";
+    }
+}
