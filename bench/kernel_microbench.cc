@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Perf-observability baseline for the simulator's inner loop.
+ *
+ * Unlike the figure/table binaries (which measure the *simulated*
+ * machine), this binary measures the *simulator itself*: events/sec and
+ * ns/event through the EventQueue kernel, on synthetic event storms and
+ * on the three quick app grids. It prints a human-readable table and
+ * emits BENCH_kernel.json so the perf trajectory of the kernel is
+ * recorded across PRs (docs/PERF.md explains the methodology and how
+ * to read the JSON).
+ *
+ * Environment knobs:
+ *   DASHSIM_KMB_EVENTS=N   target event count per synthetic storm
+ *                          (default 4000000)
+ *   DASHSIM_KMB_REPS=N     repetitions per measurement, best-of (3)
+ *   DASHSIM_BENCH_JSON=f   JSON output path (default BENCH_kernel.json;
+ *                          empty string suppresses the file)
+ *
+ * Synthetic storms are deterministic (sim/random.hh xoshiro), so two
+ * builds measure exactly the same event sequence; only the wall clock
+ * differs.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace dashsim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t
+envCount(const char *name, std::uint64_t dflt)
+{
+    const char *e = std::getenv(name);
+    if (!e || !e[0])
+        return dflt;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(e, &end, 10);
+    return (end && *end == '\0' && v > 0) ? v : dflt;
+}
+
+struct Measurement
+{
+    std::string name;
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+
+    double eventsPerSec() const { return events / seconds; }
+    double nsPerEvent() const { return 1e9 * seconds / events; }
+};
+
+/**
+ * Self-rescheduling churn: a steady-state population of events, each of
+ * which reschedules itself at a pseudo-random small delay. This is the
+ * shape of the simulator's inner loop (pop-min, run, push), and the
+ * callback deliberately captures ~40 bytes — the size class of the real
+ * memory-system completion callbacks (this + line + node + flags),
+ * which is what the queue's inline-callback storage is sized for.
+ */
+namespace churn {
+
+struct State
+{
+    EventQueue *eq;
+    Rng *rng;
+    std::uint64_t *remaining;
+    std::uint64_t *sink;
+};
+
+/** One self-rescheduling event. 48 bytes: the capture size class of
+ *  the real memory-system completion callbacks. */
+struct Event
+{
+    State s;
+    std::uint64_t salt;
+    std::uint64_t pad;
+
+    void
+    operator()() const
+    {
+        *s.sink += salt + pad;
+        if (*s.remaining == 0)
+            return;
+        --*s.remaining;
+        Event next{s, s.rng->below(97) + 1, salt};
+        s.eq->schedule(static_cast<Tick>(next.salt), next);
+    }
+};
+
+} // namespace churn
+
+Measurement
+stormChurn(std::uint64_t total_events)
+{
+    constexpr std::uint64_t population = 1024;
+    EventQueue eq;
+    Rng rng(0x5eed);
+    std::uint64_t remaining = total_events;
+    std::uint64_t sink = 0;
+    churn::State st{&eq, &rng, &remaining, &sink};
+
+    Measurement m{"storm_churn", total_events, 0.0};
+    auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < population; ++i) {
+        churn::Event e{st, rng.below(97) + 1, i};
+        eq.schedule(static_cast<Tick>(e.salt), e);
+    }
+    eq.run();
+    m.seconds = secondsSince(t0);
+    m.events = eq.executed();
+    // Defeat dead-code elimination of the payload work.
+    if (sink == 0xdeadbeef)
+        std::fprintf(stderr, "impossible\n");
+    return m;
+}
+
+/**
+ * Fill-drain bursts: schedule a batch of events at scattered future
+ * ticks, then drain the queue. Exercises heap growth, push-heavy and
+ * pop-heavy phases, and FIFO tie-breaking (1/8 of ticks collide).
+ */
+Measurement
+stormBurst(std::uint64_t total_events)
+{
+    constexpr std::uint64_t batch = 8192;
+    const std::uint64_t rounds = total_events / batch;
+    EventQueue eq;
+    Rng rng(0xb427);
+    std::uint64_t sink = 0;
+
+    Measurement m{"storm_burst", rounds * batch, 0.0};
+    auto t0 = Clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (std::uint64_t i = 0; i < batch; ++i) {
+            Tick when = static_cast<Tick>(rng.below(batch));
+            std::uint64_t salt = rng.next();
+            eq.schedule(when, [&sink, salt] { sink ^= salt; });
+        }
+        eq.run();
+    }
+    m.seconds = secondsSince(t0);
+    if (sink == 0xdeadbeef)
+        std::fprintf(stderr, "impossible\n");
+    return m;
+}
+
+/**
+ * End-to-end kernel throughput on a real workload: one quick app grid
+ * point (RC technique, checkers off), measured as simulator events per
+ * wall-clock second. This includes cache/directory/resource work per
+ * event, so it tracks the whole hot path, not just the queue.
+ */
+Measurement
+gridRun(const std::string &app)
+{
+    WorkloadFactory factory = testWorkload(app);
+    MachineConfig cfg = makeMachineConfig(Technique::rc());
+    cfg.check.coherence = false;
+    cfg.check.race = false;
+
+    Machine machine(cfg);
+    auto w = factory();
+    Measurement m{"grid_" + app, 0, 0.0};
+    auto t0 = Clock::now();
+    machine.run(*w);
+    m.seconds = secondsSince(t0);
+    m.events = machine.eventQueue().executed();
+    return m;
+}
+
+Measurement
+bestOf(unsigned reps, Measurement (*fn)(std::uint64_t), std::uint64_t n)
+{
+    Measurement best = fn(n);
+    for (unsigned r = 1; r < reps; ++r) {
+        Measurement next = fn(n);
+        if (next.seconds < best.seconds)
+            best = next;
+    }
+    return best;
+}
+
+Measurement
+bestOfGrid(unsigned reps, const std::string &app)
+{
+    Measurement best = gridRun(app);
+    for (unsigned r = 1; r < reps; ++r) {
+        Measurement next = gridRun(app);
+        if (next.seconds < best.seconds)
+            best = next;
+    }
+    return best;
+}
+
+void
+writeJson(const std::vector<Measurement> &ms)
+{
+    const char *env = std::getenv("DASHSIM_BENCH_JSON");
+    std::string path = env ? env : "BENCH_kernel.json";
+    if (path.empty())
+        return;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "kernel_microbench: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"dashsim-kernel-bench-1\",\n");
+    std::fprintf(f, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+        const Measurement &m = ms[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"events\": %llu, "
+                     "\"seconds\": %.6f, \"events_per_sec\": %.1f, "
+                     "\"ns_per_event\": %.2f}%s\n",
+                     m.name.c_str(),
+                     static_cast<unsigned long long>(m.events), m.seconds,
+                     m.eventsPerSec(), m.nsPerEvent(),
+                     i + 1 < ms.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t events = envCount("DASHSIM_KMB_EVENTS", 4000000);
+    const unsigned reps =
+        static_cast<unsigned>(envCount("DASHSIM_KMB_REPS", 3));
+
+    std::printf("dashsim kernel microbenchmark "
+                "(%llu events/storm, best of %u)\n\n",
+                static_cast<unsigned long long>(events), reps);
+    std::printf("%-14s %12s %10s %14s %10s\n", "workload", "events",
+                "seconds", "events/sec", "ns/event");
+
+    std::vector<Measurement> ms;
+    ms.push_back(bestOf(reps, stormChurn, events));
+    ms.push_back(bestOf(reps, stormBurst, events));
+    for (const char *app : {"MP3D", "LU", "PTHOR"})
+        ms.push_back(bestOfGrid(reps, app));
+
+    for (const Measurement &m : ms)
+        std::printf("%-14s %12llu %10.3f %14.0f %10.2f\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.events), m.seconds,
+                    m.eventsPerSec(), m.nsPerEvent());
+
+    writeJson(ms);
+    return 0;
+}

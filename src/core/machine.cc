@@ -12,14 +12,20 @@ Machine::Machine(const MachineConfig &cfg)
         procs.push_back(
             std::make_unique<Processor>(eq, msys, n, cfg.cpu));
 
-    msys.setFillHook([this](NodeId n, Tick when, bool prefetch) {
-        procs[n]->onFillLockout(when, prefetch);
-    });
+    msys.setFillHook(
+        [](void *m, NodeId n, Tick when, bool prefetch) {
+            static_cast<Machine *>(m)->procs[n]->onFillLockout(when,
+                                                              prefetch);
+        },
+        this);
 
     if (cfg.check.coherence) {
         coherence = std::make_unique<CoherenceChecker>(msys, cfg.check);
         msys.setCheckHook(
-            [this](Addr line) { coherence->onTransition(line); });
+            [](void *c, Addr line) {
+                static_cast<CoherenceChecker *>(c)->onTransition(line);
+            },
+            coherence.get());
     }
     if (cfg.check.race)
         race = std::make_unique<RaceDetector>(numProcesses());

@@ -3,16 +3,27 @@
  * Tag-array models for the two-level cache hierarchy and the MSHR set
  * that makes both levels lockup-free.
  *
- * Both levels are direct-mapped with 16-byte lines (Section 2.1). The
- * primary cache is write-through/no-write-allocate; the secondary cache
- * is write-back with ownership states (Invalid / Shared / Dirty).
+ * Both levels default to direct-mapped with 16-byte lines (Section 2.1),
+ * matching the DASH hardware; the tag arrays are true set-associative
+ * structures (sets x ways, set index computed from the address), so
+ * ablation studies can raise the associativity without touching the
+ * protocol code. Replacement within a set is oldest-fill-first (FIFO),
+ * which for ways == 1 degenerates to exactly the direct-mapped
+ * behavior. The primary cache is write-through/no-write-allocate; the
+ * secondary cache is write-back with ownership states (Invalid /
+ * Shared / Dirty).
+ *
+ * All three structures are flat arrays searched with short linear
+ * scans: a probe is a handful of comparisons over one cache-resident
+ * set (or the <= 16-entry MSHR array), with no hashing and no
+ * per-operation allocation.
  */
 
 #ifndef MEM_CACHE_HH
 #define MEM_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/mem_config.hh"
@@ -31,42 +42,67 @@ enum class LineState : std::uint8_t
 };
 
 /**
- * Direct-mapped write-through primary cache (tags only; data lives in
+ * Set-associative write-through primary cache (tags only; data lives in
  * the SharedMemory arena).
  */
 class PrimaryCache
 {
   public:
     explicit PrimaryCache(const CacheGeometry &geom)
-        : lines(geom.numLines())
+        : lines(geom.numLines()), ways(geom.ways), sets(geom.numSets())
     {
         fatal_if(lines.empty(), "primary cache has no lines");
+        fatal_if(geom.ways == 0 || geom.numLines() % geom.ways != 0,
+                 "primary cache ways must evenly divide the line count");
     }
 
     /** True if the line containing @p a is present. */
     bool
     probe(Addr a) const
     {
-        const Line &l = lines[index(a)];
-        return l.valid && l.tag == lineIndex(a);
+        const Addr tag = lineIndex(a);
+        const Line *set = setOf(a);
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (set[w].valid && set[w].tag == tag)
+                return true;
+        return false;
     }
 
     /** Install the line containing @p a, evicting any conflicting line. */
     void
     fill(Addr a)
     {
-        Line &l = lines[index(a)];
-        l.valid = true;
-        l.tag = lineIndex(a);
+        const Addr tag = lineIndex(a);
+        Line *set = setOf(a);
+        Line *victim = &set[0];
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (set[w].valid && set[w].tag == tag) {
+                return;  // already present
+            }
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+            if (set[w].stamp < victim->stamp)
+                victim = &set[w];
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->stamp = ++fillClock;
     }
 
     /** Drop the line containing @p a if present. */
     void
     invalidate(Addr a)
     {
-        Line &l = lines[index(a)];
-        if (l.valid && l.tag == lineIndex(a))
-            l.valid = false;
+        const Addr tag = lineIndex(a);
+        Line *set = setOf(a);
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (set[w].valid && set[w].tag == tag) {
+                set[w].valid = false;
+                return;
+            }
+        }
     }
 
     void
@@ -74,6 +110,7 @@ class PrimaryCache
     {
         for (auto &l : lines)
             l.valid = false;
+        fillClock = 0;
     }
 
     /** Call @p cb with the line address of every valid line. */
@@ -90,16 +127,22 @@ class PrimaryCache
     struct Line
     {
         Addr tag = 0;
+        std::uint64_t stamp = 0;  ///< fill order, for FIFO replacement
         bool valid = false;
     };
 
-    std::size_t index(Addr a) const { return lineIndex(a) % lines.size(); }
+    const Line *setOf(Addr a) const { return &lines[setIndex(a) * ways]; }
+    Line *setOf(Addr a) { return &lines[setIndex(a) * ways]; }
+    std::size_t setIndex(Addr a) const { return lineIndex(a) % sets; }
 
-    std::vector<Line> lines;
+    std::vector<Line> lines;  ///< sets x ways, set-major
+    std::uint32_t ways;
+    std::uint32_t sets;
+    std::uint64_t fillClock = 0;
 };
 
 /**
- * Direct-mapped write-back secondary cache with ownership states.
+ * Set-associative write-back secondary cache with ownership states.
  */
 class SecondaryCache
 {
@@ -113,18 +156,22 @@ class SecondaryCache
     };
 
     explicit SecondaryCache(const CacheGeometry &geom)
-        : lines(geom.numLines())
+        : lines(geom.numLines()), ways(geom.ways), sets(geom.numSets())
     {
         fatal_if(lines.empty(), "secondary cache has no lines");
+        fatal_if(geom.ways == 0 || geom.numLines() % geom.ways != 0,
+                 "secondary cache ways must evenly divide the line count");
     }
 
     /** State of the line containing @p a (Invalid if tag mismatch). */
     LineState
     probe(Addr a) const
     {
-        const Line &l = lines[index(a)];
-        if (l.state != LineState::Invalid && l.tag == lineIndex(a))
-            return l.state;
+        const Addr tag = lineIndex(a);
+        const Line *set = setOf(a);
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (set[w].state != LineState::Invalid && set[w].tag == tag)
+                return set[w].state;
         return LineState::Invalid;
     }
 
@@ -135,15 +182,33 @@ class SecondaryCache
     Victim
     fill(Addr a, LineState st)
     {
-        Line &l = lines[index(a)];
-        Victim v;
-        if (l.state != LineState::Invalid && l.tag != lineIndex(a)) {
-            v.valid = true;
-            v.dirty = l.state == LineState::Dirty;
-            v.addr = l.tag << lineShift;
+        const Addr tag = lineIndex(a);
+        Line *set = setOf(a);
+        Line *victim = &set[0];
+        bool hit = false;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (set[w].state != LineState::Invalid && set[w].tag == tag) {
+                victim = &set[w];
+                hit = true;
+                break;
+            }
+            if (set[w].state == LineState::Invalid) {
+                victim = &set[w];
+                hit = true;  // free way: nothing displaced
+                break;
+            }
+            if (set[w].stamp < victim->stamp)
+                victim = &set[w];
         }
-        l.tag = lineIndex(a);
-        l.state = st;
+        Victim v;
+        if (!hit) {
+            v.valid = true;
+            v.dirty = victim->state == LineState::Dirty;
+            v.addr = victim->tag << lineShift;
+        }
+        victim->tag = tag;
+        victim->state = st;
+        victim->stamp = ++fillClock;
         return v;
     }
 
@@ -151,27 +216,25 @@ class SecondaryCache
     void
     upgrade(Addr a)
     {
-        Line &l = lines[index(a)];
-        if (l.tag == lineIndex(a) && l.state != LineState::Invalid)
-            l.state = LineState::Dirty;
+        if (Line *l = findLine(a))
+            l->state = LineState::Dirty;
     }
 
     /** Downgrade a Dirty copy to Shared (remote read hit our copy). */
     void
     downgrade(Addr a)
     {
-        Line &l = lines[index(a)];
-        if (l.tag == lineIndex(a) && l.state == LineState::Dirty)
-            l.state = LineState::Shared;
+        Line *l = findLine(a);
+        if (l && l->state == LineState::Dirty)
+            l->state = LineState::Shared;
     }
 
     /** Drop the line containing @p a if present. */
     void
     invalidate(Addr a)
     {
-        Line &l = lines[index(a)];
-        if (l.tag == lineIndex(a))
-            l.state = LineState::Invalid;
+        if (Line *l = findLine(a))
+            l->state = LineState::Invalid;
     }
 
     void
@@ -179,6 +242,7 @@ class SecondaryCache
     {
         for (auto &l : lines)
             l.state = LineState::Invalid;
+        fillClock = 0;
     }
 
     /** Call @p cb(lineAddr, state) for every non-Invalid line. */
@@ -195,12 +259,29 @@ class SecondaryCache
     struct Line
     {
         Addr tag = 0;
+        std::uint64_t stamp = 0;  ///< fill order, for FIFO replacement
         LineState state = LineState::Invalid;
     };
 
-    std::size_t index(Addr a) const { return lineIndex(a) % lines.size(); }
+    const Line *setOf(Addr a) const { return &lines[setIndex(a) * ways]; }
+    Line *setOf(Addr a) { return &lines[setIndex(a) * ways]; }
+    std::size_t setIndex(Addr a) const { return lineIndex(a) % sets; }
 
-    std::vector<Line> lines;
+    Line *
+    findLine(Addr a)
+    {
+        const Addr tag = lineIndex(a);
+        Line *set = setOf(a);
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (set[w].state != LineState::Invalid && set[w].tag == tag)
+                return &set[w];
+        return nullptr;
+    }
+
+    std::vector<Line> lines;  ///< sets x ways, set-major
+    std::uint32_t ways;
+    std::uint32_t sets;
+    std::uint64_t fillClock = 0;
 };
 
 /**
@@ -209,6 +290,11 @@ class SecondaryCache
  * A demand access that finds its line already in flight *combines* with
  * the outstanding request (Section 5.1) and completes when the original
  * response returns.
+ *
+ * The register file is a flat insertion-ordered array searched
+ * linearly: with at most ~16 outstanding fills a scan over packed
+ * (line, entry) pairs beats a hash map on every operation and never
+ * allocates in steady state.
  */
 class MshrSet
 {
@@ -226,7 +312,11 @@ class MshrSet
         bool poisoned = false;
     };
 
-    explicit MshrSet(std::uint32_t capacity) : cap(capacity) {}
+    explicit MshrSet(std::uint32_t capacity) : cap(capacity)
+    {
+        // Transient overshoot past cap is legal (see allocate).
+        entries.reserve(capacity + 4);
+    }
 
     bool full() const { return entries.size() >= cap; }
     std::size_t inFlight() const { return entries.size(); }
@@ -235,15 +325,21 @@ class MshrSet
     Entry *
     find(Addr a)
     {
-        auto it = entries.find(lineIndex(a));
-        return it == entries.end() ? nullptr : &it->second;
+        const Addr line = lineIndex(a);
+        for (auto &s : entries)
+            if (s.line == line)
+                return &s.entry;
+        return nullptr;
     }
 
     const Entry *
     find(Addr a) const
     {
-        auto it = entries.find(lineIndex(a));
-        return it == entries.end() ? nullptr : &it->second;
+        const Addr line = lineIndex(a);
+        for (const auto &s : entries)
+            if (s.line == line)
+                return &s.entry;
+        return nullptr;
     }
 
     /** Call @p cb(lineAddr, entry) for every outstanding entry. */
@@ -251,14 +347,14 @@ class MshrSet
     void
     forEach(Fn &&cb) const
     {
-        for (const auto &[line, e] : entries)
-            cb(line << lineShift, e);
+        for (const auto &s : entries)
+            cb(s.line << lineShift, s.entry);
     }
 
     /**
      * Allocate an entry. The capacity limit is enforced by the *timing*
      * model (a requester that finds the set full delays its issue until
-     * earliestComplete()), so the structural map may transiently hold
+     * earliestComplete()), so the structural array may transiently hold
      * more than `cap` entries: allocations happen when a transaction is
      * walked while releases happen at the scheduled completion events,
      * and the two orders are not the same.
@@ -266,18 +362,23 @@ class MshrSet
     Entry &
     allocate(Addr a, Tick complete, bool exclusive, bool prefetch)
     {
-        auto [it, fresh] =
-            entries.emplace(lineIndex(a),
-                            Entry{complete, exclusive, prefetch});
-        panic_if(!fresh, "duplicate MSHR for line");
-        return it->second;
+        const Addr line = lineIndex(a);
+        panic_if(find(a) != nullptr, "duplicate MSHR for line");
+        entries.push_back(Slot{line, Entry{complete, exclusive, prefetch}});
+        return entries.back().entry;
     }
 
     /** Release the entry for the line containing @p a. */
     void
     release(Addr a)
     {
-        entries.erase(lineIndex(a));
+        const Addr line = lineIndex(a);
+        for (auto it = entries.begin(); it != entries.end(); ++it) {
+            if (it->line == line) {
+                entries.erase(it);  // keeps insertion order for forEach
+                return;
+            }
+        }
     }
 
     /** Earliest completion among outstanding entries (maxTick if none). */
@@ -285,14 +386,20 @@ class MshrSet
     earliestComplete() const
     {
         Tick t = maxTick;
-        for (const auto &[line, e] : entries)
-            t = std::min(t, e.complete);
+        for (const auto &s : entries)
+            t = std::min(t, s.entry.complete);
         return t;
     }
 
   private:
+    struct Slot
+    {
+        Addr line;
+        Entry entry;
+    };
+
     std::uint32_t cap;
-    std::unordered_map<Addr, Entry> entries;
+    std::vector<Slot> entries;  ///< insertion order
 };
 
 } // namespace dashsim

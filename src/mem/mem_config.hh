@@ -92,7 +92,16 @@ struct CacheGeometry
 {
     std::uint32_t sizeBytes;
 
+    /**
+     * Set associativity. The DASH prototype (and every paper
+     * configuration) is direct-mapped, so the default is 1 and all
+     * shipped results are produced with it; the tag arrays support
+     * higher associativity for what-if studies (bench/ablations).
+     */
+    std::uint32_t ways = 1;
+
     std::uint32_t numLines() const { return sizeBytes / lineBytes; }
+    std::uint32_t numSets() const { return numLines() / ways; }
 };
 
 /** Whole memory-system configuration. */

@@ -290,8 +290,8 @@ MemorySystem::scheduleFill(NodeId node, Addr line, bool exclusive,
         if (prefetch)
             nd.pfFillBusy = std::max(nd.pfFillBusy, busy_until);
         noteTransition(line);
-        if (fillHook)
-            fillHook(node, eq.now(), prefetch);
+        if (fillHookFn)
+            fillHookFn(fillHookCtx, node, eq.now(), prefetch);
     });
 }
 

@@ -184,11 +184,19 @@ class MemorySystem
      * primary cache (the cache is locked out for 4 cycles). The
      * processor model uses this to charge "no switch" idle time (and
      * prefetch overhead for prefetch fills, Section 5.1).
+     *
+     * Hooks are raw function-pointer + context pairs rather than
+     * std::function: they sit on the per-transition hot path, and this
+     * keeps the disabled case a single predictable null-check branch
+     * with no type-erasure machinery behind it.
      */
+    using FillHookFn = void (*)(void *ctx, NodeId, Tick, bool prefetch);
+
     void
-    setFillHook(std::function<void(NodeId, Tick, bool prefetch)> hook)
+    setFillHook(FillHookFn fn, void *ctx)
     {
-        fillHook = std::move(hook);
+        fillHookFn = fn;
+        fillHookCtx = ctx;
     }
 
     /**
@@ -209,10 +217,13 @@ class MemorySystem
     // ------------------------------------------------------------------
 
     /** Called with the line address after each protocol transition. */
+    using CheckHookFn = void (*)(void *ctx, Addr line);
+
     void
-    setCheckHook(std::function<void(Addr line)> hook)
+    setCheckHook(CheckHookFn fn, void *ctx)
     {
-        checkHook = std::move(hook);
+        checkHookFn = fn;
+        checkHookCtx = ctx;
     }
 
     /** Directory entry for @p line (Uncached default if never touched). */
@@ -473,12 +484,13 @@ class MemorySystem
         std::deque<std::function<void(Tick)>> waiters;
     };
 
-    /** Invoke the protocol-verification hook, if installed. */
+    /** Invoke the protocol-verification hook, if installed. With the
+     *  checkers disabled this compiles down to one never-taken branch. */
     void
     noteTransition(Addr line)
     {
-        if (checkHook)
-            checkHook(line);
+        if (checkHookFn) [[unlikely]]
+            checkHookFn(checkHookCtx, line);
     }
 
     EventQueue &eq;
@@ -488,8 +500,10 @@ class MemorySystem
     std::unordered_map<Addr, DirEntry> directory;
     std::unordered_map<Addr, QueuedLock> queuedLocks;
     std::unordered_map<Addr, std::vector<std::function<void()>>> watches;
-    std::function<void(NodeId, Tick, bool)> fillHook;
-    std::function<void(Addr)> checkHook;
+    FillHookFn fillHookFn = nullptr;
+    void *fillHookCtx = nullptr;
+    CheckHookFn checkHookFn = nullptr;
+    void *checkHookCtx = nullptr;
     /** In-flight dirty-eviction messages by line index (ref-counted). */
     std::unordered_map<Addr, unsigned> pendingWritebacks;
     std::uint64_t storeSeq = 0;

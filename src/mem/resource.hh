@@ -14,7 +14,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -31,6 +31,14 @@ namespace dashsim {
  * monotonic horizon would make the far-future booking block the
  * earlier one; the calendar backfills the gap instead, which is the
  * correct first-come-first-served behavior in arrival time.
+ *
+ * The calendar is a small sorted vector of disjoint intervals.
+ * Touching intervals are merged on insertion, so under the common
+ * back-to-back booking pattern the whole calendar collapses to a
+ * handful of entries, the hot append path is O(1), and no per-booking
+ * allocation happens (the old std::map paid a node allocation per
+ * booking). Merging never changes acquire() results: they depend only
+ * on the union of busy ticks, which merging preserves.
  *
  * Old intervals are pruned behind a sliding window; bookings can never
  * land before the pruned region.
@@ -52,21 +60,45 @@ class Resource
         Tick t = std::max(at, floorTick);
         if (occupancy == 0)
             return t;
-        // Clip t forward out of any interval it starts inside.
-        auto it = busy.lower_bound(t);
-        if (it != busy.begin()) {
-            auto prev = std::prev(it);
-            if (prev->second > t)
-                t = prev->second;
+        // Hot path: booking at or after everything already booked.
+        if (busy.empty() || t >= busy.back().end) {
+            if (!busy.empty() && busy.back().end == t)
+                busy.back().end = t + occupancy;
+            else
+                busy.push_back({t, t + occupancy});
+            prune(t);
+            return t;
         }
-        // Walk forward until [t, t+occupancy) fits before the next
-        // interval.
-        it = busy.lower_bound(t);
-        while (it != busy.end() && it->first < t + occupancy) {
-            t = it->second;
-            ++it;
+        // Find the first interval that ends after t: everything before
+        // it is entirely in the past of t. If that interval covers t,
+        // the walk below clips t to its end; then keep jumping until
+        // [t, t+occupancy) fits in the gap before the next interval.
+        std::size_t i =
+            std::upper_bound(busy.begin(), busy.end(), t,
+                             [](Tick v, const Interval &iv) {
+                                 return v < iv.end;
+                             }) -
+            busy.begin();
+        while (i < busy.size() && busy[i].start < t + occupancy) {
+            t = busy[i].end;
+            ++i;
         }
-        busy.emplace(t, t + occupancy);
+        // Insert [t, t+occupancy) at position i, merging with the
+        // touching neighbors so the calendar stays compact.
+        const Tick end = t + occupancy;
+        const bool joinPrev = i > 0 && busy[i - 1].end == t;
+        const bool joinNext = i < busy.size() && busy[i].start == end;
+        if (joinPrev && joinNext) {
+            busy[i - 1].end = busy[i].end;
+            busy.erase(busy.begin() + static_cast<std::ptrdiff_t>(i));
+        } else if (joinPrev) {
+            busy[i - 1].end = end;
+        } else if (joinNext) {
+            busy[i].start = t;
+        } else {
+            busy.insert(busy.begin() + static_cast<std::ptrdiff_t>(i),
+                        {t, end});
+        }
         prune(t);
         return t;
     }
@@ -75,7 +107,7 @@ class Resource
     Tick
     horizon() const
     {
-        return busy.empty() ? floorTick : busy.rbegin()->second;
+        return busy.empty() ? floorTick : busy.back().end;
     }
 
     /** Total cycles of booked occupancy (for utilization stats). */
@@ -94,6 +126,12 @@ class Resource
     }
 
   private:
+    struct Interval
+    {
+        Tick start;
+        Tick end;
+    };
+
     void
     prune(Tick now)
     {
@@ -103,13 +141,17 @@ class Resource
         if (now <= window)
             return;
         Tick cut = now - window;
-        while (!busy.empty() && busy.begin()->second <= cut)
-            busy.erase(busy.begin());
+        std::size_t drop = 0;
+        while (drop < busy.size() && busy[drop].end <= cut)
+            ++drop;
+        if (drop)
+            busy.erase(busy.begin(),
+                       busy.begin() + static_cast<std::ptrdiff_t>(drop));
         floorTick = std::max(floorTick, cut);
     }
 
-    /** Booked intervals, start -> end, non-overlapping. */
-    std::map<Tick, Tick> busy;
+    /** Booked intervals, sorted by start, disjoint and non-touching. */
+    std::vector<Interval> busy;
     Tick floorTick = 0;
     std::uint64_t _busyCycles = 0;
     std::uint64_t _requests = 0;

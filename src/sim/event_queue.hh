@@ -3,22 +3,203 @@
  * The event-driven simulation kernel.
  *
  * A single global-order EventQueue drives the whole machine. Components
- * schedule std::function callbacks at absolute ticks; ties are broken by
- * insertion order so simulation results are fully deterministic.
+ * schedule callbacks at absolute ticks; ties are broken by insertion
+ * order so simulation results are fully deterministic.
+ *
+ * Hot-path design. Every simulated transaction flows through this queue,
+ * so the kernel is built around two allocation-free structures:
+ *
+ *  - an indexed 4-ary min-heap of 24-byte POD keys (tick, sequence,
+ *    slot). Sift operations move only the trivially-copyable keys, never
+ *    the callbacks, and the shallow high-fanout heap keeps the pop path
+ *    to a handful of well-predicted comparisons per level;
+ *
+ *  - a slot pool of InlineCallback objects. Callables whose captures fit
+ *    the 48-byte inline buffer (every per-transaction completion lambda
+ *    in the memory system) are stored in place, so the steady-state
+ *    schedule/run cycle performs no heap allocation at all. Larger or
+ *    throwing-move callables transparently fall back to the heap.
  */
 
 #ifndef SIM_EVENT_QUEUE_HH
 #define SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace dashsim {
+
+/**
+ * A move-only `void()` callable with small-buffer-optimized storage.
+ *
+ * Captures up to inlineCapacity bytes (and nothrow-movable) live in the
+ * object itself; anything bigger is heap-allocated behind the same
+ * interface. One virtual-free indirect call to invoke, one to
+ * relocate/destroy.
+ */
+class InlineCallback
+{
+  public:
+    /** Sized for the memory system's completion lambdas (~this + line +
+     *  node + a couple of ticks, or this + addr + a std::function). */
+    static constexpr std::size_t inlineCapacity = 48;
+
+    InlineCallback() = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineCallback> &&
+                  std::is_invocable_r_v<void, D &>>>
+    InlineCallback(F &&f)  // NOLINT: intentional converting constructor
+    {
+        init<D>(std::forward<F>(f));
+    }
+
+    /** Replace the stored callable in place (no temporary + move). */
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineCallback> &&
+                  std::is_invocable_r_v<void, D &>>>
+    void
+    emplace(F &&f)
+    {
+        destroy();
+        init<D>(std::forward<F>(f));
+    }
+
+    InlineCallback(InlineCallback &&o) noexcept
+        : invoke_(o.invoke_), relocate_(o.relocate_)
+    {
+        moveBuf(o);
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            invoke_ = o.invoke_;
+            relocate_ = o.relocate_;
+            moveBuf(o);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { destroy(); }
+
+    void operator()() { invoke_(buf); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+  private:
+    template <typename D>
+    static constexpr bool fitsInline =
+        sizeof(D) <= inlineCapacity &&
+        alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+    template <typename D, typename F>
+    void
+    init(F &&f)
+    {
+        if constexpr (fitsInline<D>) {
+            ::new (static_cast<void *>(buf)) D(std::forward<F>(f));
+            invoke_ = &inlineInvoke<D>;
+            // Trivially-relocatable callables (the common case: captures
+            // of this-pointers, addresses, and ticks) share one marker
+            // so moves compile to a fixed-size inline copy and destroys
+            // to nothing — no per-type indirect call.
+            if constexpr (std::is_trivially_copyable_v<D> &&
+                          std::is_trivially_destructible_v<D>)
+                relocate_ = &trivialRelocate;
+            else
+                relocate_ = &inlineRelocate<D>;
+        } else {
+            ::new (static_cast<void *>(buf)) D *(new D(std::forward<F>(f)));
+            invoke_ = &heapInvoke<D>;
+            relocate_ = &heapRelocate<D>;
+        }
+    }
+
+    void
+    moveBuf(InlineCallback &o) noexcept
+    {
+        if (relocate_ == &trivialRelocate) {
+            __builtin_memcpy(buf, o.buf, inlineCapacity);
+        } else if (relocate_) {
+            relocate_(o.buf, buf);
+        }
+        o.invoke_ = nullptr;
+        o.relocate_ = nullptr;
+    }
+
+    static void
+    trivialRelocate(void *src, void *dst)
+    {
+        if (dst)
+            __builtin_memcpy(dst, src, inlineCapacity);
+    }
+
+    template <typename D>
+    static void
+    inlineInvoke(void *p)
+    {
+        (*static_cast<D *>(p))();
+    }
+
+    /** Move-construct into @p dst (or just destroy when null). */
+    template <typename D>
+    static void
+    inlineRelocate(void *src, void *dst)
+    {
+        D *f = static_cast<D *>(src);
+        if (dst)
+            ::new (dst) D(std::move(*f));
+        f->~D();
+    }
+
+    template <typename D>
+    static void
+    heapInvoke(void *p)
+    {
+        (**static_cast<D **>(p))();
+    }
+
+    template <typename D>
+    static void
+    heapRelocate(void *src, void *dst)
+    {
+        D **pp = static_cast<D **>(src);
+        if (dst)
+            ::new (dst) D *(*pp);
+        else
+            delete *pp;
+    }
+
+    void
+    destroy()
+    {
+        if (relocate_ && relocate_ != &trivialRelocate)
+            relocate_(buf, nullptr);
+    }
+
+    alignas(std::max_align_t) unsigned char buf[inlineCapacity];
+    void (*invoke_)(void *) = nullptr;
+    void (*relocate_)(void *, void *) = nullptr;
+};
 
 /**
  * Deterministic event queue.
@@ -30,7 +211,7 @@ namespace dashsim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -40,20 +221,31 @@ class EventQueue
     Tick now() const { return _now; }
 
     /** Schedule @p cb to run @p delay cycles from now. */
+    template <typename F>
     void
-    schedule(Tick delay, Callback cb)
+    schedule(Tick delay, F &&cb)
     {
-        scheduleAt(_now + delay, std::move(cb));
+        scheduleAt(_now + delay, std::forward<F>(cb));
     }
 
     /** Schedule @p cb at absolute tick @p when (must not be in the past). */
+    template <typename F>
     void
-    scheduleAt(Tick when, Callback cb)
+    scheduleAt(Tick when, F &&cb)
     {
         panic_if(when < _now, "scheduling event in the past (%llu < %llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(_now));
-        heap.push(Entry{when, nextSeq++, std::move(cb)});
+        std::uint32_t slot;
+        if (!freeSlots.empty()) {
+            slot = freeSlots.back();
+            freeSlots.pop_back();
+            pool[slot].emplace(std::forward<F>(cb));
+        } else {
+            slot = static_cast<std::uint32_t>(pool.size());
+            pool.emplace_back(std::forward<F>(cb));
+        }
+        push(Key{when, nextSeq++, slot});
     }
 
     /** True when no events remain. */
@@ -74,12 +266,15 @@ class EventQueue
     {
         if (heap.empty())
             return false;
-        // The callback may schedule new events, so move it out first.
-        Entry e = std::move(const_cast<Entry &>(heap.top()));
-        heap.pop();
-        _now = e.when;
+        const Key k = heap.front();
+        popMin();
+        // Move the callback out before invoking: it may schedule new
+        // events, which can grow (and relocate) the slot pool.
+        Callback cb = std::move(pool[k.slot]);
+        freeSlots.push_back(k.slot);
+        _now = k.when;
         ++numExecuted;
-        e.cb();
+        cb();
         return true;
     }
 
@@ -100,27 +295,74 @@ class EventQueue
     void
     runUntil(Tick stop)
     {
-        while (!heap.empty() && heap.top().when <= stop)
+        while (!heap.empty() && heap.front().when <= stop)
             runOne();
         if (_now < stop)
             _now = stop;
     }
 
   private:
-    struct Entry
+    /** Heap key: trivially copyable, so sifts are plain word moves. */
+    struct Key
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
-
-        bool
-        operator>(const Entry &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+        std::uint32_t slot;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    static constexpr std::size_t arity = 4;
+
+    static bool
+    before(const Key &a, const Key &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    void
+    push(Key k)
+    {
+        std::size_t i = heap.size();
+        heap.push_back(k);
+        while (i != 0) {
+            const std::size_t parent = (i - 1) / arity;
+            if (!before(k, heap[parent]))
+                break;
+            heap[i] = heap[parent];
+            i = parent;
+        }
+        heap[i] = k;
+    }
+
+    void
+    popMin()
+    {
+        const Key last = heap.back();
+        heap.pop_back();
+        const std::size_t n = heap.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        for (;;) {
+            const std::size_t first = i * arity + 1;
+            if (first >= n)
+                break;
+            const std::size_t end = std::min(first + arity, n);
+            std::size_t m = first;
+            for (std::size_t c = first + 1; c < end; ++c) {
+                if (before(heap[c], heap[m]))
+                    m = c;
+            }
+            if (!before(heap[m], last))
+                break;
+            heap[i] = heap[m];
+            i = m;
+        }
+        heap[i] = last;
+    }
+
+    std::vector<Key> heap;
+    std::vector<Callback> pool;         ///< indexed by Key::slot
+    std::vector<std::uint32_t> freeSlots;
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;

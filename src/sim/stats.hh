@@ -9,6 +9,7 @@
 #define SIM_STATS_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -16,7 +17,21 @@
 
 namespace dashsim {
 
-/** A sampled statistic supporting count/sum/min/max/mean/median. */
+/**
+ * A sampled statistic supporting count/sum/min/max/mean/median.
+ *
+ * The histogram behind median() quantizes samples into buckets that are
+ * 1-wide up to 128 and exponentially wider after that (width 2^(L-7)
+ * for values with bit-length L+1, i.e. 128 buckets per octave). The
+ * buckets live in a flat vector addressed by a computed index — the
+ * index is monotone in the sample value, so an in-order scan of the
+ * vector walks the buckets in ascending value order — making sample()
+ * an O(1) increment with no allocation in steady state (the old
+ * std::map cost a node allocation and a tree walk per new bucket).
+ * Negative samples (never produced by the simulator's cycle counts)
+ * fall back to an ordered map so the quantization contract holds for
+ * any input.
+ */
 class SampleStat
 {
   public:
@@ -28,7 +43,15 @@ class SampleStat
         _sum += v;
         _min = _count == 1 ? v : std::min(_min, v);
         _max = _count == 1 ? v : std::max(_max, v);
-        buckets[quantize(v)]++;
+        auto i = static_cast<std::int64_t>(v);
+        if (i < 0) {
+            negBuckets[i]++;
+            return;
+        }
+        std::size_t idx = bucketIndex(static_cast<std::uint64_t>(i));
+        if (idx >= buckets.size())
+            buckets.resize(idx + 1, 0);
+        buckets[idx]++;
     }
 
     std::uint64_t count() const { return _count; }
@@ -39,8 +62,6 @@ class SampleStat
 
     /**
      * Approximate median from the quantized histogram.
-     * Buckets are 1-wide up to 128 and exponential after that, which is
-     * plenty for cycle-count distributions.
      */
     double
     median() const
@@ -49,10 +70,15 @@ class SampleStat
             return 0.0;
         std::uint64_t half = (_count + 1) / 2;
         std::uint64_t seen = 0;
-        for (const auto &[bucket, n] : buckets) {
+        for (const auto &[bucket, n] : negBuckets) {
             seen += n;
             if (seen >= half)
                 return static_cast<double>(bucket);
+        }
+        for (std::size_t idx = 0; idx < buckets.size(); ++idx) {
+            seen += buckets[idx];
+            if (buckets[idx] && seen >= half)
+                return static_cast<double>(bucketValue(idx));
         }
         return _max;
     }
@@ -63,27 +89,45 @@ class SampleStat
         _count = 0;
         _sum = _min = _max = 0.0;
         buckets.clear();
+        negBuckets.clear();
     }
 
   private:
-    static std::int64_t
-    quantize(double v)
+    /**
+     * Flat index of the bucket holding non-negative value @p i.
+     * Values 0..255 get 1-wide buckets at index == value; values with
+     * bit-length L+1 >= 9 land in 128 buckets of width 2^(L-7) per
+     * octave, appended octave after octave.
+     */
+    static std::size_t
+    bucketIndex(std::uint64_t i)
     {
-        auto i = static_cast<std::int64_t>(v);
-        if (i <= 128)
-            return i;
-        // Exponentially wider buckets past 128: keep the map small.
-        std::int64_t w = 1;
-        while ((128 << 1) * w <= i)
-            w <<= 1;
-        return i / w * w;
+        if (i < 256)
+            return static_cast<std::size_t>(i);
+        const unsigned L = std::bit_width(i) - 1;       // >= 8
+        const unsigned shift = L - 7;                   // log2(width)
+        return 256 + (L - 8) * 128 +
+               static_cast<std::size_t>((i - (std::uint64_t{1} << L)) >>
+                                        shift);
+    }
+
+    /** Lower bound of the bucket at @p idx (inverse of bucketIndex). */
+    static std::uint64_t
+    bucketValue(std::size_t idx)
+    {
+        if (idx < 256)
+            return idx;
+        const unsigned L = 8 + static_cast<unsigned>((idx - 256) / 128);
+        const std::uint64_t off = (idx - 256) % 128;
+        return (std::uint64_t{1} << L) + (off << (L - 7));
     }
 
     std::uint64_t _count = 0;
     double _sum = 0.0;
     double _min = 0.0;
     double _max = 0.0;
-    std::map<std::int64_t, std::uint64_t> buckets;
+    std::vector<std::uint64_t> buckets;  ///< non-negative samples
+    std::map<std::int64_t, std::uint64_t> negBuckets;  ///< cold fallback
 };
 
 /**

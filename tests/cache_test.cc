@@ -53,6 +53,83 @@ TEST(PrimaryCache, ResetDropsEverything)
         EXPECT_FALSE(pc.probe(line(i)));
 }
 
+TEST(PrimaryCache, TwoWaySetHoldsConflictingPair)
+{
+    // 2 KiB, 2 ways -> 64 sets: lines 3, 3+64, 3+128 all map to set 3.
+    PrimaryCache pc(CacheGeometry{2 * 1024, 2});
+    pc.fill(line(3));
+    pc.fill(line(3 + 64));
+    EXPECT_TRUE(pc.probe(line(3)));
+    EXPECT_TRUE(pc.probe(line(3 + 64)));
+    // Third conflicting line evicts the oldest fill (FIFO).
+    pc.fill(line(3 + 128));
+    EXPECT_FALSE(pc.probe(line(3)));
+    EXPECT_TRUE(pc.probe(line(3 + 64)));
+    EXPECT_TRUE(pc.probe(line(3 + 128)));
+}
+
+TEST(PrimaryCache, RefillDoesNotResetFifoOrder)
+{
+    // FIFO (not LRU): re-filling an already-present line must not
+    // refresh its replacement stamp.
+    PrimaryCache pc(CacheGeometry{2 * 1024, 2});
+    pc.fill(line(3));
+    pc.fill(line(3 + 64));
+    pc.fill(line(3));  // hit; still the oldest fill
+    pc.fill(line(3 + 128));
+    EXPECT_FALSE(pc.probe(line(3)));
+    EXPECT_TRUE(pc.probe(line(3 + 64)));
+}
+
+TEST(PrimaryCache, InvalidateFreesWayForNextFill)
+{
+    PrimaryCache pc(CacheGeometry{2 * 1024, 2});
+    pc.fill(line(3));
+    pc.fill(line(3 + 64));
+    pc.invalidate(line(3 + 64));
+    pc.fill(line(3 + 128));  // takes the freed way
+    EXPECT_TRUE(pc.probe(line(3)));
+    EXPECT_TRUE(pc.probe(line(3 + 128)));
+}
+
+TEST(SecondaryCache, TwoWayVictimIsOldestFill)
+{
+    // 4 KiB, 2 ways -> 128 sets: lines 7, 7+128, 7+256 share a set.
+    SecondaryCache sc(CacheGeometry{4 * 1024, 2});
+    sc.fill(line(7), LineState::Dirty);
+    sc.fill(line(7 + 128), LineState::Shared);
+    auto v = sc.fill(line(7 + 256), LineState::Shared);
+    EXPECT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(v.addr, line(7));
+    EXPECT_EQ(sc.probe(line(7)), LineState::Invalid);
+    EXPECT_EQ(sc.probe(line(7 + 128)), LineState::Shared);
+    EXPECT_EQ(sc.probe(line(7 + 256)), LineState::Shared);
+}
+
+TEST(SecondaryCache, TwoWayFillPrefersInvalidWayOverVictim)
+{
+    SecondaryCache sc(CacheGeometry{4 * 1024, 2});
+    sc.fill(line(7), LineState::Shared);
+    sc.fill(line(7 + 128), LineState::Shared);
+    sc.invalidate(line(7));
+    auto v = sc.fill(line(7 + 256), LineState::Shared);
+    EXPECT_FALSE(v.valid);  // reused the invalidated way, no eviction
+    EXPECT_EQ(sc.probe(line(7 + 128)), LineState::Shared);
+    EXPECT_EQ(sc.probe(line(7 + 256)), LineState::Shared);
+}
+
+TEST(SecondaryCache, WaysOneMatchesDirectMapped)
+{
+    // The default geometry (ways == 1) must behave exactly direct-mapped:
+    // every conflicting fill displaces, no associativity slack.
+    SecondaryCache sc(CacheGeometry{4 * 1024});
+    sc.fill(line(7), LineState::Shared);
+    auto v = sc.fill(line(7 + 256), LineState::Shared);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, line(7));
+}
+
 TEST(SecondaryCache, StatesAndUpgrades)
 {
     SecondaryCache sc(CacheGeometry{4 * 1024});

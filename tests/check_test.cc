@@ -53,7 +53,11 @@ struct CheckRig : ::testing::Test
 TEST_F(CheckRig, CleanTrafficNoViolations)
 {
     CoherenceChecker chk(ms, ccfg);
-    ms.setCheckHook([&chk](Addr line) { chk.onTransition(line); });
+    ms.setCheckHook(
+        [](void *c, Addr line) {
+            static_cast<CoherenceChecker *>(c)->onTransition(line);
+        },
+        &chk);
 
     Addr a = mem.allocLocal(4096, 0);
     Addr b = mem.allocLocal(4096, 5);

@@ -484,7 +484,11 @@ TEST_F(Rig, HitRatesTracked)
 TEST_F(Rig, FillHookInvoked)
 {
     int fills = 0;
-    ms.setFillHook([&](NodeId, Tick, bool) { ++fills; });
+    ms.setFillHook(
+        [](void *ctx, NodeId, Tick, bool) {
+            ++*static_cast<int *>(ctx);
+        },
+        &fills);
     ms.read(0, homed4, 0);
     settle();
     EXPECT_EQ(fills, 1);

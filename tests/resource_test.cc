@@ -6,9 +6,64 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "mem/resource.hh"
+#include "sim/random.hh"
 
 using namespace dashsim;
+
+namespace {
+
+/**
+ * Reference model: the pre-rewrite std::map<start, end> calendar. The
+ * merged-interval vector must return the same service tick for every
+ * booking — acquire() depends only on the union of busy ticks, which
+ * merging preserves.
+ */
+class MapResource
+{
+  public:
+    Tick
+    acquire(Tick at, Tick occupancy)
+    {
+        Tick t = std::max(at, floorTick);
+        if (occupancy == 0)
+            return t;
+        auto it = busy.lower_bound(t);
+        if (it != busy.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > t)
+                t = prev->second;
+        }
+        it = busy.lower_bound(t);
+        while (it != busy.end() && it->first < t + occupancy) {
+            t = it->second;
+            ++it;
+        }
+        busy.emplace(t, t + occupancy);
+        prune(t);
+        return t;
+    }
+
+  private:
+    void
+    prune(Tick now)
+    {
+        constexpr Tick window = 4096;
+        if (now <= window)
+            return;
+        Tick cut = now - window;
+        while (!busy.empty() && busy.begin()->second <= cut)
+            busy.erase(busy.begin());
+        floorTick = std::max(floorTick, cut);
+    }
+
+    std::map<Tick, Tick> busy;
+    Tick floorTick = 0;
+};
+
+} // namespace
 
 TEST(Resource, ImmediateServiceWhenFree)
 {
@@ -94,6 +149,46 @@ TEST(Resource, GapTooSmallSkipsToNextFree)
     EXPECT_EQ(r.acquire(12, 4), 20u);
     // A 2-cycle request fits the gap exactly.
     EXPECT_EQ(r.acquire(12, 2), 14u);
+}
+
+TEST(Resource, RandomizedBookingsMatchMapReference)
+{
+    // Replay the same randomized booking stream through both calendars:
+    // advancing "now", near-term and far-future bookings, gap backfills,
+    // zero occupancy, and enough span to trip the pruning window.
+    Rng rng(0xca1e00da);
+    Resource r;
+    MapResource ref;
+    Tick now = 0;
+    for (int i = 0; i < 50000; ++i) {
+        now += rng.below(8);
+        Tick at = now;
+        switch (rng.below(8)) {
+          case 0:  // far-future reply stage
+            at = now + 100 + rng.below(400);
+            break;
+          case 1:  // slightly behind current time (clipped by floor)
+            at = now > 20 ? now - rng.below(20) : now;
+            break;
+          default:
+            at = now + rng.below(30);
+        }
+        Tick occ = rng.below(10);  // includes zero occupancy
+        Tick got = r.acquire(at, occ);
+        Tick want = ref.acquire(at, occ);
+        ASSERT_EQ(got, want)
+            << "booking " << i << " at=" << at << " occ=" << occ;
+        ASSERT_GE(got, at);
+    }
+}
+
+TEST(Resource, HorizonUnaffectedByBackfill)
+{
+    Resource r;
+    r.acquire(100, 4);
+    EXPECT_EQ(r.horizon(), 104u);
+    r.acquire(10, 4);  // backfills the gap, horizon unchanged
+    EXPECT_EQ(r.horizon(), 104u);
 }
 
 TEST(PathWalker, BackToBackTransactionsPipelineAtBottleneck)

@@ -5,9 +5,67 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/random.hh"
 #include "sim/stats.hh"
 
 using namespace dashsim;
+
+namespace {
+
+/**
+ * Reference model: the pre-rewrite std::map-backed SampleStat histogram.
+ * The flat-vector buckets must quantize every sample to exactly the same
+ * bucket lower bound, so median() is bit-identical for any input stream.
+ */
+class MapSampleStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++_count;
+        _max = _count == 1 ? v : std::max(_max, v);
+        buckets[quantize(v)]++;
+    }
+
+    double
+    median() const
+    {
+        if (!_count)
+            return 0.0;
+        std::uint64_t half = (_count + 1) / 2;
+        std::uint64_t seen = 0;
+        for (const auto &[bucket, n] : buckets) {
+            seen += n;
+            if (seen >= half)
+                return static_cast<double>(bucket);
+        }
+        return _max;
+    }
+
+    static std::int64_t
+    quantize(double v)
+    {
+        auto i = static_cast<std::int64_t>(v);
+        if (i <= 128)
+            return i;
+        std::int64_t w = 1;
+        while ((128 << 1) * w <= i)
+            w <<= 1;
+        return i / w * w;
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _max = 0.0;
+    std::map<std::int64_t, std::uint64_t> buckets;
+};
+
+} // namespace
 
 TEST(SampleStat, EmptyIsZero)
 {
@@ -65,6 +123,54 @@ TEST(SampleStat, ResetClears)
     s.reset();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(SampleStat, BucketsMatchMapReferenceAtBoundaries)
+{
+    // A single sample's median is that sample's bucket lower bound, so
+    // this asserts per-value quantization identity with the old map
+    // implementation at every bucket-width boundary.
+    std::vector<std::uint64_t> values = {0, 1, 127, 128, 129, 200,
+                                         255, 256, 257, 511, 512, 513,
+                                         1023, 1024, 1025, 65535, 65536,
+                                         (1ull << 40) - 1, 1ull << 40};
+    for (std::uint64_t v : values) {
+        SampleStat s;
+        MapSampleStat ref;
+        s.sample(static_cast<double>(v));
+        ref.sample(static_cast<double>(v));
+        EXPECT_DOUBLE_EQ(s.median(), ref.median()) << "value " << v;
+    }
+}
+
+TEST(SampleStat, MedianMatchesMapReferenceOnRandomStreams)
+{
+    // Whole-stream identity: mixed magnitudes, heavy bucket collisions,
+    // medians compared against the reference after every sample.
+    Rng rng(0x57a75);
+    SampleStat s;
+    MapSampleStat ref;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t magnitude = rng.below(20);  // bit-length classes
+        std::uint64_t v = rng.below((1ull << magnitude) + 1);
+        s.sample(static_cast<double>(v));
+        ref.sample(static_cast<double>(v));
+        ASSERT_DOUBLE_EQ(s.median(), ref.median())
+            << "after sample " << i << " (value " << v << ")";
+    }
+}
+
+TEST(SampleStat, NegativeSamplesMatchMapReference)
+{
+    // Negatives take the cold map fallback; ordering across the
+    // negative/positive boundary must still match the reference.
+    SampleStat s;
+    MapSampleStat ref;
+    for (double v : {-5.0, -1.0, 0.0, 3.0, -2.0, 1000.0, -5.0}) {
+        s.sample(v);
+        ref.sample(v);
+        ASSERT_DOUBLE_EQ(s.median(), ref.median()) << "value " << v;
+    }
 }
 
 TEST(HitRate, Percentages)
