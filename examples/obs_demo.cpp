@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Observability demo: run one quick MP3D point with latency attribution
+ * enabled and print the per-class medians next to the paper's Table 1
+ * uncontended latencies, then dump the hierarchical counter registry
+ * and (optionally) a Chrome trace-event timeline.
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     DASHSIM_TIMELINE=trace.json DASHSIM_REGISTRY=counters.json \
+ *         ./build/examples/obs_demo
+ *
+ * Load trace.json in https://ui.perfetto.dev or chrome://tracing.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "obs/attribution.hh"
+#include "obs/registry.hh"
+
+using namespace dashsim;
+
+namespace {
+
+void
+printClass(const obs::Attribution &a, obs::TxnOp op, ServiceLevel level,
+           unsigned table1)
+{
+    const auto &c = a.stats(op, level);
+    if (!c.latency.count())
+        return;
+    std::printf("  %-9s %-12s %8llu txns   median %5.0f   mean %7.1f"
+                "   min %4.0f   max %6.0f",
+                obs::txnOpName(op), obs::serviceLevelName(level),
+                static_cast<unsigned long long>(c.latency.count()),
+                c.latency.median(), c.latency.mean(),
+                c.latency.minValue(), c.latency.maxValue());
+    if (table1)
+        std::printf("   (Table 1: %u)", table1);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    MachineConfig cfg;
+    cfg.obs.attribution = true;
+    // DASHSIM_TIMELINE / DASHSIM_REGISTRY are claimed by the Machine
+    // constructor when set; nothing else to wire up here.
+    Machine m(cfg);
+
+    auto w = testWorkload("MP3D")();
+    RunResult r = m.run(*w);
+    std::printf("MP3D (quick): exec=%llu cycles on %u processors\n\n",
+                static_cast<unsigned long long>(r.execTime),
+                r.numProcessors);
+
+    const obs::Attribution *a = m.attribution();
+    std::printf("latency attribution (%llu transactions recorded):\n",
+                static_cast<unsigned long long>(a->recorded()));
+    using Op = obs::TxnOp;
+    printClass(*a, Op::Read, ServiceLevel::PrimaryHit, 1);
+    printClass(*a, Op::Read, ServiceLevel::SecondaryHit, 14);
+    printClass(*a, Op::Read, ServiceLevel::LocalNode, 26);
+    printClass(*a, Op::Read, ServiceLevel::HomeNode, 72);
+    printClass(*a, Op::Read, ServiceLevel::RemoteNode, 90);
+    printClass(*a, Op::Read, ServiceLevel::Combined, 0);
+    printClass(*a, Op::Write, ServiceLevel::SecondaryHit, 2);
+    printClass(*a, Op::Write, ServiceLevel::LocalNode, 18);
+    printClass(*a, Op::Write, ServiceLevel::HomeNode, 64);
+    printClass(*a, Op::Write, ServiceLevel::RemoteNode, 82);
+    printClass(*a, Op::Sync, ServiceLevel::LocalNode, 0);
+    printClass(*a, Op::Sync, ServiceLevel::HomeNode, 0);
+    printClass(*a, Op::Sync, ServiceLevel::RemoteNode, 0);
+
+    std::printf("\nmedians above the Table 1 figure show queueing delay"
+                " under load;\nunloaded classes reproduce it exactly.\n");
+
+    obs::Registry reg;
+    m.fillRegistry(reg, r);
+    std::printf("\nregistry holds %llu counters; a few:\n",
+                static_cast<unsigned long long>(reg.size()));
+    const char *show[] = {"machine.exec_time", "p0.cpu.bucket.busy",
+                          "p0.l2.miss.home", "attrib.total"};
+    for (const char *name : show) {
+        if (reg.has(name))
+            std::printf("  %-22s %llu\n", name,
+                        static_cast<unsigned long long>(reg.get(name)));
+    }
+    return 0;
+}

@@ -49,6 +49,14 @@ struct CheckConfig
     bool race = defaultChecksOn();
 
     /**
+     * Cycle-conservation audit (src/obs): every transaction's phase
+     * vector must sum to its latency, and every processor's accounting
+     * buckets must sum to the run's elapsed ticks — no cycle charged
+     * twice or dropped on the floor.
+     */
+    bool conservation = defaultChecksOn();
+
+    /**
      * Full-state audit every this many protocol transitions (the
      * per-transition check only examines the affected line). 0 turns
      * the periodic audit off; the end-of-run audit always runs.

@@ -208,35 +208,50 @@ RunBatch::run() const
     if (points.empty())
         return outcomes;
 
+    // Resolve the worker count under a log capture: defaultJobs() warns
+    // about an invalid DASHSIM_JOBS value, and that warning must flow
+    // through the same buffered path as every per-point message instead
+    // of hitting stderr uncaptured mid-batch.
+    unsigned nworkers;
+    std::string setup_log;
+    {
+        ScopedLogCapture logs;
+        nworkers = jobs();
+        setup_log = logs.take();
+    }
+
     // No point spinning up more workers than points.
-    unsigned nworkers = jobs();
     if (nworkers > points.size())
         nworkers = static_cast<unsigned>(points.size());
 
     if (nworkers <= 1) {
         for (std::size_t i = 0; i < points.size(); ++i)
             outcomes[i] = runPoint(points[i]);
-        return outcomes;
+    } else {
+        // Each worker claims the next unstarted point; every outcome
+        // lands in its submission slot, so the schedule never affects
+        // the output.
+        std::atomic<std::size_t> next{0};
+        auto work = [this, &next, &outcomes] {
+            for (;;) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= points.size())
+                    return;
+                outcomes[i] = runPoint(points[i]);
+            }
+        };
+
+        std::vector<std::thread> workers;
+        workers.reserve(nworkers);
+        for (unsigned w = 0; w < nworkers; ++w)
+            workers.emplace_back(work);
+        for (auto &t : workers)
+            t.join();
     }
 
-    // Each worker claims the next unstarted point; every outcome lands
-    // in its submission slot, so the schedule never affects the output.
-    std::atomic<std::size_t> next{0};
-    auto work = [this, &next, &outcomes] {
-        for (;;) {
-            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= points.size())
-                return;
-            outcomes[i] = runPoint(points[i]);
-        }
-    };
-
-    std::vector<std::thread> workers;
-    workers.reserve(nworkers);
-    for (unsigned w = 0; w < nworkers; ++w)
-        workers.emplace_back(work);
-    for (auto &t : workers)
-        t.join();
+    if (!setup_log.empty())
+        outcomes.front().log.insert(0, setup_log);
     return outcomes;
 }
 

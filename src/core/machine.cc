@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/report.hh"
+
 namespace dashsim {
 
 Machine::Machine(const MachineConfig &cfg)
@@ -29,6 +31,78 @@ Machine::Machine(const MachineConfig &cfg)
     }
     if (cfg.check.race)
         race = std::make_unique<RaceDetector>(numProcesses());
+
+    // --- observability layer (src/obs) ---
+    // Programmatic paths always win; otherwise the first Machine in the
+    // process claims the DASHSIM_TIMELINE / DASHSIM_REGISTRY variables,
+    // so a batch run writes exactly one file instead of overwriting it
+    // once per grid point.
+    obs::ObsConfig &oc = this->cfg.obs;
+    if (oc.timelinePath.empty())
+        oc.timelinePath = obs::claimTimelineEnv();
+    if (oc.registryPath.empty())
+        oc.registryPath = obs::claimRegistryEnv();
+
+    // Attribution never perturbs timing, so it is safe to turn on
+    // whenever any consumer needs it (including the conservation
+    // checker, which audits each record as it arrives).
+    const bool want_attrib = oc.attribution || cfg.check.conservation ||
+                             !oc.timelinePath.empty() ||
+                             !oc.registryPath.empty();
+    if (want_attrib)
+        attrib = std::make_unique<obs::Attribution>(
+            cfg.check.conservation);
+
+    if (!oc.timelinePath.empty()) {
+        tl = std::make_unique<obs::Timeline>(oc.timelinePath,
+                                             oc.timelineTxnCap);
+        for (NodeId n = 0; n < cfg.mem.numNodes; ++n) {
+            tl->nameProcess(obs::Timeline::cpuPid(n),
+                            "cpu" + std::to_string(n));
+            tl->nameThread(obs::Timeline::cpuPid(n),
+                           obs::Timeline::schedTid, "sched");
+            for (ContextId c = 0; c < cfg.cpu.numContexts; ++c)
+                tl->nameThread(obs::Timeline::cpuPid(n), 1 + c,
+                               "ctx" + std::to_string(c));
+            tl->nameThread(obs::Timeline::cpuPid(n),
+                           obs::Timeline::txnTid, "txn");
+            tl->nameProcess(obs::Timeline::memPid(n),
+                            "mem" + std::to_string(n));
+        }
+        msys.forEachResource([this](NodeId n, std::uint32_t idx,
+                                    const char *name, Resource &res) {
+            tl->nameThread(obs::Timeline::memPid(n), idx, name);
+            res.setTraceHook(
+                [](void *t, std::uint32_t id, Tick start, Tick occ) {
+                    static_cast<obs::Timeline *>(t)->resSpan(id, start,
+                                                             occ);
+                },
+                tl.get(),
+                n * obs::Timeline::resourcesPerNode + idx);
+        });
+        for (auto &p : procs) {
+            p->setChargeHook(
+                [](void *m, NodeId n, const Context *who, Bucket b,
+                   Tick from, Tick to) {
+                    static_cast<Machine *>(m)->tl->cpuSpan(
+                        n, who ? 1 + who->id : obs::Timeline::schedTid,
+                        b, from, to);
+                },
+                this);
+        }
+    }
+
+    if (attrib || tl) {
+        msys.setTxnHook(
+            [](void *m, const obs::TxnRecord &r) {
+                auto *self = static_cast<Machine *>(m);
+                if (self->attrib)
+                    self->attrib->record(r);
+                if (self->tl)
+                    self->tl->txnSpan(r);
+            },
+            this);
+    }
 }
 
 RunResult
@@ -96,6 +170,22 @@ Machine::run(Workload &w)
     for (auto &p : procs)
         p->finalize(end_tick);
 
+    // Stall-accounting conservation: after finalize every cycle between
+    // tick 0 and the end of the run must sit in exactly one bucket.
+    if (cfg.check.conservation) {
+        for (NodeId n = 0; n < cfg.mem.numNodes; ++n) {
+            const auto &ps = procs[n]->stats();
+            panic_if(ps.total() != end_tick,
+                     "stall-accounting conservation violation: node %u "
+                     "buckets sum to %llu over %llu elapsed ticks "
+                     "(delta %lld)",
+                     n, static_cast<unsigned long long>(ps.total()),
+                     static_cast<unsigned long long>(end_tick),
+                     static_cast<long long>(end_tick) -
+                         static_cast<long long>(ps.total()));
+        }
+    }
+
     // With the event queue drained the protocol must be quiescent.
     if (coherence)
         coherence->finalAudit();
@@ -159,7 +249,73 @@ Machine::run(Workload &w)
     r.medianRunLength = rl_nodes ? median_sum / rl_nodes : 0.0;
     r.avgReadMissLatency = lat_nodes ? mean_lat_sum / lat_nodes : 0.0;
 
+    if (tl)
+        tl->write();
+    if (!cfg.obs.registryPath.empty())
+        writeRegistryJson(cfg.obs.registryPath, *this, r);
+
     return r;
+}
+
+void
+Machine::fillRegistry(obs::Registry &reg, const RunResult &r) const
+{
+    reg.set("machine.exec_time", r.execTime);
+    reg.set("machine.processors", r.numProcessors);
+    reg.set("machine.contexts", r.numContexts);
+    reg.set("machine.shared_data_bytes", r.sharedDataBytes);
+
+    // Stable dotted-name mapping of each service level; see
+    // docs/OBSERVABILITY.md before renaming anything here.
+    static constexpr const char *levelKey[7] = {
+        "l1.hit",                // PrimaryHit
+        "l2.hit",                // SecondaryHit
+        "l2.miss.local",         // LocalNode
+        "l2.miss.home",          // HomeNode
+        "l2.miss.remote_dirty",  // RemoteNode
+        "l2.miss.combined",      // Combined
+        "mem.uncached",          // Uncached
+    };
+
+    for (NodeId n = 0; n < cfg.mem.numNodes; ++n) {
+        const std::string p = "p" + std::to_string(n) + ".";
+        const auto &ps = procs[n]->stats();
+        for (std::size_t b = 0; b < numBuckets; ++b) {
+            reg.set(p + "cpu.bucket." +
+                        obs::Timeline::bucketName(
+                            static_cast<Bucket>(b)),
+                    ps.buckets[b]);
+        }
+        reg.set(p + "cpu.locks", ps.locks);
+        reg.set(p + "cpu.lock_retries", ps.lockRetries);
+        reg.set(p + "cpu.barriers", ps.barriers);
+        reg.set(p + "cpu.context_switches", ps.contextSwitches);
+        reg.set(p + "cpu.prefetches_issued", ps.prefetchesIssued);
+
+        const auto &ms = msys.stats(n);
+        reg.set(p + "mem.reads", ms.reads);
+        reg.set(p + "mem.writes", ms.writes);
+        reg.set(p + "mem.rmws", ms.rmws);
+        reg.set(p + "mem.prefetches_dropped", ms.prefetchesDropped);
+        reg.set(p + "mem.prefetches_combined", ms.prefetchesCombined);
+        reg.set(p + "mem.invalidations_received",
+                ms.invalidationsReceived);
+        for (int l = 0; l < 7; ++l)
+            reg.set(p + levelKey[l], ms.serviceCount[l]);
+    }
+
+    // Resource utilization counters (FCFS contention calendars).
+    const_cast<MemorySystem &>(msys).forEachResource(
+        [&reg](NodeId n, std::uint32_t, const char *name,
+               Resource &res) {
+            const std::string base = "p" + std::to_string(n) + ".res." +
+                                     name + ".";
+            reg.set(base + "busy_cycles", res.busyCycles());
+            reg.set(base + "requests", res.requests());
+        });
+
+    if (attrib)
+        attrib->registerInto(reg);
 }
 
 } // namespace dashsim

@@ -24,6 +24,10 @@
 #include "cpu/processor.hh"
 #include "mem/mem_system.hh"
 #include "mem/shared_memory.hh"
+#include "obs/attribution.hh"
+#include "obs/obs_config.hh"
+#include "obs/registry.hh"
+#include "obs/timeline.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 #include "tango/env.hh"
@@ -61,6 +65,7 @@ struct MachineConfig
     MemConfig mem{};
     CpuConfig cpu{};
     CheckConfig check{};  ///< protocol-verification layer (src/check)
+    obs::ObsConfig obs{}; ///< observability layer (src/obs)
 };
 
 /** Everything a run produces. */
@@ -153,6 +158,20 @@ class Machine
     /** The happens-before race detector (null when disabled). */
     RaceDetector *raceDetector() { return race.get(); }
 
+    /** Per-class latency attribution (null when observability is off). */
+    obs::Attribution *attribution() { return attrib.get(); }
+
+    /** The timeline sink (null unless a timeline path is configured). */
+    obs::Timeline *timeline() { return tl.get(); }
+
+    /**
+     * Populate @p reg with the full hierarchical counter tree for the
+     * finished run @p r (machine.*, p<N>.cpu.*, p<N>.l1/l2.*,
+     * p<N>.res.*, attrib.*). run() calls this itself when a registry
+     * path is configured; exposed for tests and embedding code.
+     */
+    void fillRegistry(obs::Registry &reg, const RunResult &r) const;
+
     /**
      * Install (or clear) a trace sink: every process's Env reports its
      * shared-memory operations there (tango/trace.hh). Must be set in
@@ -184,6 +203,8 @@ class Machine
     TraceSink *traceSink = nullptr;
     std::unique_ptr<CoherenceChecker> coherence;
     std::unique_ptr<RaceDetector> race;
+    std::unique_ptr<obs::Attribution> attrib;
+    std::unique_ptr<obs::Timeline> tl;
 };
 
 } // namespace dashsim

@@ -229,4 +229,13 @@ serializeResult(const RunResult &r)
     return out;
 }
 
+bool
+writeRegistryJson(const std::string &path, const Machine &m,
+                  const RunResult &r)
+{
+    obs::Registry reg;
+    m.fillRegistry(reg, r);
+    return reg.writeJson(path);
+}
+
 } // namespace dashsim

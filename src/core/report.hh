@@ -69,6 +69,15 @@ void writeCsv(const std::string &path, const std::string &title,
  */
 std::string serializeResult(const RunResult &r);
 
+/**
+ * Dump the machine's full counter registry as nested JSON at @p path -
+ * the observability companion to writeCsv, meant to land next to the
+ * figure CSVs (see docs/OBSERVABILITY.md for the name schema). Returns
+ * false (with a warn) on I/O error.
+ */
+bool writeRegistryJson(const std::string &path, const Machine &m,
+                       const RunResult &r);
+
 } // namespace dashsim
 
 #endif // CORE_REPORT_HH

@@ -42,12 +42,14 @@ Processor::start()
 // ---------------------------------------------------------------------
 
 void
-Processor::charge(Bucket b, Tick from, Tick to)
+Processor::charge(Bucket b, Tick from, Tick to, const Context *who)
 {
     if (to <= from)
         return;
     _stats.buckets[static_cast<std::size_t>(b)] += to - from;
     cursor = std::max(cursor, to);
+    if (chargeHookFn) [[unlikely]]
+        chargeHookFn(chargeHookCtx, node, who, b, from, to);
 }
 
 Bucket
@@ -79,23 +81,23 @@ Processor::flushPending(Context *c)
 {
     Tick t = grantCursor;
     if (c->pendingBusy) {
-        charge(Bucket::Busy, t, t + c->pendingBusy);
+        charge(Bucket::Busy, t, t + c->pendingBusy, c);
         t += c->pendingBusy;
         _stats.runLength.sample(static_cast<double>(c->pendingBusy));
         c->pendingBusy = 0;
     }
     if (c->pendingPf) {
-        charge(Bucket::PfOverhead, t, t + c->pendingPf);
+        charge(Bucket::PfOverhead, t, t + c->pendingPf, c);
         t += c->pendingPf;
         c->pendingPf = 0;
     }
     if (lockoutNs) {
-        charge(Bucket::NoSwitch, t, t + lockoutNs);
+        charge(Bucket::NoSwitch, t, t + lockoutNs, c);
         t += lockoutNs;
         lockoutNs = 0;
     }
     if (lockoutPf) {
-        charge(Bucket::PfOverhead, t, t + lockoutPf);
+        charge(Bucket::PfOverhead, t, t + lockoutPf, c);
         t += lockoutPf;
         lockoutPf = 0;
     }
@@ -110,11 +112,13 @@ Processor::finalize(Tick end_tick)
     if (cursor >= end_tick)
         return;
     Bucket b = cfg.numContexts == 1 ? Bucket::Sync : Bucket::AllIdle;
+    const Context *who = nullptr;
     if (cfg.numContexts == 1 &&
         contexts[0]->state == Context::State::Blocked) {
         b = stallBucket(contexts[0]->blockReason);
+        who = contexts[0].get();
     }
-    charge(b, cursor, end_tick);
+    charge(b, cursor, end_tick, who);
 }
 
 // ---------------------------------------------------------------------
@@ -161,7 +165,8 @@ Processor::maybeDispatch(Tick now)
     if (t > freeSince) {
         Bucket idle = cfg.numContexts == 1 ? stallBucket(pick->blockReason)
                                            : Bucket::AllIdle;
-        charge(idle, freeSince, t);
+        charge(idle, freeSince, t,
+               cfg.numContexts == 1 ? pick : nullptr);
     }
 
     Tick start = t;
@@ -210,7 +215,7 @@ Processor::blockContext(Context *c, Tick stop,
         // (or prefetch overhead for prefetch-buffer stalls).
         Bucket b = reason == StallReason::Prefetch ? Bucket::PfOverhead
                                                    : Bucket::NoSwitch;
-        charge(b, stop, *wake_at);
+        charge(b, stop, *wake_at, c);
         grant(c, *wake_at);
         return;
     }
@@ -254,11 +259,15 @@ Processor::fastRead(Context *c, Addr a, unsigned size)
 {
     if (auto v = mem.pendingStoreValue(node, a)) {
         mem.noteForwardedRead(node);
+        if (mem.txnHookActive()) [[unlikely]]
+            mem.noteFastReadHit(node, fastIssueTick(c));
         c->readValue = *v;
         c->pendingBusy += 1;
         return true;
     }
     if (mem.tryFastRead(node, a)) {
+        if (mem.txnHookActive()) [[unlikely]]
+            mem.noteFastReadHit(node, fastIssueTick(c));
         c->readValue = mem.memory().loadRaw(a, size);
         c->pendingBusy += 1;
         return true;

@@ -152,6 +152,24 @@ class Processor
     Processor(const Processor &) = delete;
     Processor &operator=(const Processor &) = delete;
 
+    /**
+     * Observability hook (src/obs): fired on every accounting charge
+     * with the context the cycles belong to (@p who null for charges
+     * that are not attributable to one context: switching, multi-
+     * context idle). Devirtualized fn-pointer + ctx; disabled cost is
+     * one predictable branch inside charge().
+     */
+    using ChargeHookFn = void (*)(void *ctx, NodeId node,
+                                  const Context *who, Bucket b, Tick from,
+                                  Tick to);
+
+    void
+    setChargeHook(ChargeHookFn fn, void *ctx)
+    {
+        chargeHookFn = fn;
+        chargeHookCtx = ctx;
+    }
+
     NodeId nodeId() const { return node; }
     const CpuConfig &config() const { return cfg; }
     bool isRc() const { return cfg.consistency == Consistency::RC; }
@@ -264,6 +282,18 @@ class Processor
 
   private:
     /**
+     * Logical tick a non-suspending access issued right now would
+     * occupy: the grant cursor plus every cycle already accumulated but
+     * not yet flushed (cf. fastWrite's buffer-slot computation).
+     */
+    Tick
+    fastIssueTick(const Context *c) const
+    {
+        return grantCursor + c->pendingBusy + c->pendingPf + lockoutNs +
+               lockoutPf;
+    }
+
+    /**
      * Charge the running context's accumulated busy / prefetch cycles
      * (and any pending fill lockout) and return the logical tick at
      * which the context actually stops executing.
@@ -305,7 +335,8 @@ class Processor
     void barrierSpin(Context *c, Addr sense_addr, std::uint32_t my_sense,
                      std::coroutine_handle<> h);
 
-    void charge(Bucket b, Tick from, Tick to);
+    void charge(Bucket b, Tick from, Tick to,
+                const Context *who = nullptr);
 
     /** Bucket used for a non-switched stall of the given reason. */
     Bucket stallBucket(StallReason r) const;
@@ -335,6 +366,9 @@ class Processor
     Tick grantCursor = 0;
     Tick lockoutNs = 0;    ///< pending no-switch fill-lockout cycles
     Tick lockoutPf = 0;    ///< pending prefetch fill-lockout cycles
+
+    ChargeHookFn chargeHookFn = nullptr;
+    void *chargeHookCtx = nullptr;
 
     Stats _stats;
 };

@@ -59,6 +59,8 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
 
     PathWalker w(t);
     FillResult r{};
+    r.threeHop = dirtyElsewhere;
+    r.withData = with_data;
     Tick dir_start;
 
     // Per-pair one-way network latencies (uniform L.netHop unless the
@@ -89,6 +91,7 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             r.dataAt = w.finish(L.readLocal + hopHO + hopOR + 4);
             r.ownAt = w.finish(L.writeLocal + hopHO + hopOR + 4);
             r.level = ServiceLevel::RemoteNode;
+            r.netCycles = hopHO + hopOR;
         } else {
             w.stage(nodes[req].busReply, 22, bus_reply);
             r.dataAt = w.finish(L.readLocal);       // 26
@@ -119,6 +122,7 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             r.ownAt = w.finish(L.writeRemote - 3 * L.netHop + hopRH +
                                hopHO + hopOR);      // 82 uniform
             r.level = ServiceLevel::RemoteNode;
+            r.netCycles = hopRH + hopHO + hopOR;
         } else {
             w.stage(nodes[home].busReq, 12 + hopRH, L.busCtlOccupancy);
             w.stage(nodes[home].netOut, 24 + hopRH, net_reply);
@@ -129,9 +133,11 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             r.ownAt = w.finish(L.writeHome - 2 * L.netHop +
                                2 * hopRH);          // 64 uniform
             r.level = ServiceLevel::HomeNode;
+            r.netCycles = 2 * hopRH;
         }
     }
     r.ackDone = r.ownAt;
+    r.queueing = w.queueing();
 
     // --- Directory and remote-cache state updates (eager) ---
     if (exclusive) {
@@ -428,10 +434,56 @@ MemorySystem::walkUncached(NodeId req, Addr a, bool is_write, Tick t)
         Tick base = is_write ? L.writeHome - L.uncachedDiscount - 2
                              : L.readHome - L.uncachedDiscount - 2;
         r.dataAt = r.ownAt = w.finish(base);
+        r.netCycles = is_write ? L.netHop : 2 * L.netHop;
     }
     r.ackDone = r.ownAt;
+    r.queueing = w.queueing();
+    r.withData = !is_write;
     r.level = ServiceLevel::Uncached;
     return r;
+}
+
+// ---------------------------------------------------------------------
+// Observability (src/obs): transaction records.
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::noteTxn(NodeId node, obs::TxnOp op, Tick start,
+                      Tick complete, ServiceLevel level, bool hit,
+                      const FillResult *fr, Tick issue)
+{
+    using obs::TxnPhase;
+    obs::TxnRecord r{};
+    r.node = node;
+    r.op = op;
+    r.level = level;
+    r.hit = hit;
+    r.start = start;
+    r.complete = complete;
+    const Tick total = complete >= start ? complete - start : 0;
+    if (!fr) {
+        // Cache hits spend their whole latency in the lookup; combined
+        // requests spend it riding a fill already in flight.
+        r.phase(hit ? TxnPhase::CacheLookup : TxnPhase::Queue) = total;
+    } else {
+        // Peel the known pieces off the total in priority order, each
+        // clamped to what is left, and attribute the residual to the
+        // directory/memory stage. The clamping makes the decomposition
+        // conservative by construction: phases always sum to the total.
+        Tick rem = total;
+        auto take = [&rem](Tick want) {
+            Tick got = std::min(want, rem);
+            rem -= got;
+            return got;
+        };
+        r.phase(TxnPhase::Queue) = take((issue - start) + fr->queueing);
+        r.phase(TxnPhase::Network) = take(fr->netCycles);
+        r.phase(TxnPhase::Issue) = take(fr->netCycles ? 4 : 2);
+        r.phase(TxnPhase::RemoteFwd) = take(fr->threeHop ? 10 : 0);
+        r.phase(TxnPhase::Fill) = take(fr->withData ? 8 : 0);
+        r.phase(TxnPhase::DirWait) = rem;
+    }
+    txnHookFn(txnHookCtx, r);
 }
 
 // ---------------------------------------------------------------------
@@ -466,6 +518,9 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
         o.ackDone = fr.dataAt;
         o.level = ServiceLevel::Uncached;
         nd.stats.serviceCount[static_cast<int>(o.level)]++;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Read, t, o.complete, o.level,
+                    false, &fr, t);
         return o;
     }
 
@@ -476,6 +531,9 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
         o.hit = true;
         nd.stats.sharedReadHits.record(true);
         nd.stats.serviceCount[static_cast<int>(o.level)]++;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Read, t, o.complete, o.level,
+                    true, nullptr, t);
         return o;
     }
 
@@ -486,6 +544,9 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
         o.hit = true;
         nd.stats.sharedReadHits.record(true);
         nd.stats.serviceCount[static_cast<int>(o.level)]++;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Read, t, o.complete, o.level,
+                    true, nullptr, t);
         // Fill the primary cache when the line arrives from secondary.
         // An invalidation (or eviction) may race the transfer; installing
         // then would break the L1-subset-of-L2 inclusion property.
@@ -513,6 +574,9 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
         nd.stats.readMissLatency.sample(
             static_cast<double>(o.complete - t));
         nd.stats.serviceCount[static_cast<int>(o.level)]++;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Read, t, o.complete, o.level,
+                    false, nullptr, t);
         return o;
     }
 
@@ -528,6 +592,9 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
     o.level = fr.level;
     nd.stats.readMissLatency.sample(static_cast<double>(o.complete - t));
     nd.stats.serviceCount[static_cast<int>(o.level)]++;
+    if (txnHookFn) [[unlikely]]
+        noteTxn(node, obs::TxnOp::Read, t, o.complete, o.level, false,
+                &fr, issue);
     return o;
 }
 
@@ -562,12 +629,18 @@ MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
         o.complete = fr.ownAt;
         o.ackDone = fr.ownAt;
         o.level = ServiceLevel::Uncached;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Write, t, o.complete, o.level,
+                    false, &fr, t);
     } else if (nd.secondary.probe(a) == LineState::Dirty) {
         o.complete = t + L.writeSecondary;
         o.ackDone = o.complete;
         o.level = ServiceLevel::SecondaryHit;
         o.hit = true;
         nd.stats.sharedWriteHits.record(true);
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Write, t, o.complete, o.level,
+                    true, nullptr, t);
     } else {
         nd.stats.sharedWriteHits.record(false);
         if (auto *m = nd.mshrs.find(a)) {
@@ -584,10 +657,16 @@ MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
                 o.ackDone = fr.ackDone;
                 o.level = fr.level;
                 noteTransition(lineAddr(a));
+                if (txnHookFn) [[unlikely]]
+                    noteTxn(node, obs::TxnOp::Write, t, o.complete,
+                            o.level, false, &fr, t);
             } else {
                 o.complete = std::max(m->complete, t + L.writeSecondary);
                 o.ackDone = o.complete;
                 o.level = ServiceLevel::Combined;
+                if (txnHookFn) [[unlikely]]
+                    noteTxn(node, obs::TxnOp::Write, t, o.complete,
+                            o.level, false, nullptr, t);
             }
         } else if (nd.secondary.probe(a) == LineState::Shared) {
             // Ownership upgrade of a Shared copy: control-only traffic.
@@ -597,6 +676,9 @@ MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
             o.ackDone = fr.ackDone;
             o.level = fr.level;
             noteTransition(lineAddr(a));
+            if (txnHookFn) [[unlikely]]
+                noteTxn(node, obs::TxnOp::Write, t, o.complete, o.level,
+                        false, &fr, t);
         } else {
             Tick issue = t;
             if (nd.mshrs.full())
@@ -608,6 +690,9 @@ MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
             o.ackDone = fr.ackDone;
             o.level = fr.level;
             noteTransition(lineAddr(a));
+            if (txnHookFn) [[unlikely]]
+                noteTxn(node, obs::TxnOp::Write, t, o.complete, o.level,
+                        false, &fr, issue);
         }
     }
     nd.stats.serviceCount[static_cast<int>(o.level)]++;
@@ -694,6 +779,7 @@ MemorySystem::rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
     Node &nd = nodes[node];
     nd.stats.rmws++;
     AccessOutcome o{};
+    const Tick t0 = t;  // txn records start before same-addr ordering
 
     // Same-address ordering against this node's buffered writes: an
     // atomic operation must not commit before an earlier buffered
@@ -710,16 +796,25 @@ MemorySystem::rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
         o.complete = fr.dataAt;
         o.ackDone = fr.dataAt;
         o.level = ServiceLevel::Uncached;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Sync, t0, o.complete, o.level,
+                    false, &fr, t);
     } else if (nd.secondary.probe(a) == LineState::Dirty) {
         o.complete = t + L.writeSecondary;
         o.ackDone = o.complete;
         o.level = ServiceLevel::SecondaryHit;
         o.hit = true;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Sync, t0, o.complete, o.level,
+                    true, nullptr, t);
     } else if (auto *m = nd.mshrs.find(a);
                m && m->exclusive && !m->poisoned) {
         o.complete = std::max(m->complete, t + L.writeSecondary);
         o.ackDone = o.complete;
         o.level = ServiceLevel::Combined;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Sync, t0, o.complete, o.level,
+                    false, nullptr, t);
     } else if (!m && nd.secondary.probe(a) == LineState::Shared) {
         // Ownership upgrade of a Shared copy (control-only), like a
         // write hit on Shared; the data is already cached.
@@ -729,6 +824,9 @@ MemorySystem::rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
         o.ackDone = fr.ackDone;
         o.level = fr.level;
         noteTransition(lineAddr(a));
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Sync, t0, o.complete, o.level,
+                    false, &fr, t);
     } else {
         Tick issue = t;
         if (!m && nd.mshrs.full())
@@ -751,6 +849,9 @@ MemorySystem::rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
         o.ackDone = fr.ackDone;
         o.level = fr.level;
         noteTransition(lineAddr(a));
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Sync, t0, o.complete, o.level,
+                    false, &fr, issue);
     }
     nd.stats.serviceCount[static_cast<int>(o.level)]++;
 
@@ -857,6 +958,9 @@ MemorySystem::prefetch(NodeId node, Addr a, bool exclusive, Tick t)
         o.complete = fr.ownAt;
         o.ackDone = fr.ackDone;
         o.level = fr.level;
+        if (txnHookFn) [[unlikely]]
+            noteTxn(node, obs::TxnOp::Prefetch, t, o.complete, o.level,
+                    false, &fr, service);
         return o;
     }
     if (nd.mshrs.full())
@@ -872,6 +976,9 @@ MemorySystem::prefetch(NodeId node, Addr a, bool exclusive, Tick t)
     o.complete = fr.dataAt;
     o.ackDone = fr.ackDone;
     o.level = fr.level;
+    if (txnHookFn) [[unlikely]]
+        noteTxn(node, obs::TxnOp::Prefetch, t, o.complete, o.level,
+                false, &fr, service);
     return o;
 }
 

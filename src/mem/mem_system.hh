@@ -34,6 +34,7 @@
 #include "mem/mem_config.hh"
 #include "mem/resource.hh"
 #include "mem/shared_memory.hh"
+#include "obs/txn.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -114,6 +115,24 @@ class MemorySystem
         nodes[node].stats.sharedReadHits.record(true);
         nodes[node]
             .stats.serviceCount[static_cast<int>(ServiceLevel::PrimaryHit)]++;
+    }
+
+    /** True when a transaction observer is installed (see setTxnHook). */
+    bool txnHookActive() const { return txnHookFn != nullptr; }
+
+    /**
+     * Feed a primary-hit read serviced on the processor's non-suspending
+     * fast path (tryFastRead or store forwarding) to the transaction
+     * hook, which those paths bypass. @p t is the issue tick the
+     * processor would have charged for a suspending access.
+     */
+    void
+    noteFastReadHit(NodeId node, Tick t)
+    {
+        if (txnHookFn) [[unlikely]] {
+            noteTxn(node, obs::TxnOp::Read, t, t + cfg.lat.readPrimaryHit,
+                    ServiceLevel::PrimaryHit, true, nullptr, t);
+        }
     }
 
     /**
@@ -197,6 +216,41 @@ class MemorySystem
     {
         fillHookFn = fn;
         fillHookCtx = ctx;
+    }
+
+    /**
+     * Observability hook (src/obs): fired with a completed TxnRecord
+     * for every demand read, write, RMW, and interconnect-walking
+     * prefetch the system services. Same devirtualized fn-pointer+ctx
+     * pattern as the fill hook; with no sink installed each seam costs
+     * one predictable null-check branch.
+     */
+    using TxnHookFn = void (*)(void *ctx, const obs::TxnRecord &r);
+
+    void
+    setTxnHook(TxnHookFn fn, void *ctx)
+    {
+        txnHookFn = fn;
+        txnHookCtx = ctx;
+    }
+
+    /**
+     * Visit every contention-modeled resource as (node, index-in-node,
+     * name, resource). The timeline sink installs per-resource trace
+     * hooks through this; index is stable (busReq=0, busReply=1,
+     * netOut=2, netIn=3, dir=4).
+     */
+    template <typename Fn>
+    void
+    forEachResource(Fn &&cb)
+    {
+        for (NodeId n = 0; n < cfg.numNodes; ++n) {
+            cb(n, 0u, "busReq", nodes[n].busReq);
+            cb(n, 1u, "busReply", nodes[n].busReply);
+            cb(n, 2u, "netOut", nodes[n].netOut);
+            cb(n, 3u, "netIn", nodes[n].netIn);
+            cb(n, 4u, "dir", nodes[n].dir);
+        }
     }
 
     /**
@@ -436,6 +490,12 @@ class MemorySystem
          * data such as LU's owned columns and MP3D's particles.
          */
         bool exclusiveGrant = false;
+
+        // --- latency-attribution inputs (src/obs), filled by the walk ---
+        Tick queueing = 0;    ///< max resource-queueing delay on the path
+        Tick netCycles = 0;   ///< uncontended network hop cycles
+        bool threeHop = false;  ///< remote-dirty owner forward involved
+        bool withData = true;   ///< reply carried a cache line
     };
 
     /**
@@ -493,6 +553,17 @@ class MemorySystem
             checkHookFn(checkHookCtx, line);
     }
 
+    /**
+     * Build and deliver a TxnRecord (cold path; call sites guard on
+     * txnHookFn). @p fr is null for accesses that never walked the
+     * interconnect (cache hits, combined requests); @p issue is the
+     * tick the walk actually started (>= @p start when the request
+     * waited for an MSHR, a buffer slot, or same-address ordering).
+     */
+    void noteTxn(NodeId node, obs::TxnOp op, Tick start, Tick complete,
+                 ServiceLevel level, bool hit, const FillResult *fr,
+                 Tick issue);
+
     EventQueue &eq;
     SharedMemory &mem;
     MemConfig cfg;
@@ -504,6 +575,8 @@ class MemorySystem
     void *fillHookCtx = nullptr;
     CheckHookFn checkHookFn = nullptr;
     void *checkHookCtx = nullptr;
+    TxnHookFn txnHookFn = nullptr;
+    void *txnHookCtx = nullptr;
     /** In-flight dirty-eviction messages by line index (ref-counted). */
     std::unordered_map<Addr, unsigned> pendingWritebacks;
     std::uint64_t storeSeq = 0;

@@ -47,6 +47,23 @@ class Resource
 {
   public:
     /**
+     * Observability hook: fired with (id, service start, occupancy) on
+     * every booking with nonzero occupancy. Raw fn-pointer + ctx (the
+     * PR-4 devirtualized pattern), so the disabled case costs one
+     * predictable null-check branch on the acquire hot path.
+     */
+    using TraceHookFn = void (*)(void *ctx, std::uint32_t id, Tick start,
+                                 Tick occupancy);
+
+    void
+    setTraceHook(TraceHookFn fn, void *ctx, std::uint32_t id)
+    {
+        traceHookFn = fn;
+        traceHookCtx = ctx;
+        traceId = id;
+    }
+
+    /**
      * Book the resource.
      * @param at earliest tick the requester can use the resource.
      * @param occupancy cycles the resource stays busy.
@@ -54,6 +71,16 @@ class Resource
      */
     Tick
     acquire(Tick at, Tick occupancy)
+    {
+        Tick t = acquireSlot(at, occupancy);
+        if (traceHookFn && occupancy != 0) [[unlikely]]
+            traceHookFn(traceHookCtx, traceId, t, occupancy);
+        return t;
+    }
+
+  private:
+    Tick
+    acquireSlot(Tick at, Tick occupancy)
     {
         _requests++;
         _busyCycles += occupancy;
@@ -103,6 +130,7 @@ class Resource
         return t;
     }
 
+  public:
     /** Earliest tick after every current booking. */
     Tick
     horizon() const
@@ -155,6 +183,9 @@ class Resource
     Tick floorTick = 0;
     std::uint64_t _busyCycles = 0;
     std::uint64_t _requests = 0;
+    TraceHookFn traceHookFn = nullptr;
+    void *traceHookCtx = nullptr;
+    std::uint32_t traceId = 0;
 };
 
 /**

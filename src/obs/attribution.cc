@@ -1,0 +1,63 @@
+#include "obs/attribution.hh"
+
+#include <string>
+
+#include "obs/registry.hh"
+#include "sim/logging.hh"
+
+namespace dashsim::obs {
+
+void
+Attribution::record(const TxnRecord &r)
+{
+    panic_if(r.complete < r.start,
+             "txn completes before it starts (%llu < %llu)",
+             static_cast<unsigned long long>(r.complete),
+             static_cast<unsigned long long>(r.start));
+    if (checkConservation) {
+        Tick total = r.complete - r.start;
+        panic_if(r.phaseSum() != total,
+                 "txn phase-conservation violation: node %u %s.%s phases "
+                 "sum to %llu but latency is %llu",
+                 r.node, txnOpName(r.op), serviceLevelName(r.level),
+                 static_cast<unsigned long long>(r.phaseSum()),
+                 static_cast<unsigned long long>(total));
+    }
+    ClassStats &c = classes[index(r.op, r.level)];
+    c.latency.sample(static_cast<double>(r.complete - r.start));
+    for (std::size_t p = 0; p < numTxnPhases; ++p)
+        c.phaseCycles[p] += r.phases[p];
+    ++count;
+}
+
+void
+Attribution::registerInto(Registry &reg) const
+{
+    for (std::size_t oi = 0; oi < numTxnOps; ++oi) {
+        for (std::size_t li = 0; li < numServiceLevels; ++li) {
+            const ClassStats &c =
+                classes[oi * numServiceLevels + li];
+            if (!c.latency.count())
+                continue;
+            std::string base =
+                std::string("attrib.") +
+                txnOpName(static_cast<TxnOp>(oi)) + "." +
+                serviceLevelName(static_cast<ServiceLevel>(li));
+            reg.set(base + ".count", c.latency.count());
+            reg.set(base + ".cycles",
+                    static_cast<std::uint64_t>(c.latency.sum()));
+            reg.set(base + ".median",
+                    static_cast<std::uint64_t>(c.latency.median()));
+            for (std::size_t p = 0; p < numTxnPhases; ++p) {
+                if (!c.phaseCycles[p])
+                    continue;
+                reg.set(base + ".phase." +
+                            txnPhaseName(static_cast<TxnPhase>(p)),
+                        c.phaseCycles[p]);
+            }
+        }
+    }
+    reg.set("attrib.total", count);
+}
+
+} // namespace dashsim::obs

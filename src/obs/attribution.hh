@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-transaction latency attribution: aggregates TxnRecords into
+ * per-class SampleStat histograms (one per TxnOp x ServiceLevel pair)
+ * plus per-phase cycle totals, so an unloaded machine's medians
+ * reproduce Table 1 of the paper directly (read.local == 26,
+ * read.home == 72, read.remote_dirty == 90, ...) and a loaded one
+ * shows exactly which phase absorbed the contention.
+ *
+ * Also hosts the per-transaction conservation assertion: under
+ * DASHSIM_CHECK every record's phase vector must sum to exactly
+ * `complete - start`.
+ */
+
+#ifndef OBS_ATTRIBUTION_HH
+#define OBS_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "obs/txn.hh"
+#include "sim/stats.hh"
+
+namespace dashsim::obs {
+
+class Registry;
+
+class Attribution
+{
+  public:
+    /** Per (op, service-level) class aggregate. */
+    struct ClassStats
+    {
+        SampleStat latency;  ///< total latency histogram (Table 1)
+        std::array<std::uint64_t, numTxnPhases> phaseCycles{};
+
+        std::uint64_t
+        phase(TxnPhase p) const
+        {
+            return phaseCycles[static_cast<std::size_t>(p)];
+        }
+    };
+
+    /**
+     * @param check_conservation assert per-record phase conservation
+     *        (panic on the first violation).
+     */
+    explicit Attribution(bool check_conservation)
+        : checkConservation(check_conservation)
+    {}
+
+    /** Fold one transaction into its class aggregate. */
+    void record(const TxnRecord &r);
+
+    const ClassStats &
+    stats(TxnOp op, ServiceLevel level) const
+    {
+        return classes[index(op, level)];
+    }
+
+    /** Total transactions recorded. */
+    std::uint64_t recorded() const { return count; }
+
+    /**
+     * Register every non-empty class into @p reg under
+     * "attrib.<op>.<level>.{count,cycles,phase.<name>}".
+     */
+    void registerInto(Registry &reg) const;
+
+  private:
+    static std::size_t
+    index(TxnOp op, ServiceLevel level)
+    {
+        return static_cast<std::size_t>(op) * numServiceLevels +
+               static_cast<std::size_t>(level);
+    }
+
+    std::array<ClassStats, numTxnOps * numServiceLevels> classes{};
+    std::uint64_t count = 0;
+    bool checkConservation;
+};
+
+} // namespace dashsim::obs
+
+#endif // OBS_ATTRIBUTION_HH

@@ -1,0 +1,64 @@
+#include "obs/obs_config.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace dashsim::obs {
+
+namespace {
+
+/**
+ * One-shot environment claim. The value is read once (function-local
+ * static init is thread-safe, and getenv itself is not guaranteed safe
+ * against concurrent environment mutation); the atomic hands it to
+ * exactly one caller.
+ */
+std::string
+claimOnce(const std::string &value, std::atomic<bool> &claimed)
+{
+    if (value.empty() || claimed.exchange(true))
+        return {};
+    return value;
+}
+
+std::string
+envString(const char *var)
+{
+    const char *e = std::getenv(var);
+    return e ? std::string(e) : std::string();
+}
+
+} // namespace
+
+std::string
+claimTimelineEnv()
+{
+    static const std::string value = envString("DASHSIM_TIMELINE");
+    static std::atomic<bool> claimed{false};
+    return claimOnce(value, claimed);
+}
+
+std::string
+claimRegistryEnv()
+{
+    static const std::string value = envString("DASHSIM_REGISTRY");
+    static std::atomic<bool> claimed{false};
+    return claimOnce(value, claimed);
+}
+
+std::uint64_t
+ObsConfig::defaultTimelineTxnCap()
+{
+    static const std::uint64_t cap = [] {
+        if (const char *e = std::getenv("DASHSIM_TIMELINE_TXNS")) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(e, &end, 10);
+            if (end != e && *end == '\0')
+                return static_cast<std::uint64_t>(v);
+        }
+        return std::uint64_t{100000};
+    }();
+    return cap;
+}
+
+} // namespace dashsim::obs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Configuration for the simulated-time observability layer (src/obs):
+ * per-transaction latency attribution, the Chrome-trace timeline sink,
+ * and the hierarchical counter registry.
+ *
+ * All three are off by default and cost nothing when disabled (the
+ * hooks follow the devirtualized fn-pointer+ctx pattern, so a disabled
+ * layer is one predictable null-check branch on each seam).
+ */
+
+#ifndef OBS_OBS_CONFIG_HH
+#define OBS_OBS_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dashsim::obs {
+
+/** Knobs for the observability layer owned by a Machine. */
+struct ObsConfig
+{
+    /**
+     * Record a per-transaction latency attribution (phase vector +
+     * per-class histograms). Implied by a timeline or registry path,
+     * and by CheckConfig::conservation (the per-transaction
+     * conservation assertion lives in the attribution recorder).
+     */
+    bool attribution = false;
+
+    /**
+     * Write a Chrome trace-event JSON timeline here at the end of the
+     * run (loadable in chrome://tracing or Perfetto). Empty = off.
+     * When empty, the first Machine constructed in the process claims
+     * the DASHSIM_TIMELINE environment variable, so batch runs write
+     * exactly one timeline.
+     */
+    std::string timelinePath;
+
+    /**
+     * Write the hierarchical counter registry as JSON here at the end
+     * of the run. Empty = off; the first Machine claims
+     * DASHSIM_REGISTRY the same way.
+     */
+    std::string registryPath;
+
+    /**
+     * Cap on the number of per-transaction spans emitted into the
+     * timeline (CPU and resource tracks are not capped). The first
+     * `timelineTxnCap` transactions in deterministic issue order are
+     * kept; the rest are counted and dropped. Overridable with
+     * DASHSIM_TIMELINE_TXNS.
+     */
+    std::uint64_t timelineTxnCap = defaultTimelineTxnCap();
+
+    static std::uint64_t defaultTimelineTxnCap();
+};
+
+/**
+ * Claim the DASHSIM_TIMELINE path for this caller. The first call in
+ * the process returns the value (empty if unset); every later call
+ * returns empty, so concurrent Machines in a batch never race to write
+ * the same file. Thread-safe.
+ */
+std::string claimTimelineEnv();
+
+/** Claim the DASHSIM_REGISTRY path (same once-per-process contract). */
+std::string claimRegistryEnv();
+
+} // namespace dashsim::obs
+
+#endif // OBS_OBS_CONFIG_HH

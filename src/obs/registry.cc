@@ -1,0 +1,102 @@
+#include "obs/registry.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace dashsim::obs {
+
+namespace {
+
+std::vector<std::string>
+splitDots(const std::string &name)
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    for (;;) {
+        std::size_t dot = name.find('.', pos);
+        if (dot == std::string::npos) {
+            parts.push_back(name.substr(pos));
+            return parts;
+        }
+        parts.push_back(name.substr(pos, dot - pos));
+        pos = dot + 1;
+    }
+}
+
+void
+printIndent(std::FILE *f, std::size_t depth)
+{
+    std::fprintf(f, "%*s", static_cast<int>(2 * (depth + 1)), "");
+}
+
+} // namespace
+
+void
+Registry::writeJson(std::FILE *f) const
+{
+    // The map iterates in lexicographic name order, so sibling groups
+    // are contiguous: keep a stack of open objects, close down to the
+    // common prefix of each successive name, open the new groups, emit
+    // the leaf. first[d] tracks whether the next child at depth d needs
+    // a separating comma.
+    std::vector<std::string> open;
+    std::vector<bool> first{true};
+
+    auto child = [&](std::size_t depth) {
+        if (first[depth])
+            first[depth] = false;
+        else
+            std::fputs(",", f);
+        std::fputs("\n", f);
+        printIndent(f, depth);
+    };
+
+    std::fputs("{", f);
+    for (const auto &[name, value] : counters) {
+        std::vector<std::string> parts = splitDots(name);
+        std::size_t prefix = 0;
+        while (prefix < open.size() && prefix + 1 < parts.size() &&
+               open[prefix] == parts[prefix])
+            ++prefix;
+        while (open.size() > prefix) {
+            open.pop_back();
+            first.pop_back();
+            std::fputs("\n", f);
+            printIndent(f, open.size());
+            std::fputs("}", f);
+        }
+        for (std::size_t i = prefix; i + 1 < parts.size(); ++i) {
+            child(open.size());
+            std::fprintf(f, "\"%s\": {", parts[i].c_str());
+            open.push_back(parts[i]);
+            first.push_back(true);
+        }
+        child(open.size());
+        std::fprintf(f, "\"%s\": %llu", parts.back().c_str(),
+                     static_cast<unsigned long long>(value));
+    }
+    while (!open.empty()) {
+        open.pop_back();
+        first.pop_back();
+        std::fputs("\n", f);
+        printIndent(f, open.size());
+        std::fputs("}", f);
+    }
+    std::fputs("\n}\n", f);
+}
+
+bool
+Registry::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", path.c_str());
+        return false;
+    }
+    writeJson(f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace dashsim::obs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hierarchical counter registry: a flat map of dotted names (e.g.
+ * "p3.l2.miss.remote_dirty") to 64-bit counters, dumped as nested JSON
+ * so the dotted segments become object levels.
+ *
+ * The registry is populated once at the end of a run from the
+ * machine / processor / memory-system statistics; it is a reporting
+ * structure, not a hot-path counter store.
+ */
+
+#ifndef OBS_REGISTRY_HH
+#define OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace dashsim::obs {
+
+class Registry
+{
+  public:
+    /** Add @p v to the counter @p name (creating it at zero). */
+    void
+    add(const std::string &name, std::uint64_t v)
+    {
+        counters[name] += v;
+    }
+
+    /** Set the counter @p name to @p v. */
+    void
+    set(const std::string &name, std::uint64_t v)
+    {
+        counters[name] = v;
+    }
+
+    /** Value of @p name (0 if absent). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return counters.count(name) != 0;
+    }
+
+    std::size_t size() const { return counters.size(); }
+
+    /** Visit every counter in sorted (dotted-name) order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[k, v] : counters)
+            fn(k, v);
+    }
+
+    /**
+     * Emit the registry as nested JSON: each dotted segment opens an
+     * object level, the final segment is the key. Names are emitted in
+     * sorted order, so the output is deterministic. A name must not be
+     * both a leaf and a group prefix ("a" alongside "a.b").
+     */
+    void writeJson(std::FILE *f) const;
+
+    /** writeJson to @p path; returns false (with a warn) on I/O error. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace dashsim::obs
+
+#endif // OBS_REGISTRY_HH

@@ -1,0 +1,175 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "cpu/processor.hh"
+#include "sim/logging.hh"
+
+namespace dashsim::obs {
+
+const char *
+Timeline::bucketName(Bucket b)
+{
+    switch (b) {
+      case Bucket::Busy:
+        return "busy";
+      case Bucket::Read:
+        return "read_stall";
+      case Bucket::Write:
+        return "write_stall";
+      case Bucket::Sync:
+        return "sync_stall";
+      case Bucket::PfOverhead:
+        return "pf_overhead";
+      case Bucket::Switching:
+        return "switching";
+      case Bucket::AllIdle:
+        return "all_idle";
+      case Bucket::NoSwitch:
+        return "no_switch";
+      default:
+        return "?";
+    }
+}
+
+namespace {
+
+/** "read.local"-style span names, composed once (static lifetime). */
+const char *
+txnName(TxnOp op, ServiceLevel level)
+{
+    static const auto names = [] {
+        std::array<std::array<std::string, numServiceLevels>, numTxnOps>
+            t;
+        for (std::size_t o = 0; o < numTxnOps; ++o) {
+            for (std::size_t l = 0; l < numServiceLevels; ++l) {
+                t[o][l] =
+                    std::string(txnOpName(static_cast<TxnOp>(o))) + "." +
+                    serviceLevelName(static_cast<ServiceLevel>(l));
+            }
+        }
+        return t;
+    }();
+    return names[static_cast<std::size_t>(op)]
+                [static_cast<std::size_t>(level)]
+                    .c_str();
+}
+
+} // namespace
+
+void
+Timeline::nameProcess(std::uint32_t pid, std::string name)
+{
+    procNames.emplace_back(pid, std::move(name));
+}
+
+void
+Timeline::nameThread(std::uint32_t pid, std::uint32_t tid,
+                     std::string name)
+{
+    threadNames.emplace_back((std::uint64_t{pid} << 32) | tid,
+                             std::move(name));
+}
+
+void
+Timeline::cpuSpan(NodeId node, std::uint32_t lane, Bucket b, Tick from,
+                  Tick to)
+{
+    if (to <= from)
+        return;
+    span(cpuPid(node), lane, from, to - from, bucketName(b));
+}
+
+void
+Timeline::txnSpan(const TxnRecord &r)
+{
+    if (r.complete <= r.start)
+        return;
+    if (txnCount >= txnCap) {
+        ++txnDrops;
+        return;
+    }
+    ++txnCount;
+    span(cpuPid(r.node), txnTid, r.start, r.complete - r.start,
+         txnName(r.op, r.level));
+}
+
+void
+Timeline::writeJson(std::FILE *f)
+{
+    // Sort each track into timestamp order (Resource calendars backfill,
+    // so bookings do not arrive in ts order); the stable sort keeps
+    // deterministic insertion order for identical keys.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Ev &a, const Ev &b) {
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         return a.dur < b.dur;
+                     });
+
+    std::fputs("{\"traceEvents\":[", f);
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            std::fputs(",\n", f);
+        else
+            std::fputs("\n", f);
+        first = false;
+    };
+    for (const auto &[pid, name] : procNames) {
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+                     "\"args\":{\"name\":\"%s\"}}",
+                     pid, name.c_str());
+    }
+    for (const auto &[key, name] : threadNames) {
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                     "\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"%s\"}}",
+                     static_cast<std::uint32_t>(key >> 32),
+                     static_cast<std::uint32_t>(key & 0xffffffffu),
+                     name.c_str());
+    }
+    for (const Ev &e : events) {
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%llu,"
+                     "\"dur\":%llu,\"name\":\"%s\"}",
+                     e.pid, e.tid,
+                     static_cast<unsigned long long>(e.ts),
+                     static_cast<unsigned long long>(e.dur), e.name);
+    }
+    if (txnDrops) {
+        // Record the truncation so a capped trace is never mistaken
+        // for a complete one.
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":0,\"name\":\"dashsim\","
+                     "\"args\":{\"txn_spans_dropped\":%llu}}",
+                     static_cast<unsigned long long>(txnDrops));
+    }
+    std::fputs("\n]}\n", f);
+}
+
+bool
+Timeline::write()
+{
+    std::FILE *f = std::fopen(_path.c_str(), "w");
+    if (!f) {
+        warn("cannot write %s", _path.c_str());
+        return false;
+    }
+    writeJson(f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace dashsim::obs

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Per-transaction latency attribution record.
+ *
+ * Every memory transaction the MemorySystem services can carry one of
+ * these: where it started and completed in simulated time, which
+ * hierarchy level serviced it (the Table 1 class), and a phase vector
+ * decomposing the latency into issue / cache lookup / directory wait /
+ * network hops / remote-dirty forward / fill / queueing cycles. The
+ * decomposition is exact by construction: the phases always sum to
+ * `complete - start`, which the conservation checker asserts per
+ * transaction under DASHSIM_CHECK.
+ */
+
+#ifndef OBS_TXN_HH
+#define OBS_TXN_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/mem_config.hh"
+#include "sim/types.hh"
+
+namespace dashsim::obs {
+
+/** Transaction kind (read vs write vs sync vs prefetch classes). */
+enum class TxnOp : std::uint8_t
+{
+    Read,      ///< demand shared read
+    Write,     ///< shared write (SC stall or RC buffered retire)
+    Sync,      ///< atomic read-modify-write (locks, barriers)
+    Prefetch,  ///< software prefetch that walked the interconnect
+    NumOps,
+};
+
+inline constexpr std::size_t numTxnOps =
+    static_cast<std::size_t>(TxnOp::NumOps);
+
+/** Number of ServiceLevel values (the Table 1 latency classes). */
+inline constexpr std::size_t numServiceLevels = 7;
+
+/** Latency phases of one transaction. */
+enum class TxnPhase : std::uint8_t
+{
+    Issue,        ///< request issue onto the local bus
+    CacheLookup,  ///< serviced entirely by the L1/L2 lookup (hits)
+    DirWait,      ///< home directory lookup and service
+    Network,      ///< uncontended network hop cycles
+    RemoteFwd,    ///< remote-dirty owner forward (3-hop transactions)
+    Fill,         ///< cache-line fill at the requester
+    Queue,        ///< contention: resource queueing + issue backpressure
+    NumPhases,
+};
+
+inline constexpr std::size_t numTxnPhases =
+    static_cast<std::size_t>(TxnPhase::NumPhases);
+
+/** Short dotted-name-safe label for a TxnOp. */
+inline const char *
+txnOpName(TxnOp op)
+{
+    switch (op) {
+      case TxnOp::Read:
+        return "read";
+      case TxnOp::Write:
+        return "write";
+      case TxnOp::Sync:
+        return "sync";
+      case TxnOp::Prefetch:
+        return "prefetch";
+      default:
+        return "?";
+    }
+}
+
+/** Short dotted-name-safe label for a ServiceLevel. */
+inline const char *
+serviceLevelName(ServiceLevel l)
+{
+    switch (l) {
+      case ServiceLevel::PrimaryHit:
+        return "l1_hit";
+      case ServiceLevel::SecondaryHit:
+        return "l2_hit";
+      case ServiceLevel::LocalNode:
+        return "local";
+      case ServiceLevel::HomeNode:
+        return "home";
+      case ServiceLevel::RemoteNode:
+        return "remote_dirty";
+      case ServiceLevel::Combined:
+        return "combined";
+      case ServiceLevel::Uncached:
+        return "uncached";
+    }
+    return "?";
+}
+
+/** Short dotted-name-safe label for a TxnPhase. */
+inline const char *
+txnPhaseName(TxnPhase p)
+{
+    switch (p) {
+      case TxnPhase::Issue:
+        return "issue";
+      case TxnPhase::CacheLookup:
+        return "cache_lookup";
+      case TxnPhase::DirWait:
+        return "dir_wait";
+      case TxnPhase::Network:
+        return "network";
+      case TxnPhase::RemoteFwd:
+        return "remote_fwd";
+      case TxnPhase::Fill:
+        return "fill";
+      case TxnPhase::Queue:
+        return "queue";
+      default:
+        return "?";
+    }
+}
+
+/** One serviced transaction, reported through MemorySystem::setTxnHook. */
+struct TxnRecord
+{
+    NodeId node = 0;
+    TxnOp op = TxnOp::Read;
+    ServiceLevel level = ServiceLevel::PrimaryHit;
+    bool hit = false;
+    Tick start = 0;     ///< tick the processor issued the access
+    Tick complete = 0;  ///< data available / write retired
+    std::array<Tick, numTxnPhases> phases{};
+
+    Tick &
+    phase(TxnPhase p)
+    {
+        return phases[static_cast<std::size_t>(p)];
+    }
+
+    Tick
+    phase(TxnPhase p) const
+    {
+        return phases[static_cast<std::size_t>(p)];
+    }
+
+    /** Total of the phase vector (== complete - start by contract). */
+    Tick
+    phaseSum() const
+    {
+        Tick s = 0;
+        for (Tick v : phases)
+            s += v;
+        return s;
+    }
+};
+
+} // namespace dashsim::obs
+
+#endif // OBS_TXN_HH

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -43,11 +44,14 @@ class SampleStat
         _sum += v;
         _min = _count == 1 ? v : std::min(_min, v);
         _max = _count == 1 ? v : std::max(_max, v);
-        auto i = static_cast<std::int64_t>(v);
-        if (i < 0) {
-            negBuckets[i]++;
+        if (v < 0.0) {
+            // Floor, don't truncate: casting -0.5 to int64 yields 0,
+            // which would bin a negative sample at non-negative index 0
+            // and skew median() across the sign boundary.
+            negBuckets[static_cast<std::int64_t>(std::floor(v))]++;
             return;
         }
+        auto i = static_cast<std::int64_t>(v);
         std::size_t idx = bucketIndex(static_cast<std::uint64_t>(i));
         if (idx >= buckets.size())
             buckets.resize(idx + 1, 0);

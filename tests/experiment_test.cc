@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -120,6 +122,23 @@ TEST(Report, Table2Prints)
     printTable2(os, {r});
     EXPECT_NE(os.str().find("MP3D"), std::string::npos);
     EXPECT_NE(os.str().find("5774"), std::string::npos);
+}
+
+TEST(Report, WriteRegistryJsonDumpsMachineCounters)
+{
+    std::string path = ::testing::TempDir() + "report_registry.json";
+    Machine m(makeMachineConfig(Technique::sc()));
+    auto w = testWorkload("LU")();
+    RunResult r = m.run(*w);
+    ASSERT_TRUE(writeRegistryJson(path, m, r));
+
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("\"exec_time\""), std::string::npos);
+    EXPECT_NE(text.find("\"p15\""), std::string::npos);
+    EXPECT_NE(text.find("\"bucket\""), std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(Report, PaperVsMeasuredFormat)
@@ -249,6 +268,23 @@ TEST(Batch, DefaultJobsHonorsEnvOverride)
     EXPECT_GE(defaultJobs(), 1u);
     ::unsetenv("DASHSIM_JOBS");
     EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(Batch, InvalidJobsWarningIsCapturedIntoOutcomeLog)
+{
+    // defaultJobs() warns about a bad DASHSIM_JOBS value; when a batch
+    // resolves its worker count, that warning must land in the first
+    // outcome's buffered log, not escape to stderr mid-run.
+    ::setenv("DASHSIM_JOBS", "bogus", 1);
+    RunBatch b;
+    b.add(testWorkload("LU"), Technique::sc(), {}, "only");
+    auto outcomes = b.run();
+    ::unsetenv("DASHSIM_JOBS");
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_NE(outcomes[0].log.find("ignoring invalid DASHSIM_JOBS"),
+              std::string::npos)
+        << "log was: " << outcomes[0].log;
 }
 
 TEST(Logging, ScopedErrorCaptureTurnsFatalIntoException)

@@ -173,6 +173,54 @@ TEST(SampleStat, NegativeSamplesMatchMapReference)
     }
 }
 
+TEST(SampleStat, NegativeFractionsBinAsNegative)
+{
+    // Samples in (-1, 0) must take the negative fallback with a floored
+    // key, not truncate to bucket 0: a single -0.5 sample has median -1
+    // (the lower bound of its bucket), never 0.
+    SampleStat s;
+    s.sample(-0.5);
+    EXPECT_DOUBLE_EQ(s.median(), -1.0);
+    EXPECT_DOUBLE_EQ(s.minValue(), -0.5);
+}
+
+TEST(SampleStat, NegativeFractionsOrderBeforePositives)
+{
+    // The median scan walks negBuckets first; a (-1,0) sample that
+    // leaked into buckets[0] would be visited *after* genuine
+    // negatives and displace the median. With the fix the stream
+    // {-0.5, -0.5, 3, 4, 5} has median 3 (3rd of 5), and
+    // {-0.5, 2, 4} has median 2.
+    SampleStat a;
+    for (double v : {-0.5, -0.5, 3.0, 4.0, 5.0})
+        a.sample(v);
+    EXPECT_DOUBLE_EQ(a.median(), 3.0);
+
+    SampleStat b;
+    for (double v : {-0.5, 2.0, 4.0})
+        b.sample(v);
+    EXPECT_DOUBLE_EQ(b.median(), 2.0);
+
+    // Majority-negative stream: the median must land in a negative
+    // bucket, keyed by floor (so -1.5 counts as bucket -2).
+    SampleStat c;
+    for (double v : {-1.5, -0.25, 7.0})
+        c.sample(v);
+    EXPECT_DOUBLE_EQ(c.median(), -1.0);
+}
+
+TEST(SampleStat, PositiveFractionsStillTruncate)
+{
+    // Non-negative fractions keep the original truncation contract
+    // (bucket lower bounds are integers).
+    SampleStat s;
+    s.sample(0.75);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    s.reset();
+    s.sample(5.9);
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
 TEST(HitRate, Percentages)
 {
     HitRate hr;

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event timeline sink (src/obs/timeline):
+ * the emitted file is valid JSON, timestamps are monotone within every
+ * (pid, tid) track, durations are positive, and the transaction-span
+ * cap truncates deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "obs/timeline.hh"
+
+using namespace dashsim;
+using namespace dashsim::obs;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr) << path;
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while (f && (n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    if (f)
+        std::fclose(f);
+    return out;
+}
+
+/**
+ * Minimal JSON validator (objects, arrays, strings, numbers, literals)
+ * - enough to prove chrome://tracing will not reject the file outright.
+ */
+struct JsonScan
+{
+    const char *p;
+    const char *end;
+
+    explicit JsonScan(const std::string &s)
+        : p(s.data()), end(s.data() + s.size())
+    {}
+
+    void ws() { while (p < end && std::strchr(" \t\r\n", *p)) ++p; }
+
+    bool
+    value()
+    {
+        ws();
+        if (p >= end)
+            return false;
+        switch (*p) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++p;  // '{'
+        ws();
+        if (p < end && *p == '}') {
+            ++p;
+            return true;
+        }
+        for (;;) {
+            ws();
+            if (!string())
+                return false;
+            ws();
+            if (p >= end || *p != ':')
+                return false;
+            ++p;
+            if (!value())
+                return false;
+            ws();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++p;  // '['
+        ws();
+        if (p < end && *p == ']') {
+            ++p;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            ws();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        while (p < end && *p != '"') {
+            if (*p == '\\')
+                ++p;
+            ++p;
+        }
+        if (p >= end)
+            return false;
+        ++p;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const char *s = p;
+        while (p < end && std::strchr("-+.0123456789eE", *p))
+            ++p;
+        return p != s;
+    }
+
+    bool
+    parse()
+    {
+        if (!value())
+            return false;
+        ws();
+        return p == end;
+    }
+};
+
+struct XEvent
+{
+    std::uint32_t pid, tid;
+    unsigned long long ts, dur;
+    char name[128];
+};
+
+std::vector<XEvent>
+extractXEvents(const std::string &text)
+{
+    std::vector<XEvent> evs;
+    std::size_t pos = 0;
+    while ((pos = text.find("{\"ph\":\"X\"", pos)) != std::string::npos) {
+        // Copy just this event into a small buffer before sscanf: glibc
+        // sscanf strlen()s its whole input, which is quadratic on a
+        // multi-megabyte trace.
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        char line[256];
+        std::size_t len = std::min(eol - pos, sizeof line - 1);
+        std::memcpy(line, text.data() + pos, len);
+        line[len] = '\0';
+        XEvent e{};
+        int n = std::sscanf(line,
+                            "{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
+                            "\"ts\":%llu,\"dur\":%llu,\"name\":\"%127[^\"]\"",
+                            &e.pid, &e.tid, &e.ts, &e.dur, e.name);
+        EXPECT_EQ(n, 5) << "malformed X event at offset " << pos;
+        evs.push_back(e);
+        pos = eol;
+    }
+    return evs;
+}
+
+std::string
+runWithTimeline(const std::string &path, std::uint64_t cap)
+{
+    MachineConfig cfg;
+    cfg.obs.timelinePath = path;
+    cfg.obs.timelineTxnCap = cap;
+    Machine m(cfg);
+    auto w = testWorkload("MP3D")();
+    m.run(*w);
+    return slurp(path);
+}
+
+} // namespace
+
+TEST(Timeline, UnitSpansAreSortedPerTrackAtWriteTime)
+{
+    std::string path = ::testing::TempDir() + "timeline_unit.json";
+    Timeline tl(path, 100);
+    tl.nameProcess(Timeline::cpuPid(0), "cpu0");
+    // Out-of-order bookings on one resource track (calendar backfill).
+    tl.resSpan(0, 50, 4);
+    tl.resSpan(0, 10, 4);
+    tl.resSpan(0, 30, 4);
+    tl.span(Timeline::cpuPid(0), 1, 5, 0, "zero");  // dropped: dur 0
+    ASSERT_TRUE(tl.write());
+
+    std::string text = slurp(path);
+    EXPECT_TRUE(JsonScan(text).parse()) << text;
+    auto evs = extractXEvents(text);
+    ASSERT_EQ(evs.size(), 3u);
+    EXPECT_EQ(evs[0].ts, 10u);
+    EXPECT_EQ(evs[1].ts, 30u);
+    EXPECT_EQ(evs[2].ts, 50u);
+    EXPECT_EQ(text.find("zero"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Timeline, MachineTraceIsValidAndMonotonePerTrack)
+{
+    std::string path = ::testing::TempDir() + "timeline_machine.json";
+    std::string text = runWithTimeline(path, 100000);
+
+    ASSERT_TRUE(JsonScan(text).parse());
+    EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(text.find("\"cpu0\""), std::string::npos);
+    EXPECT_NE(text.find("\"mem0\""), std::string::npos);
+    EXPECT_NE(text.find("\"busy\""), std::string::npos);
+
+    auto evs = extractXEvents(text);
+    ASSERT_GT(evs.size(), 100u);
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             unsigned long long>
+        lastTs;
+    for (const XEvent &e : evs) {
+        EXPECT_GT(e.dur, 0u);
+        auto key = std::make_pair(e.pid, e.tid);
+        auto it = lastTs.find(key);
+        if (it != lastTs.end()) {
+            EXPECT_GE(e.ts, it->second)
+                << "track " << e.pid << "/" << e.tid;
+        }
+        lastTs[key] = e.ts;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Timeline, TxnCapTruncatesDeterministically)
+{
+    std::string pa = ::testing::TempDir() + "timeline_cap_a.json";
+    std::string pb = ::testing::TempDir() + "timeline_cap_b.json";
+    std::string a = runWithTimeline(pa, 5);
+    std::string b = runWithTimeline(pb, 5);
+    EXPECT_EQ(a, b) << "capped trace must be deterministic";
+
+    ASSERT_TRUE(JsonScan(a).parse());
+    // At most 5 transaction spans (tid 99), and the truncation marker.
+    std::size_t txn = 0;
+    for (const XEvent &e : extractXEvents(a))
+        if (e.tid == Timeline::txnTid)
+            ++txn;
+    EXPECT_LE(txn, 5u);
+    EXPECT_NE(a.find("txn_spans_dropped"), std::string::npos);
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+}
+
+TEST(Timeline, UncappedTraceIsDeterministic)
+{
+    std::string pa = ::testing::TempDir() + "timeline_det_a.json";
+    std::string pb = ::testing::TempDir() + "timeline_det_b.json";
+    std::string a = runWithTimeline(pa, 100000);
+    std::string b = runWithTimeline(pb, 100000);
+    EXPECT_EQ(a, b);
+    std::remove(pa.c_str());
+    std::remove(pb.c_str());
+}
