@@ -27,11 +27,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hh"
 #include "core/machine.hh"
+#include "core/shard.hh"
 #include "sim/event_queue.hh"
+#include "sim/pdes.hh"
 #include "sim/random.hh"
 
 using namespace dashsim;
@@ -163,6 +166,113 @@ stormBurst(std::uint64_t total_events)
 }
 
 /**
+ * Cross-shard message storm through the conservative PDES kernel
+ * (sim/pdes.hh). A fixed total event population is split evenly across
+ * DASHSIM_SHARDS shards; every event does callback-sized payload work
+ * and reschedules locally, and one in sixteen instead posts itself to a
+ * pseudo-random shard at the lookahead horizon — the message pattern
+ * the window/mailbox machinery exists for. The total workload does not
+ * depend on the shard count, so BENCH_kernel.json files written at
+ * different DASHSIM_SHARDS values are directly comparable: shard 1 is
+ * the serial baseline (same algorithm, calling thread only), shard N
+ * measures the parallel speedup.
+ */
+namespace pdes_storm {
+
+constexpr Tick kLookahead = 64;
+constexpr std::uint64_t kPopulation = 65536;
+
+struct alignas(64) Shard
+{
+    ShardedKernel *k = nullptr;
+    Shard *all = nullptr;
+    std::uint32_t id = 0;
+    std::uint32_t shards = 1;
+    Rng rng{0};
+    std::uint64_t remaining = 0;
+    std::uint64_t sink = 0;
+};
+
+void step(Shard *s, std::uint64_t salt);
+
+/** One storm event; runs on (and mutates only) its home shard. */
+struct Event
+{
+    Shard *s;
+    std::uint64_t salt;
+    void operator()() const { step(s, salt); }
+};
+
+void
+step(Shard *s, std::uint64_t salt)
+{
+    // Callback-sized payload: a short integer mix, the cost class of a
+    // real fill-completion callback.
+    std::uint64_t x = salt ^ s->sink;
+    for (int i = 0; i < 8; ++i)
+        x = (x ^ (x >> 29)) * 0x94d049bb133111ebULL;
+    s->sink += x;
+    if (s->remaining == 0)
+        return;
+    --s->remaining;
+    std::uint64_t r = s->rng.next();
+    if ((r & 15) == 0) {
+        // Cross-shard hop (self-posts take the same mailbox path, so
+        // the shard-1 baseline exercises identical machinery).
+        std::uint32_t dst =
+            static_cast<std::uint32_t>((s->id + 1 + (r >> 4) % s->shards) %
+                                       s->shards);
+        Tick when = s->k->now(s->id) + kLookahead + (r >> 8) % 16;
+        s->k->post(s->id, dst, when, Event{&s->all[dst], x});
+    } else {
+        s->k->schedule(s->id, 1 + (r >> 4) % 8, Event{s, x});
+    }
+}
+
+} // namespace pdes_storm
+
+Measurement
+stormPdesWindow(std::uint64_t total_events)
+{
+    const std::uint32_t shards = shardsFromEnv();
+    ShardedKernel::Config cfg;
+    cfg.shards = shards;
+    cfg.lookahead = pdes_storm::kLookahead;
+    // Worst case, every post of a window lands in one mailbox (all
+    // traffic is self-posts when shards == 1), so size for the whole
+    // per-shard population with headroom.
+    cfg.mailboxCapacity = 2 * pdes_storm::kPopulation / shards;
+    ShardedKernel k(cfg);
+
+    std::vector<pdes_storm::Shard> st(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        st[s].k = &k;
+        st[s].all = st.data();
+        st[s].id = s;
+        st[s].shards = shards;
+        st[s].rng = Rng(0x9d35 + s);
+        st[s].remaining = total_events / shards;
+    }
+
+    Measurement m{"pdes_window", 0, 0.0};
+    auto t0 = Clock::now();
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        for (std::uint64_t i = 0; i < pdes_storm::kPopulation / shards; ++i)
+            k.schedule(s, 1 + st[s].rng.below(8),
+                       pdes_storm::Event{&st[s], i});
+    }
+    k.run();
+    m.seconds = secondsSince(t0);
+    m.events = k.executed();
+    std::uint64_t sink = 0;
+    for (const auto &s : st)
+        sink += s.sink;
+    if (sink == 0xdeadbeef)
+        std::fprintf(stderr, "impossible\n");
+    return m;
+}
+
+/**
  * End-to-end kernel throughput on a real workload: one quick app grid
  * point (RC technique, checkers off), measured as simulator events per
  * wall-clock second. This includes cache/directory/resource work per
@@ -211,7 +321,8 @@ bestOfGrid(unsigned reps, const std::string &app)
 }
 
 void
-writeJson(const std::vector<Measurement> &ms)
+writeJson(const std::vector<Measurement> &ms, std::uint64_t events,
+          unsigned reps)
 {
     const char *env = std::getenv("DASHSIM_BENCH_JSON");
     std::string path = env ? env : "BENCH_kernel.json";
@@ -224,6 +335,11 @@ writeJson(const std::vector<Measurement> &ms)
         return;
     }
     std::fprintf(f, "{\n  \"schema\": \"dashsim-kernel-bench-1\",\n");
+    std::fprintf(f,
+                 "  \"meta\": {\"shards\": %u, \"host_threads\": %u, "
+                 "\"events_per_storm\": %llu, \"reps\": %u},\n",
+                 shardsFromEnv(), std::thread::hardware_concurrency(),
+                 static_cast<unsigned long long>(events), reps);
     std::fprintf(f, "  \"workloads\": [\n");
     for (std::size_t i = 0; i < ms.size(); ++i) {
         const Measurement &m = ms[i];
@@ -251,14 +367,16 @@ main()
         static_cast<unsigned>(envCount("DASHSIM_KMB_REPS", 3));
 
     std::printf("dashsim kernel microbenchmark "
-                "(%llu events/storm, best of %u)\n\n",
-                static_cast<unsigned long long>(events), reps);
+                "(%llu events/storm, best of %u, %u shard(s))\n\n",
+                static_cast<unsigned long long>(events), reps,
+                shardsFromEnv());
     std::printf("%-14s %12s %10s %14s %10s\n", "workload", "events",
                 "seconds", "events/sec", "ns/event");
 
     std::vector<Measurement> ms;
     ms.push_back(bestOf(reps, stormChurn, events));
     ms.push_back(bestOf(reps, stormBurst, events));
+    ms.push_back(bestOf(reps, stormPdesWindow, events));
     for (const char *app : {"MP3D", "LU", "PTHOR"})
         ms.push_back(bestOfGrid(reps, app));
 
@@ -267,6 +385,6 @@ main()
                     static_cast<unsigned long long>(m.events), m.seconds,
                     m.eventsPerSec(), m.nsPerEvent());
 
-    writeJson(ms);
+    writeJson(ms, events, reps);
     return 0;
 }

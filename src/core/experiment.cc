@@ -7,6 +7,7 @@
 #include "apps/lu.hh"
 #include "apps/mp3d.hh"
 #include "apps/pthor.hh"
+#include "core/shard.hh"
 #include "sim/logging.hh"
 
 namespace dashsim {
@@ -217,6 +218,21 @@ RunBatch::run() const
     {
         ScopedLogCapture logs;
         nworkers = jobs();
+        // Nested-parallelism guard: with DASHSIM_SHARDS > 1 every run
+        // owns that many kernel shards, so clamp the batch so that
+        // jobs x shards never exceeds the host-thread budget.
+        const std::uint32_t shards = shardsFromEnv();
+        if (shards > 1 && nworkers > 1) {
+            const unsigned budget = defaultJobs();
+            const unsigned cap =
+                std::max(1u, budget / static_cast<unsigned>(shards));
+            if (nworkers > cap) {
+                warn("DASHSIM_SHARDS=%u with %u jobs oversubscribes the "
+                     "%u-thread host budget; clamping jobs to %u",
+                     shards, nworkers, budget, cap);
+                nworkers = cap;
+            }
+        }
         setup_log = logs.take();
     }
 

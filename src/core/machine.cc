@@ -7,8 +7,14 @@
 namespace dashsim {
 
 Machine::Machine(const MachineConfig &cfg)
-    : cfg(cfg), mem(cfg.mem.numNodes), msys(eq, mem, cfg.mem)
+    : cfg(cfg),
+      plan(makeShardPlan(cfg.mem, cfg.shards == 0 ? shardsFromEnv()
+                                                  : cfg.shards)),
+      mem(cfg.mem.numNodes), msys(eq, mem, cfg.mem)
 {
+    if (plan.sharded())
+        eq.enableShards(plan.nodeShard, plan.shards);
+
     procs.reserve(cfg.mem.numNodes);
     for (NodeId n = 0; n < cfg.mem.numNodes; ++n)
         procs.push_back(
@@ -142,7 +148,10 @@ Machine::run(Workload &w)
     for (auto &p : procs)
         p->start();
 
-    eq.run();
+    if (plan.sharded())
+        eq.runWindowed(plan.lookahead);
+    else
+        eq.run();
 
     if (done != nprocs) {
         // Dump scheduler state to make deadlocks diagnosable.
@@ -264,6 +273,13 @@ Machine::fillRegistry(obs::Registry &reg, const RunResult &r) const
     reg.set("machine.processors", r.numProcessors);
     reg.set("machine.contexts", r.numContexts);
     reg.set("machine.shared_data_bytes", r.sharedDataBytes);
+
+    // Event-kernel shape: how the sharded kernel carved the run up.
+    reg.set("machine.kernel.shards", plan.shards);
+    reg.set("machine.kernel.lookahead", plan.lookahead);
+    reg.set("machine.kernel.windows", eq.windows());
+    reg.set("machine.kernel.cross_inline", eq.crossInline());
+    reg.set("machine.kernel.cross_deferred", eq.crossDeferred());
 
     // Stable dotted-name mapping of each service level; see
     // docs/OBSERVABILITY.md before renaming anything here.

@@ -21,6 +21,7 @@
 #include "check/check_config.hh"
 #include "check/invariant.hh"
 #include "check/race.hh"
+#include "core/shard.hh"
 #include "cpu/processor.hh"
 #include "mem/mem_system.hh"
 #include "mem/shared_memory.hh"
@@ -66,6 +67,15 @@ struct MachineConfig
     CpuConfig cpu{};
     CheckConfig check{};  ///< protocol-verification layer (src/check)
     obs::ObsConfig obs{}; ///< observability layer (src/obs)
+
+    /**
+     * Event-kernel shards (core/shard.hh): 0 resolves the
+     * DASHSIM_SHARDS environment knob, 1 forces the sequential
+     * single-queue kernel, >1 shards the machine into that many
+     * node groups (clamped to the node count). Results are
+     * byte-identical at any value.
+     */
+    std::uint32_t shards = 0;
 };
 
 /** Everything a run produces. */
@@ -152,6 +162,9 @@ class Machine
     Processor &processor(NodeId n) { return *procs[n]; }
     const MachineConfig &config() const { return cfg; }
 
+    /** The resolved event-kernel shard topology for this machine. */
+    const ShardPlan &shardPlan() const { return plan; }
+
     /** The coherence-invariant checker (null when disabled). */
     CoherenceChecker *coherenceChecker() { return coherence.get(); }
 
@@ -196,6 +209,7 @@ class Machine
 
   private:
     MachineConfig cfg;
+    ShardPlan plan;
     EventQueue eq;
     SharedMemory mem;
     MemorySystem msys;

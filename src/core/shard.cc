@@ -1,0 +1,59 @@
+#include "core/shard.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace dashsim {
+
+ShardPlan
+makeShardPlan(const MemConfig &mem, std::uint32_t requested)
+{
+    ShardPlan plan;
+    std::uint32_t shards = requested == 0 ? 1 : requested;
+    if (shards > mem.numNodes) {
+        warn("DASHSIM_SHARDS=%u exceeds the %u simulated nodes; "
+             "clamping to one shard per node",
+             shards, mem.numNodes);
+        shards = mem.numNodes;
+    }
+    plan.shards = shards;
+
+    // lookahead = min(network hop latency, bus arbitration latency):
+    // the shortest delay any cross-node interaction carries. With the
+    // mesh topology the cheapest hop is base + one switch traversal.
+    const Tick hop = mem.lat.mesh ? mem.lat.meshBase + mem.lat.meshPerHop
+                                  : mem.lat.netHop;
+    plan.lookahead = std::max<Tick>(1, std::min(hop, mem.lat.busOccupancy));
+
+    // Contiguous partition: node n -> shard n * S / N. Directory homes
+    // are round-robin by line, so any even split balances home traffic;
+    // contiguity keeps each node's processor and memory-side resources
+    // on one shard.
+    plan.nodeShard.resize(mem.numNodes);
+    for (std::uint32_t n = 0; n < mem.numNodes; ++n) {
+        plan.nodeShard[n] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(n) * shards) / mem.numNodes);
+    }
+    return plan;
+}
+
+std::uint32_t
+shardsFromEnv()
+{
+    const char *env = std::getenv("DASHSIM_SHARDS");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 1) {
+        warn("ignoring invalid DASHSIM_SHARDS=%s (want a positive "
+             "integer)", env);
+        return 1;
+    }
+    return static_cast<std::uint32_t>(v);
+}
+
+} // namespace dashsim

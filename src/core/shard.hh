@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shard topology for the sharded machine event kernel.
+ *
+ * A ShardPlan partitions the simulated nodes into contiguous groups
+ * (one event-queue shard each) and derives the conservative lookahead
+ * from the machine's latency parameters: the minimum of the one-way
+ * network hop latency and the bus arbitration (occupancy) latency —
+ * the shortest simulated delay a cross-node interaction can have, and
+ * therefore the widest time-window shards can execute independently.
+ */
+
+#ifndef CORE_SHARD_HH
+#define CORE_SHARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem_config.hh"
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/** A resolved shard topology for one machine. */
+struct ShardPlan
+{
+    /** Shard count after clamping to the node count (>= 1). */
+    std::uint32_t shards = 1;
+
+    /** Conservative window width in ticks (>= 1). */
+    Tick lookahead = 1;
+
+    /** Owning shard of each node (size = numNodes). */
+    std::vector<std::uint32_t> nodeShard;
+
+    bool sharded() const { return shards > 1; }
+};
+
+/**
+ * Build the plan for @p mem with @p requested shards (0/1 = sequential).
+ * Requests beyond the node count are clamped with a warning.
+ */
+ShardPlan makeShardPlan(const MemConfig &mem, std::uint32_t requested);
+
+/**
+ * The DASHSIM_SHARDS environment knob: shard count for every machine
+ * whose MachineConfig leaves `shards` at 0. Unset or empty means 1
+ * (sequential); invalid values warn (through any active log capture)
+ * and fall back to 1. Re-read on each call, like defaultJobs().
+ */
+std::uint32_t shardsFromEnv();
+
+} // namespace dashsim
+
+#endif // CORE_SHARD_HH

@@ -128,7 +128,7 @@ Processor::finalize(Tick end_tick)
 void
 Processor::grant(Context *c, Tick at)
 {
-    eq.scheduleAt(at, [this, c]() {
+    eq.scheduleAtNode(node, at, [this, c]() {
         panic_if(running != c, "grant to a context that lost the CPU");
         grantTick = eq.now();
         grantCursor = grantTick;
@@ -224,7 +224,7 @@ Processor::blockContext(Context *c, Tick stop,
     running = nullptr;
     freeSince = stop;
     if (wake_at) {
-        eq.scheduleAt(*wake_at, [this, c, gen = c->wakeGen]() {
+        eq.scheduleAtNode(node, *wake_at, [this, c, gen = c->wakeGen]() {
             makeReadyIf(c, gen, eq.now());
         });
     }
@@ -427,10 +427,10 @@ Processor::lockWait(Context *c, Addr a, std::coroutine_handle<> h)
         // Without caches there is no invalidation to wake us: the spin
         // loop polls memory. Re-arm the retest after a short backoff;
         // the uncached read latency itself paces the polling.
-        eq.scheduleAt(std::max(s + 4, eq.now()),
-                      [this, c, gen = c->wakeGen]() {
-                          makeReadyIf(c, gen, eq.now());
-                      });
+        eq.scheduleAtNode(node, std::max(s + 4, eq.now()),
+                          [this, c, gen = c->wakeGen]() {
+                              makeReadyIf(c, gen, eq.now());
+                          });
         return;
     }
     std::uint64_t gen = c->wakeGen;
@@ -548,7 +548,9 @@ Processor::suspendQueuedLock(Context *c, Addr a, std::coroutine_handle<> h)
     std::uint64_t gen = c->wakeGen;
     mem.queuedLockAcquire(node, a, syncFenceTick(c, s),
                           [this, c, gen](Tick when) {
-                              eq.scheduleAt(std::max(when, eq.now()),
+                              // Grant runs home-side; the wake is ours.
+                              eq.scheduleAtNode(node,
+                                                std::max(when, eq.now()),
                                             [this, c, gen]() {
                                                 makeReadyIf(c, gen,
                                                             eq.now());
@@ -597,10 +599,10 @@ Processor::barrierSpin(Context *c, Addr sense_addr, std::uint32_t my_sense,
                          });
                  });
     if (!mem.config().cacheSharedData) {
-        eq.scheduleAt(std::max(s + 4, eq.now()),
-                      [this, c, gen = c->wakeGen]() {
-                          makeReadyIf(c, gen, eq.now());
-                      });
+        eq.scheduleAtNode(node, std::max(s + 4, eq.now()),
+                          [this, c, gen = c->wakeGen]() {
+                              makeReadyIf(c, gen, eq.now());
+                          });
         return;
     }
     std::uint64_t gen = c->wakeGen;

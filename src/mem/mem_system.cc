@@ -237,8 +237,9 @@ MemorySystem::writebackVictim(NodeId node, Addr victim_line, Tick t)
         arrive = w.stage(nodes[home].dir, 8 + L.netHop, L.dirOccupancy);
     }
     // The directory learns of the eviction when the message arrives.
+    // Home-affine event: it mutates the home node's directory state.
     pendingWritebacks[lineIndex(victim_line)]++;
-    eq.scheduleAt(arrive, [this, victim_line, node]() {
+    eq.scheduleAtNode(home, arrive, [this, victim_line, node]() {
         DirEntry &e = dirEntry(victim_line);
         // The evictor may have re-requested the line while this message
         // was in flight (its new fill walked the directory first and
@@ -265,7 +266,7 @@ void
 MemorySystem::scheduleFill(NodeId node, Addr line, bool exclusive,
                            bool prefetch, Tick t)
 {
-    eq.scheduleAt(t, [this, node, line, exclusive, prefetch]() {
+    eq.scheduleAtNode(node, t, [this, node, line, exclusive, prefetch]() {
         Node &nd = nodes[node];
         bool poisoned = false;
         // The fill's ownership may have changed while it was in flight
@@ -321,7 +322,9 @@ MemorySystem::queuedLockAcquire(NodeId node, Addr a, Tick t,
     // The request travels to the lock's home directory like an
     // uncached read (the lock value itself stays home-resident).
     FillResult fr = walkUncached(node, a, false, t);
-    eq.scheduleAt(fr.dataAt, [this, a, cb = std::move(on_grant)]() {
+    // The grant decision is made at the lock's home directory.
+    eq.scheduleAtNode(mem.homeOf(a), fr.dataAt,
+                      [this, a, cb = std::move(on_grant)]() {
         QueuedLock &ql = queuedLocks[a];
         if (!ql.held) {
             ql.held = true;
@@ -352,7 +355,7 @@ MemorySystem::queuedLockRelease(NodeId node, Addr a, Tick t)
         arrive = w.stage(nodes[home].dir, 6 + L.netHop, L.dirOccupancy) +
                  L.dirOccupancy;
     }
-    eq.scheduleAt(arrive, [this, a]() {
+    eq.scheduleAtNode(home, arrive, [this, a]() {
         QueuedLock &ql = queuedLocks[a];
         panic_if(!ql.held, "queued-lock release of a free lock");
         if (ql.waiters.empty()) {
@@ -382,7 +385,7 @@ MemorySystem::trackPendingStore(NodeId node, Addr a, std::uint64_t value,
 {
     std::uint64_t seq = ++storeSeq;
     nodes[node].pendingStores[a] = PendingStore{value, size, seq};
-    eq.scheduleAt(commit_at, [this, node, a, seq]() {
+    eq.scheduleAtNode(node, commit_at, [this, node, a, seq]() {
         auto it = nodes[node].pendingStores.find(a);
         if (it != nodes[node].pendingStores.end() && it->second.seq == seq)
             nodes[node].pendingStores.erase(it);
@@ -550,7 +553,7 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
         // Fill the primary cache when the line arrives from secondary.
         // An invalidation (or eviction) may race the transfer; installing
         // then would break the L1-subset-of-L2 inclusion property.
-        eq.scheduleAt(o.complete, [this, node, a]() {
+        eq.scheduleAtNode(node, o.complete, [this, node, a]() {
             if (nodes[node].secondary.probe(a) == LineState::Invalid)
                 return;
             nodes[node].primary.fill(a);
@@ -696,8 +699,10 @@ MemorySystem::writeSc(NodeId node, Addr a, std::uint64_t value,
         }
     }
     nd.stats.serviceCount[static_cast<int>(o.level)]++;
-    eq.scheduleAt(o.complete,
-                  [this, a, value, size]() { commitValue(a, value, size); });
+    // Commit is home-affine: it writes the arena and fires the home's
+    // watch list.
+    eq.scheduleAtNode(mem.homeOf(a), o.complete,
+                      [this, a, value, size]() { commitValue(a, value, size); });
     return o;
 }
 
@@ -862,8 +867,9 @@ MemorySystem::rmw(NodeId node, Addr a, RmwOp op, std::uint64_t operand,
             last = o.complete;
     }
 
-    eq.scheduleAt(o.complete, [this, a, op, operand, size,
-                               cb = std::move(on_commit)]() {
+    eq.scheduleAtNode(mem.homeOf(a), o.complete,
+                      [this, a, op, operand, size,
+                       cb = std::move(on_commit)]() {
         std::uint64_t old = mem.loadRaw(a, size);
         std::uint64_t nv = old;
         switch (op) {

@@ -19,6 +19,19 @@
  *    in the memory system) are stored in place, so the steady-state
  *    schedule/run cycle performs no heap allocation at all. Larger or
  *    throwing-move callables transparently fall back to the heap.
+ *
+ * Sharded machine mode. enableShards() partitions the queue into one
+ * heap per node group. Events carry a shard tag (it fills the padding
+ * word of the 24-byte key, so key size is unchanged); node-affine
+ * scheduling (scheduleAtNode) routes events to the owning shard, and
+ * cross-shard events posted beyond the current window's end go through
+ * fixed-capacity SPSC mailboxes that are drained at window boundaries.
+ * runWindowed() advances the shards in conservative time-windows while
+ * still executing events in the one global (tick, seq) order — so the
+ * sharded machine produces byte-identical results to the classic path
+ * at any shard count, which determinism_test.cc pins on every figure
+ * grid. When sharding is off (the default), the classic single-heap
+ * fast path is untouched except for one predictable branch per insert.
  */
 
 #ifndef SIM_EVENT_QUEUE_HH
@@ -27,12 +40,14 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/spsc.hh"
 #include "sim/types.hh"
 
 namespace dashsim {
@@ -236,26 +251,79 @@ class EventQueue
         panic_if(when < _now, "scheduling event in the past (%llu < %llu)",
                  static_cast<unsigned long long>(when),
                  static_cast<unsigned long long>(_now));
+        insert(Key{when, nextSeq++, allocSlot(std::forward<F>(cb)), curShard});
+    }
+
+    /**
+     * Schedule a prebuilt callback (no wrapping; the pool slot is
+     * move-assigned). Used by the PDES kernel to deliver cross-shard
+     * mailbox payloads without re-erasing them.
+     */
+    void
+    scheduleReady(Tick when, Callback &&cb)
+    {
+        panic_if(when < _now, "scheduling event in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_now));
         std::uint32_t slot;
         if (!freeSlots.empty()) {
             slot = freeSlots.back();
             freeSlots.pop_back();
-            pool[slot].emplace(std::forward<F>(cb));
+            pool[slot] = std::move(cb);
         } else {
             slot = static_cast<std::uint32_t>(pool.size());
-            pool.emplace_back(std::forward<F>(cb));
+            pool.push_back(std::move(cb));
         }
-        push(Key{when, nextSeq++, slot});
+        insert(Key{when, nextSeq++, slot, curShard});
+    }
+
+    /**
+     * Node-affine scheduling: with sharding enabled the event is routed
+     * to @p node's shard; otherwise identical to schedule().
+     */
+    template <typename F>
+    void
+    scheduleNode(std::uint32_t node, Tick delay, F &&cb)
+    {
+        scheduleAtNode(node, _now + delay, std::forward<F>(cb));
+    }
+
+    /** Node-affine form of scheduleAt(). */
+    template <typename F>
+    void
+    scheduleAtNode(std::uint32_t node, Tick when, F &&cb)
+    {
+        panic_if(when < _now, "scheduling event in the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(_now));
+        const std::uint32_t s = nShards == 0 ? curShard : nodeShard[node];
+        insert(Key{when, nextSeq++, allocSlot(std::forward<F>(cb)), s});
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap.empty(); }
+    bool
+    empty() const
+    {
+        return nShards == 0 ? heap.empty() : pending() == 0;
+    }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap.size(); }
+    std::size_t
+    pending() const
+    {
+        if (nShards == 0)
+            return heap.size();
+        std::size_t n = deferredPending;
+        for (const auto &h : shardHeaps)
+            n += h.size();
+        return n;
+    }
 
     /** Total events executed so far. */
     std::uint64_t executed() const { return numExecuted; }
+
+    /** Earliest pending tick (single-queue mode; undefined if empty). */
+    Tick frontTick() const { return heap.front().when; }
 
     /**
      * Run one event.
@@ -267,7 +335,7 @@ class EventQueue
         if (heap.empty())
             return false;
         const Key k = heap.front();
-        popMin();
+        popMin(heap);
         // Move the callback out before invoking: it may schedule new
         // events, which can grow (and relocate) the slot pool.
         Callback cb = std::move(pool[k.slot]);
@@ -301,13 +369,82 @@ class EventQueue
             _now = stop;
     }
 
+    /**
+     * Partition the queue into @p shards heaps with @p nodeToShard
+     * mapping each simulated node to its owning shard. Must be called
+     * before any event is scheduled. Cross-shard events beyond a
+     * window's end travel through per-(src, dst) SPSC mailboxes of
+     * @p mailboxCapacity entries (allocated lazily per pair).
+     */
+    void
+    enableShards(std::vector<std::uint32_t> nodeToShard,
+                 std::uint32_t shards, std::size_t mailboxCapacity = 4096)
+    {
+        panic_if(shards < 2, "enableShards needs at least 2 shards");
+        panic_if(!heap.empty() || numExecuted != 0,
+                 "enableShards on a queue already in use");
+        nShards = shards;
+        nodeShard = std::move(nodeToShard);
+        shardHeaps.resize(shards);
+        boxes.resize(std::size_t{shards} * shards);
+        boxCapacity = mailboxCapacity;
+    }
+
+    /** Shards configured via enableShards (1 = classic single queue). */
+    std::uint32_t shardCount() const { return nShards == 0 ? 1 : nShards; }
+
+    /** Conservative time-windows executed by runWindowed so far. */
+    std::uint64_t windows() const { return nWindows; }
+
+    /** Cross-shard events inserted directly (below the window end). */
+    std::uint64_t crossInline() const { return nCrossInline; }
+
+    /** Cross-shard events routed through the window-boundary mailboxes. */
+    std::uint64_t crossDeferred() const { return nCrossDeferred; }
+
+    /**
+     * Sharded-mode run-to-completion: advance the shards in conservative
+     * time-windows of @p lookahead ticks. Each window delivers the
+     * mailboxes, picks the globally earliest pending tick T, and runs
+     * every event with tick < T + lookahead — in the same global
+     * (tick, seq) order the classic kernel would use, so results are
+     * byte-identical to a run with sharding disabled.
+     * @return events executed by this call.
+     */
+    std::uint64_t
+    runWindowed(Tick lookahead)
+    {
+        panic_if(nShards == 0, "runWindowed requires enableShards");
+        panic_if(lookahead == 0, "lookahead must be at least one tick");
+        const std::uint64_t start = numExecuted;
+        windowRunning = true;
+        for (;;) {
+            deliverDeferred();
+            const int top = minShard(maxTick);
+            if (top < 0)
+                break;
+            winEnd = shardHeaps[top].front().when + lookahead;
+            ++nWindows;
+            for (;;) {
+                const int s = minShard(winEnd);
+                if (s < 0)
+                    break;
+                runOneShard(static_cast<std::uint32_t>(s));
+            }
+        }
+        windowRunning = false;
+        return numExecuted - start;
+    }
+
   private:
-    /** Heap key: trivially copyable, so sifts are plain word moves. */
+    /** Heap key: trivially copyable, so sifts are plain word moves.
+     *  The shard tag occupies what was padding; keys stay 24 bytes. */
     struct Key
     {
         Tick when;
         std::uint64_t seq;
         std::uint32_t slot;
+        std::uint32_t shard;
     };
 
     static constexpr std::size_t arity = 4;
@@ -318,27 +455,139 @@ class EventQueue
         return a.when != b.when ? a.when < b.when : a.seq < b.seq;
     }
 
-    void
-    push(Key k)
+    /** Wrap a callable into a pool slot; returns the slot index. */
+    template <typename F>
+    std::uint32_t
+    allocSlot(F &&cb)
     {
-        std::size_t i = heap.size();
-        heap.push_back(k);
-        while (i != 0) {
-            const std::size_t parent = (i - 1) / arity;
-            if (!before(k, heap[parent]))
-                break;
-            heap[i] = heap[parent];
-            i = parent;
+        std::uint32_t slot;
+        if (!freeSlots.empty()) {
+            slot = freeSlots.back();
+            freeSlots.pop_back();
+            pool[slot].emplace(std::forward<F>(cb));
+        } else {
+            slot = static_cast<std::uint32_t>(pool.size());
+            pool.emplace_back(std::forward<F>(cb));
         }
-        heap[i] = k;
+        return slot;
+    }
+
+    /** Route a new key to its heap (or, cross-shard, to a mailbox). */
+    void
+    insert(Key k)
+    {
+        if (nShards == 0) [[likely]] {
+            push(heap, k);
+            return;
+        }
+        insertSharded(k);
+    }
+
+    /**
+     * Sharded insert. Within a window, an event for another shard whose
+     * tick is at or beyond the window end is deferred into the
+     * (curShard -> k.shard) mailbox and merged at the next boundary;
+     * everything else (own shard, outside a window, or below the window
+     * end) goes straight into the target heap. Either way the key keeps
+     * its original (tick, seq), so the global execution order — and
+     * therefore every simulated result — is unchanged by routing.
+     */
+    [[gnu::noinline]] void
+    insertSharded(Key k)
+    {
+        if (!windowRunning || k.shard == curShard || k.when < winEnd) {
+            if (windowRunning && k.shard != curShard)
+                ++nCrossInline;
+            push(shardHeaps[k.shard], k);
+        } else {
+            ++nCrossDeferred;
+            auto &box = boxFor(curShard, k.shard);
+            if (!box.tryPush(Key{k}))
+                panic("shard mailbox %u -> %u overflow (capacity %zu)",
+                      curShard, k.shard, box.capacity());
+            ++deferredPending;
+        }
+    }
+
+    SpscMailbox<Key> &
+    boxFor(std::uint32_t src, std::uint32_t dst)
+    {
+        auto &p = boxes[src * nShards + dst];
+        if (!p)
+            p = std::make_unique<SpscMailbox<Key>>(boxCapacity);
+        return *p;
+    }
+
+    /** Merge every deferred cross-shard event into its target heap. */
+    void
+    deliverDeferred()
+    {
+        if (deferredPending == 0)
+            return;
+        Key k;
+        for (auto &box : boxes) {
+            if (!box)
+                continue;
+            while (box->tryPop(k)) {
+                --deferredPending;
+                push(shardHeaps[k.shard], k);
+            }
+        }
+    }
+
+    /**
+     * Index of the shard holding the globally next event with tick
+     * strictly below @p bound (ties by seq, as always), or -1.
+     */
+    int
+    minShard(Tick bound) const
+    {
+        int best = -1;
+        for (std::uint32_t s = 0; s < nShards; ++s) {
+            const auto &h = shardHeaps[s];
+            if (h.empty() || h.front().when >= bound)
+                continue;
+            if (best < 0 || before(h.front(), shardHeaps[best].front()))
+                best = static_cast<int>(s);
+        }
+        return best;
     }
 
     void
-    popMin()
+    runOneShard(std::uint32_t s)
     {
-        const Key last = heap.back();
-        heap.pop_back();
-        const std::size_t n = heap.size();
+        auto &h = shardHeaps[s];
+        const Key k = h.front();
+        popMin(h);
+        Callback cb = std::move(pool[k.slot]);
+        freeSlots.push_back(k.slot);
+        _now = k.when;
+        curShard = k.shard;
+        ++numExecuted;
+        cb();
+    }
+
+    void
+    push(std::vector<Key> &h, Key k)
+    {
+        std::size_t i = h.size();
+        h.push_back(k);
+        while (i != 0) {
+            const std::size_t parent = (i - 1) / arity;
+            if (!before(k, h[parent]))
+                break;
+            h[i] = h[parent];
+            i = parent;
+        }
+        h[i] = k;
+    }
+
+    void
+    popMin(std::vector<Key> &h)
+    {
+        const Key last = h.back();
+        h.pop_back();
+        const std::size_t n = h.size();
         if (n == 0)
             return;
         std::size_t i = 0;
@@ -349,15 +598,15 @@ class EventQueue
             const std::size_t end = std::min(first + arity, n);
             std::size_t m = first;
             for (std::size_t c = first + 1; c < end; ++c) {
-                if (before(heap[c], heap[m]))
+                if (before(h[c], h[m]))
                     m = c;
             }
-            if (!before(heap[m], last))
+            if (!before(h[m], last))
                 break;
-            heap[i] = heap[m];
+            h[i] = h[m];
             i = m;
         }
-        heap[i] = last;
+        h[i] = last;
     }
 
     std::vector<Key> heap;
@@ -366,6 +615,20 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+
+    // Sharded machine mode (all idle when nShards == 0).
+    std::uint32_t nShards = 0;          ///< 0 = classic single queue
+    std::uint32_t curShard = 0;         ///< shard of the executing event
+    bool windowRunning = false;
+    Tick winEnd = 0;                    ///< exclusive end of the window
+    std::uint64_t nWindows = 0;
+    std::uint64_t nCrossInline = 0;
+    std::uint64_t nCrossDeferred = 0;
+    std::size_t deferredPending = 0;
+    std::vector<std::vector<Key>> shardHeaps;
+    std::vector<std::uint32_t> nodeShard;
+    std::vector<std::unique_ptr<SpscMailbox<Key>>> boxes;  ///< src*S + dst
+    std::size_t boxCapacity = 0;
 };
 
 } // namespace dashsim

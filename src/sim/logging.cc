@@ -106,6 +106,19 @@ emitWarn(const std::string &msg)
 }
 
 void
+reemitCaptured(const std::string &text)
+{
+    if (text.empty())
+        return;
+    if (tl_log_buffer) {
+        *tl_log_buffer += text;
+        return;
+    }
+    std::lock_guard<std::mutex> lk(logMutex());
+    std::fwrite(text.data(), 1, text.size(), stderr);
+}
+
+void
 emitInform(const std::string &msg)
 {
     if (tl_log_buffer) {

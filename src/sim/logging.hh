@@ -82,6 +82,15 @@ namespace detail {
 void emitWarn(const std::string &msg);
 void emitInform(const std::string &msg);
 
+/**
+ * Re-emit already-formatted captured text ("warn: ...\n" lines) through
+ * the current thread's log capture, or to stderr when none is active.
+ * The parallel kernel (sim/pdes.hh) uses this to marshal worker-thread
+ * logs back to the thread driving the run, preserving the capture
+ * discipline batch runners rely on.
+ */
+void reemitCaptured(const std::string &text);
+
 /** Minimal printf-style formatting into a std::string. */
 std::string vformat(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,194 @@
+#include "sim/pdes.hh"
+
+#include <algorithm>
+#include <thread>
+
+namespace dashsim {
+
+ShardedKernel::ShardedKernel(const Config &cfg)
+    : nShards(std::max<std::uint32_t>(1, cfg.shards)),
+      ahead(std::max<Tick>(1, cfg.lookahead))
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    nWorkers = cfg.workers ? cfg.workers : std::min<unsigned>(nShards, hw);
+    nWorkers = std::min<unsigned>(nWorkers, nShards);
+
+    queues.reserve(nShards);
+    for (std::uint32_t s = 0; s < nShards; ++s)
+        queues.push_back(std::make_unique<EventQueue>());
+
+    mailboxes.reserve(std::size_t{nShards} * nShards);
+    for (std::size_t i = 0; i < std::size_t{nShards} * nShards; ++i)
+        mailboxes.push_back(
+            std::make_unique<SpscMailbox<CrossEvent>>(cfg.mailboxCapacity));
+
+    shardState.resize(nShards);
+    workerLogs.resize(nWorkers);
+}
+
+void
+ShardedKernel::drainInboxes(std::uint32_t dst)
+{
+    auto &scratch = shardState[dst].scratch;
+    scratch.clear();
+    CrossEvent ev;
+    for (std::uint32_t src = 0; src < nShards; ++src) {
+        while (mailbox(src, dst).tryPop(ev))
+            scratch.push_back(std::move(ev));
+    }
+    if (scratch.empty())
+        return;
+    // The deterministic merge order: every cross-shard message carries a
+    // (tick, srcShard, seq) key that is unique and totally ordered, so
+    // the local queue sees the same insertion order no matter how the
+    // producing windows interleaved on the host.
+    std::sort(scratch.begin(), scratch.end(),
+              [](const CrossEvent &a, const CrossEvent &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.srcShard != b.srcShard)
+                      return a.srcShard < b.srcShard;
+                  return a.seq < b.seq;
+              });
+    for (auto &e : scratch)
+        queues[dst]->scheduleReady(e.when, std::move(e.cb));
+    scratch.clear();
+}
+
+void
+ShardedKernel::onPhase() noexcept
+{
+    // Runs on exactly one thread while every worker is blocked in the
+    // barrier, so plain reads of the shard queues are safe; the barrier
+    // provides the happens-before edges for winEnd/done.
+    if (drainPhase) {
+        if (failed.load(std::memory_order_relaxed)) {
+            done.store(true, std::memory_order_relaxed);
+        } else {
+            bool any = false;
+            Tick t = 0;
+            for (const auto &q : queues) {
+                if (q->empty())
+                    continue;
+                const Tick f = q->frontTick();
+                if (!any || f < t)
+                    t = f;
+                any = true;
+            }
+            if (!any) {
+                done.store(true, std::memory_order_relaxed);
+            } else {
+                winEnd.store(t + ahead, std::memory_order_relaxed);
+                ++nWindows;
+            }
+        }
+    }
+    drainPhase = !drainPhase;
+}
+
+void
+ShardedKernel::workerLoop(unsigned worker)
+{
+    // Shard-safe panic/log capture: a panic inside any shard's events
+    // becomes a SimError here, is recorded, and poisons the run; logs
+    // are buffered and re-emitted by the driving thread in worker order.
+    ScopedErrorCapture errors;
+    ScopedLogCapture logs;
+    for (;;) {
+        if (!failed.load(std::memory_order_relaxed)) {
+            try {
+                for (std::uint32_t s = worker; s < nShards; s += nWorkers)
+                    drainInboxes(s);
+            } catch (const SimError &e) {
+                bool expected = false;
+                if (failed.compare_exchange_strong(expected, true))
+                    firstError = e.what();
+            }
+        }
+        gate->arrive_and_wait();
+        if (done.load(std::memory_order_relaxed))
+            break;
+        if (!failed.load(std::memory_order_relaxed)) {
+            try {
+                for (std::uint32_t s = worker; s < nShards; s += nWorkers)
+                    runWindow(s);
+            } catch (const SimError &e) {
+                bool expected = false;
+                if (failed.compare_exchange_strong(expected, true))
+                    firstError = e.what();
+            }
+        }
+        gate->arrive_and_wait();
+    }
+    workerLogs[worker] = logs.take();
+}
+
+std::uint64_t
+ShardedKernel::runSerial()
+{
+    const std::uint64_t start = executed();
+    for (;;) {
+        for (std::uint32_t s = 0; s < nShards; ++s)
+            drainInboxes(s);
+        bool any = false;
+        Tick t = 0;
+        for (const auto &q : queues) {
+            if (q->empty())
+                continue;
+            const Tick f = q->frontTick();
+            if (!any || f < t)
+                t = f;
+            any = true;
+        }
+        if (!any)
+            break;
+        winEnd.store(t + ahead, std::memory_order_relaxed);
+        ++nWindows;
+        for (std::uint32_t s = 0; s < nShards; ++s)
+            runWindow(s);
+    }
+    return executed() - start;
+}
+
+std::uint64_t
+ShardedKernel::runParallel()
+{
+    const std::uint64_t start = executed();
+    gate.emplace(nWorkers, PhaseStep{this});
+    std::vector<std::thread> threads;
+    threads.reserve(nWorkers);
+    for (unsigned w = 0; w < nWorkers; ++w)
+        threads.emplace_back([this, w] { workerLoop(w); });
+    for (auto &t : threads)
+        t.join();
+    gate.reset();
+    for (auto &text : workerLogs) {
+        detail::reemitCaptured(text);
+        text.clear();
+    }
+    return executed() - start;
+}
+
+std::uint64_t
+ShardedKernel::run()
+{
+    done.store(false, std::memory_order_relaxed);
+    winEnd.store(0, std::memory_order_relaxed);
+    drainPhase = true;
+    running = true;
+    const std::uint64_t n =
+        nWorkers > 1 ? runParallel() : runSerial();
+    running = false;
+    if (failed.load(std::memory_order_relaxed)) {
+        failed.store(false, std::memory_order_relaxed);
+        std::string msg;
+        msg.swap(firstError);
+        throw SimError(SimError::Kind::Panic,
+                       "sharded kernel worker failed: " + msg);
+    }
+    return n;
+}
+
+} // namespace dashsim

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Conservative parallel discrete-event simulation (PDES) kernel.
+ *
+ * The sequential EventQueue executes one global (tick, seq) order. This
+ * kernel shards an event program across N per-shard EventQueues (each
+ * with its own clock) and advances them in barrier-synchronized
+ * conservative time-windows of `lookahead` ticks:
+ *
+ *   - within a window, shards execute their local events independently
+ *     (in parallel on worker threads);
+ *   - cross-shard communication goes through fixed-capacity SPSC
+ *     mailboxes as (tick, srcShard, seq, callback) messages whose
+ *     delivery tick must lie at or beyond the current window's end —
+ *     the conservative guarantee that nothing a peer shard is still
+ *     executing can affect this window;
+ *   - at each window boundary every shard drains its inboxes and merges
+ *     the messages into its local queue in (tick, srcShard, seq) order.
+ *
+ * Determinism. The merge key is a total order over all cross-shard
+ * messages, the per-shard queues themselves are deterministic, and
+ * window boundaries are pure functions of queue state — so a program's
+ * results are identical whether windows execute on one thread or on
+ * `workers` threads, and across repeated runs. The property tests in
+ * tests/pdes_test.cc pin exactly this.
+ */
+
+#ifndef SIM_PDES_HH
+#define SIM_PDES_HH
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/spsc.hh"
+#include "sim/types.hh"
+
+namespace dashsim {
+
+/**
+ * The sharded kernel: N per-shard EventQueues advanced in conservative
+ * time-windows, cross-shard events through SPSC mailboxes.
+ *
+ * Programming model:
+ *  - schedule()/scheduleAt() target a shard's local queue. Before run()
+ *    any thread may call them (setup); during run() only the worker
+ *    executing that shard's window may (i.e. an event may schedule
+ *    further events for its own shard at any future tick).
+ *  - post() sends an event from shard `src` to shard `dst` (src == dst
+ *    is allowed and follows the same path). During run() the delivery
+ *    tick must be at or beyond windowEnd(); this is the conservative
+ *    lookahead contract and is enforced with a panic.
+ *  - run() executes to completion and returns the event count. With
+ *    `workers` <= 1 the same window algorithm runs on the calling
+ *    thread; results are identical by construction.
+ *
+ * Worker threads run under ScopedErrorCapture (panics become SimError
+ * on the worker, are marshalled back, and the first one is rethrown on
+ * the calling thread) and ScopedLogCapture (worker logs are re-emitted
+ * from the calling thread in shard order), so batch runners above this
+ * kernel observe the same capture discipline as for sequential runs.
+ */
+class ShardedKernel
+{
+  public:
+    struct Config
+    {
+        std::uint32_t shards = 1;
+        Tick lookahead = 1;
+        /** Worker threads; 0 = min(shards, hardware_concurrency). */
+        unsigned workers = 0;
+        /** Capacity of each src->dst mailbox (messages per window). */
+        std::size_t mailboxCapacity = 1 << 14;
+    };
+
+    explicit ShardedKernel(const Config &cfg);
+
+    ShardedKernel(const ShardedKernel &) = delete;
+    ShardedKernel &operator=(const ShardedKernel &) = delete;
+
+    std::uint32_t numShards() const { return nShards; }
+    Tick lookahead() const { return ahead; }
+
+    /** Worker threads run() will actually use. */
+    unsigned workers() const { return nWorkers; }
+
+    /** Shard-local clock (advances only while its events execute). */
+    Tick now(std::uint32_t shard) const { return queues[shard]->now(); }
+
+    /** End tick (exclusive) of the window currently executing. */
+    Tick windowEnd() const { return winEnd.load(std::memory_order_relaxed); }
+
+    /** Windows executed so far. */
+    std::uint64_t windows() const { return nWindows; }
+
+    /** Events executed across all shards. */
+    std::uint64_t
+    executed() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &q : queues)
+            n += q->executed();
+        return n;
+    }
+
+    /** Cross-shard messages posted so far. */
+    std::uint64_t
+    crossPosts() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &s : shardState)
+            n += s.crossSeq;
+        return n;
+    }
+
+    template <typename F>
+    void
+    schedule(std::uint32_t shard, Tick delay, F &&cb)
+    {
+        queues[shard]->schedule(delay, std::forward<F>(cb));
+    }
+
+    template <typename F>
+    void
+    scheduleAt(std::uint32_t shard, Tick when, F &&cb)
+    {
+        queues[shard]->scheduleAt(when, std::forward<F>(cb));
+    }
+
+    /**
+     * Post a cross-shard event: deliver @p cb to @p dst's queue at tick
+     * @p when. Delivery happens at the next window boundary; @p when
+     * must be >= windowEnd() when posted from inside a window.
+     */
+    template <typename F>
+    void
+    post(std::uint32_t src, std::uint32_t dst, Tick when, F &&cb)
+    {
+        panic_if(running && when < winEnd.load(std::memory_order_relaxed),
+                 "cross-shard post below the lookahead horizon "
+                 "(tick %llu < window end %llu): shard %u -> %u",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(
+                     winEnd.load(std::memory_order_relaxed)),
+                 src, dst);
+        CrossEvent ev{when, src, shardState[src].crossSeq++,
+                      InlineCallback(std::forward<F>(cb))};
+        if (!mailbox(src, dst).tryPush(std::move(ev))) {
+            panic("mailbox %u -> %u overflow (capacity %zu); raise "
+                  "Config::mailboxCapacity",
+                  src, dst, mailbox(src, dst).capacity());
+        }
+    }
+
+    /**
+     * Run to completion; returns events executed by this call. Uses
+     * worker threads when workers() > 1, the calling thread otherwise.
+     */
+    std::uint64_t run();
+
+  private:
+    struct CrossEvent
+    {
+        Tick when = 0;
+        std::uint32_t srcShard = 0;
+        std::uint64_t seq = 0;
+        InlineCallback cb;
+    };
+
+    /** Per-shard worker-owned state, padded against false sharing. */
+    struct alignas(64) ShardState
+    {
+        std::uint64_t crossSeq = 0;
+        std::vector<CrossEvent> scratch;  ///< drain + merge staging
+    };
+
+    /** Barrier completion step: runs on exactly one thread per phase. */
+    struct PhaseStep
+    {
+        ShardedKernel *k;
+        void operator()() noexcept { k->onPhase(); }
+    };
+
+    SpscMailbox<CrossEvent> &
+    mailbox(std::uint32_t src, std::uint32_t dst)
+    {
+        return *mailboxes[src * nShards + dst];
+    }
+
+    /** Merge every pending inbound message into @p dst's local queue. */
+    void drainInboxes(std::uint32_t dst);
+
+    /** Execute @p shard's events below the current window end. */
+    void
+    runWindow(std::uint32_t shard)
+    {
+        queues[shard]->runUntil(winEnd.load(std::memory_order_relaxed) - 1);
+    }
+
+    void onPhase() noexcept;
+    void workerLoop(unsigned worker);
+    std::uint64_t runSerial();
+    std::uint64_t runParallel();
+
+    std::uint32_t nShards;
+    Tick ahead;
+    unsigned nWorkers;
+
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    std::vector<std::unique_ptr<SpscMailbox<CrossEvent>>> mailboxes;
+    std::vector<ShardState> shardState;
+
+    bool running = false;
+    bool drainPhase = true;        ///< parity inside onPhase (one thread)
+    std::atomic<Tick> winEnd{0};
+    std::atomic<bool> done{false};
+    std::uint64_t nWindows = 0;
+
+    std::optional<std::barrier<PhaseStep>> gate;
+
+    /** First worker-thread error, rethrown on the caller. */
+    std::atomic<bool> failed{false};
+    std::string firstError;
+    std::vector<std::string> workerLogs;
+};
+
+} // namespace dashsim
+
+#endif // SIM_PDES_HH

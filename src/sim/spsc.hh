@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fixed-capacity single-producer / single-consumer mailbox.
+ *
+ * The cross-shard seam of the parallel kernel (sim/pdes.hh) and of the
+ * sharded machine event queue. The cost model follows the advice of
+ * Schweizer et al. ("Evaluating the Cost of Atomic Operations"): one
+ * atomic store with release ordering per push, one atomic load with
+ * acquire ordering per pop, no read-modify-write operations, and no
+ * producer/producer sharing — each (src, dst) shard pair owns its own
+ * ring. Cached peer indices keep the common case off shared lines
+ * entirely; the producer and consumer halves live on separate
+ * cache lines.
+ */
+
+#ifndef SIM_SPSC_HH
+#define SIM_SPSC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace dashsim {
+
+/**
+ * Bounded lock-free SPSC ring. T must be move-constructible and
+ * move-assignable; non-trivial payloads are placement-constructed into
+ * raw slots and destroyed on pop.
+ */
+template <typename T>
+class SpscMailbox
+{
+  public:
+    /** @p capacity is rounded up to a power of two (min 2). */
+    explicit SpscMailbox(std::size_t capacity)
+    {
+        std::size_t c = 2;
+        while (c < capacity)
+            c <<= 1;
+        cap = c;
+        mask = c - 1;
+        slots.reset(new Slot[cap]);
+    }
+
+    SpscMailbox(const SpscMailbox &) = delete;
+    SpscMailbox &operator=(const SpscMailbox &) = delete;
+
+    ~SpscMailbox()
+    {
+        T scratch;
+        while (tryPop(scratch)) {
+        }
+    }
+
+    std::size_t capacity() const { return cap; }
+
+    /** Producer side. False when the ring is full. */
+    bool
+    tryPush(T &&v)
+    {
+        const std::size_t t = tail.load(std::memory_order_relaxed);
+        if (t - cachedHead == cap) {
+            cachedHead = head.load(std::memory_order_acquire);
+            if (t - cachedHead == cap)
+                return false;
+        }
+        ::new (slots[t & mask].raw()) T(std::move(v));
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. False when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t h = head.load(std::memory_order_relaxed);
+        if (h == cachedTail) {
+            cachedTail = tail.load(std::memory_order_acquire);
+            if (h == cachedTail)
+                return false;
+        }
+        T *p = std::launder(reinterpret_cast<T *>(slots[h & mask].raw()));
+        out = std::move(*p);
+        p->~T();
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+  private:
+    struct Slot
+    {
+        alignas(alignof(T)) unsigned char buf[sizeof(T)];
+        void *raw() { return static_cast<void *>(buf); }
+    };
+
+    std::unique_ptr<Slot[]> slots;
+    std::size_t cap = 0;
+    std::size_t mask = 0;
+
+    /** Producer-owned line: tail plus its cached view of head. */
+    alignas(64) std::atomic<std::size_t> tail{0};
+    std::size_t cachedHead = 0;
+
+    /** Consumer-owned line: head plus its cached view of tail. */
+    alignas(64) std::atomic<std::size_t> head{0};
+    std::size_t cachedTail = 0;
+};
+
+} // namespace dashsim
+
+#endif // SIM_SPSC_HH

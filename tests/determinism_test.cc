@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,37 @@ expectJobCountInvariant(const std::vector<Technique> &techniques)
                                 << " differs between 1 and 8 jobs";
 }
 
+/**
+ * Same grid through the sharded event kernel at 1, 2, 4, and 8 shards:
+ * every point byte-identical to the sequential kernel. Shards = 1 takes
+ * the classic single-queue path, so results[0] is the reference the
+ * windowed kernel has to match exactly.
+ */
+void
+expectShardCountInvariant(const std::vector<Technique> &techniques)
+{
+    auto points = gridPoints(techniques);
+    std::vector<std::vector<std::string>> results;
+    const std::uint32_t counts[] = {1, 2, 4, 8};
+    for (std::uint32_t shards : counts) {
+        RunBatch batch(8);
+        for (auto p : points) {
+            p.configure = [shards](MachineConfig &cfg) {
+                cfg.shards = shards;
+            };
+            batch.add(std::move(p));
+        }
+        results.push_back(serializeAll(batch.run()));
+    }
+    for (std::size_t c = 1; c < results.size(); ++c) {
+        ASSERT_EQ(results[0].size(), results[c].size());
+        for (std::size_t i = 0; i < results[0].size(); ++i)
+            EXPECT_EQ(results[0][i], results[c][i])
+                << "point " << i << " differs between 1 and "
+                << counts[c] << " shards";
+    }
+}
+
 } // namespace
 
 TEST(Determinism, Figure2GridJobCountInvariant)
@@ -106,6 +138,63 @@ TEST(Determinism, Figure6GridJobCountInvariant)
          Technique::rcPrefetch(),
          Technique::multiContext(2, 4, Consistency::RC, true),
          Technique::multiContext(4, 4, Consistency::RC, true)});
+}
+
+TEST(Determinism, Figure2GridShardCountInvariant)
+{
+    expectShardCountInvariant({Technique::noCache(), Technique::sc()});
+}
+
+TEST(Determinism, Figure3GridShardCountInvariant)
+{
+    expectShardCountInvariant({Technique::sc(), Technique::rc()});
+}
+
+TEST(Determinism, Figure4GridShardCountInvariant)
+{
+    expectShardCountInvariant(
+        {Technique::sc(), Technique::scPrefetch(), Technique::rc(),
+         Technique::rcPrefetch()});
+}
+
+TEST(Determinism, Figure5GridShardCountInvariant)
+{
+    expectShardCountInvariant(
+        {Technique::sc(), Technique::multiContext(2, 16),
+         Technique::multiContext(4, 16), Technique::multiContext(2, 4),
+         Technique::multiContext(4, 4)});
+}
+
+TEST(Determinism, Figure6GridShardCountInvariant)
+{
+    expectShardCountInvariant(
+        {Technique::sc(), Technique::multiContext(2, 4),
+         Technique::multiContext(4, 4), Technique::rc(),
+         Technique::multiContext(2, 4, Consistency::RC),
+         Technique::multiContext(4, 4, Consistency::RC),
+         Technique::rcPrefetch(),
+         Technique::multiContext(2, 4, Consistency::RC, true),
+         Technique::multiContext(4, 4, Consistency::RC, true)});
+}
+
+/** The DASHSIM_SHARDS environment knob reaches machines built with the
+ *  default config (shards = 0) and leaves results byte-identical. */
+TEST(Determinism, ShardEnvKnobIsByteIdentical)
+{
+    auto points = gridPoints({Technique::sc()});
+    RunBatch batch(1);
+    for (const auto &p : points)
+        batch.add(p);
+
+    auto baseline = serializeAll(batch.run());
+    ASSERT_EQ(setenv("DASHSIM_SHARDS", "4", 1), 0);
+    auto sharded = serializeAll(batch.run());
+    ASSERT_EQ(unsetenv("DASHSIM_SHARDS"), 0);
+
+    ASSERT_EQ(baseline.size(), sharded.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i)
+        EXPECT_EQ(baseline[i], sharded[i])
+            << "point " << i << " differs under DASHSIM_SHARDS=4";
 }
 
 /** Two runs of the same batch object in one process: byte-identical.

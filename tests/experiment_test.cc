@@ -14,6 +14,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/shard.hh"
 #include "sim/logging.hh"
 
 using namespace dashsim;
@@ -284,6 +285,64 @@ TEST(Batch, InvalidJobsWarningIsCapturedIntoOutcomeLog)
     ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
     EXPECT_NE(outcomes[0].log.find("ignoring invalid DASHSIM_JOBS"),
               std::string::npos)
+        << "log was: " << outcomes[0].log;
+}
+
+TEST(Batch, ShardsFromEnvParsesAndFallsBack)
+{
+    ::unsetenv("DASHSIM_SHARDS");
+    EXPECT_EQ(shardsFromEnv(), 1u);
+    ::setenv("DASHSIM_SHARDS", "4", 1);
+    EXPECT_EQ(shardsFromEnv(), 4u);
+    ::setenv("DASHSIM_SHARDS", "zero?", 1);
+    {
+        ScopedLogCapture logs;
+        EXPECT_EQ(shardsFromEnv(), 1u);
+        EXPECT_NE(logs.take().find("invalid DASHSIM_SHARDS"),
+                  std::string::npos);
+    }
+    ::unsetenv("DASHSIM_SHARDS");
+}
+
+TEST(Batch, NestedParallelismGuardClampsJobsTimesShards)
+{
+    // jobs x shards must not exceed the defaultJobs() host budget: with
+    // a budget of 4 threads and 8-way sharded machines, an 8-job batch
+    // must fall back to a single worker, and say so through the same
+    // captured-log path as every other batch warning.
+    ::setenv("DASHSIM_JOBS", "4", 1);
+    ::setenv("DASHSIM_SHARDS", "8", 1);
+    RunBatch b(8);
+    b.add(testWorkload("LU"), Technique::sc(), {}, "a");
+    b.add(testWorkload("LU"), Technique::rc(), {}, "b");
+    auto outcomes = b.run();
+    ::unsetenv("DASHSIM_SHARDS");
+    ::unsetenv("DASHSIM_JOBS");
+
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto &o : outcomes)
+        ASSERT_TRUE(o.ok) << o.label << ": " << o.error;
+    EXPECT_NE(outcomes[0].log.find("clamping jobs to 1"),
+              std::string::npos)
+        << "log was: " << outcomes[0].log;
+}
+
+TEST(Batch, NestedParallelismGuardIsQuietWithinBudget)
+{
+    // 2 jobs x 2 shards fits a 4-thread budget: no clamp, no warning.
+    ::setenv("DASHSIM_JOBS", "4", 1);
+    ::setenv("DASHSIM_SHARDS", "2", 1);
+    RunBatch b(2);
+    b.add(testWorkload("LU"), Technique::sc(), {}, "a");
+    b.add(testWorkload("LU"), Technique::rc(), {}, "b");
+    auto outcomes = b.run();
+    ::unsetenv("DASHSIM_SHARDS");
+    ::unsetenv("DASHSIM_JOBS");
+
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto &o : outcomes)
+        ASSERT_TRUE(o.ok) << o.label << ": " << o.error;
+    EXPECT_EQ(outcomes[0].log.find("clamping jobs"), std::string::npos)
         << "log was: " << outcomes[0].log;
 }
 

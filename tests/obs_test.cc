@@ -330,6 +330,40 @@ TEST(MachineObs, MultiContextConserves)
         EXPECT_EQ(m.processor(n).stats().total(), r.execTime) << n;
 }
 
+/**
+ * The conservation audit holds at every shard count: windowed sharded
+ * execution must not drop, duplicate, or displace attributed cycles
+ * relative to the sequential kernel. run() itself panics on a violation
+ * (DASHSIM_CHECK=1 in the test environment keeps the checkers armed);
+ * the per-processor totals are re-asserted here as the external
+ * contract, and the kernel counters confirm the windowed path actually
+ * executed.
+ */
+TEST(MachineObs, ConservationHoldsAtEveryShardCount)
+{
+    for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+        for (const char *app : {"MP3D", "LU", "PTHOR"}) {
+            MachineConfig cfg;
+            cfg.shards = shards;
+            cfg.obs.attribution = true;
+            cfg.check.conservation = true;
+            Machine m(cfg);
+            RunResult r = runWithObs(m, app);
+            for (NodeId n = 0; n < cfg.mem.numNodes; ++n)
+                EXPECT_EQ(m.processor(n).stats().total(), r.execTime)
+                    << app << " shards=" << shards << " node " << n;
+
+            Registry reg;
+            m.fillRegistry(reg, r);
+            EXPECT_EQ(reg.get("machine.kernel.shards"), shards);
+            if (shards > 1)
+                EXPECT_GT(reg.get("machine.kernel.windows"), 0u)
+                    << app << " shards=" << shards
+                    << ": sharded config never entered the window loop";
+        }
+    }
+}
+
 TEST(MachineObs, AttributionOffByDefaultWithoutConsumers)
 {
     MachineConfig cfg;

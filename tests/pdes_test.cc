@@ -1,0 +1,415 @@
+/**
+ * @file
+ * The conservative parallel kernel (sim/pdes.hh) and its SPSC mailbox.
+ *
+ * The load-bearing properties:
+ *  - cross-shard storms merge in (tick, src_shard, seq) order at every
+ *    window boundary, so execution is deterministic;
+ *  - a program produces identical results at any worker count (serial
+ *    window loop included) and across repeated runs;
+ *  - the conservative contract (no post below the lookahead horizon)
+ *    and the mailbox capacity bound are enforced with panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/pdes.hh"
+#include "sim/spsc.hh"
+
+using namespace dashsim;
+
+TEST(SpscMailbox, FifoOrderAndCapacityBound)
+{
+    SpscMailbox<int> box(4);
+    EXPECT_EQ(box.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(box.tryPush(int{i}));
+    int rejected = 99;
+    EXPECT_FALSE(box.tryPush(std::move(rejected)));
+
+    int v = -1;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(box.tryPop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(box.tryPop(v));
+
+    // The ring is reusable after a full drain (indices keep running).
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 3; ++i)
+            EXPECT_TRUE(box.tryPush(i + 10 * round));
+        for (int i = 0; i < 3; ++i) {
+            ASSERT_TRUE(box.tryPop(v));
+            EXPECT_EQ(v, i + 10 * round);
+        }
+    }
+}
+
+TEST(SpscMailbox, CapacityRoundsUpToPowerOfTwo)
+{
+    SpscMailbox<int> box(5);
+    EXPECT_EQ(box.capacity(), 8u);
+    SpscMailbox<int> tiny(0);
+    EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(SpscMailbox, MoveOnlyPayloads)
+{
+    SpscMailbox<std::unique_ptr<int>> box(2);
+    ASSERT_TRUE(box.tryPush(std::make_unique<int>(7)));
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(box.tryPop(out));
+    ASSERT_TRUE(out);
+    EXPECT_EQ(*out, 7);
+    // Destructor must release still-queued non-trivial payloads (ASan
+    // would catch the leak).
+    ASSERT_TRUE(box.tryPush(std::make_unique<int>(8)));
+}
+
+namespace {
+
+/**
+ * A deterministic self-driving event storm. Each shard starts with a
+ * population of chain events; every event logs its (tick, marker) into
+ * shard-private storage, then either reschedules locally or posts a
+ * continuation to a pseudo-randomly chosen shard at or beyond the
+ * lookahead horizon. All randomness is per-shard and advances only when
+ * that shard's events execute, so the storm is a pure function of the
+ * configuration.
+ */
+class Storm
+{
+  public:
+    /** @p postDelay: cross-posts target now + postDelay + jitter; must
+     *  be >= lookahead to satisfy the conservative contract. */
+    Storm(std::uint32_t shards, unsigned workers, Tick lookahead,
+          unsigned population, unsigned budget, Tick postDelay = 0)
+        : k(ShardedKernel::Config{shards, lookahead, workers, 1 << 12}),
+          horizon(postDelay ? postDelay : lookahead), logs(shards)
+    {
+        rngs.reserve(shards);
+        for (std::uint32_t s = 0; s < shards; ++s)
+            rngs.emplace_back(0x9e3779b9u ^ (s * 0x85ebca6bu));
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            for (unsigned i = 0; i < population; ++i) {
+                const unsigned b = budget;
+                k.schedule(s, 1 + i % 13,
+                           [this, s, b] { event(s, b); });
+            }
+        }
+    }
+
+    std::uint64_t run() { return k.run(); }
+
+    const std::vector<std::vector<std::uint64_t>> &shardLogs() const
+    {
+        return logs;
+    }
+
+    std::uint64_t windows() const { return k.windows(); }
+    std::uint64_t crossPosts() const { return k.crossPosts(); }
+
+  private:
+    void
+    event(std::uint32_t s, unsigned budget)
+    {
+        logs[s].push_back(k.now(s));
+        if (budget == 0)
+            return;
+        auto &rng = rngs[s];
+        const std::uint32_t r = static_cast<std::uint32_t>(rng());
+        if (r % 4 == 0) {
+            const std::uint32_t dst =
+                static_cast<std::uint32_t>(rng()) % k.numShards();
+            const Tick when =
+                k.now(s) + horizon + static_cast<Tick>(rng() % 8);
+            k.post(s, dst, when,
+                   [this, dst, budget] { event(dst, budget - 1); });
+        } else {
+            k.schedule(s, 1 + r % 8,
+                       [this, s, budget] { event(s, budget - 1); });
+        }
+    }
+
+    ShardedKernel k;
+    Tick horizon;
+    std::vector<std::vector<std::uint64_t>> logs;
+    std::vector<std::mt19937> rngs;
+};
+
+std::vector<std::vector<std::uint64_t>>
+stormLogs(std::uint32_t shards, unsigned workers, Tick lookahead = 6,
+          unsigned population = 64, unsigned budget = 40)
+{
+    Storm s(shards, workers, lookahead, population, budget);
+    s.run();
+    EXPECT_GT(s.crossPosts(), 0u) << "storm produced no cross traffic";
+    return s.shardLogs();
+}
+
+} // namespace
+
+TEST(PdesKernel, SingleShardRunsLikeAPlainQueue)
+{
+    ShardedKernel k(ShardedKernel::Config{1, 4, 1, 64});
+    std::vector<Tick> ticks;
+    k.schedule(0, 5, [&] { ticks.push_back(k.now(0)); });
+    k.schedule(0, 2, [&] {
+        ticks.push_back(k.now(0));
+        k.schedule(0, 1, [&] { ticks.push_back(k.now(0)); });
+    });
+    EXPECT_EQ(k.run(), 3u);
+    EXPECT_EQ(ticks, (std::vector<Tick>{2, 3, 5}));
+    EXPECT_GE(k.windows(), 1u);
+}
+
+TEST(PdesKernel, ParallelMatchesSerialWindowLoop)
+{
+    const auto serial = stormLogs(4, 1);
+    const auto parallel = stormLogs(4, 4);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(PdesKernel, WorkerCountInvariance)
+{
+    const auto w1 = stormLogs(8, 1);
+    const auto w2 = stormLogs(8, 2);
+    const auto w3 = stormLogs(8, 3);  // shards not divisible by workers
+    const auto w8 = stormLogs(8, 8);
+    EXPECT_EQ(w1, w2);
+    EXPECT_EQ(w1, w3);
+    EXPECT_EQ(w1, w8);
+}
+
+TEST(PdesKernel, RepeatedRunsAreIdentical)
+{
+    const auto a = stormLogs(4, 4);
+    const auto b = stormLogs(4, 4);
+    EXPECT_EQ(a, b);
+}
+
+TEST(PdesKernel, WiderLookaheadBatchesMoreWorkPerWindow)
+{
+    // Same program (fixed post horizon), two window widths: the wide
+    // configuration must advance in far fewer barrier rounds. This is
+    // the whole point of deriving lookahead from the minimum cross-node
+    // latency instead of lockstepping tick by tick.
+    Storm narrow(4, 1, 2, 64, 40, 16);
+    Storm wide(4, 1, 16, 64, 40, 16);
+    narrow.run();
+    wide.run();
+    EXPECT_LT(wide.windows() * 2, narrow.windows());
+}
+
+/**
+ * The deterministic tie-break, pinned exactly: several shards post to
+ * one receiver at the *same* tick within the same window. Arrival order
+ * at the receiver must be (tick, src_shard, seq) regardless of the
+ * producing shards' host interleaving.
+ */
+TEST(PdesKernel, EqualTickMergeBreaksTiesBySrcShardThenSeq)
+{
+    constexpr std::uint32_t S = 5;  // shard 0 receives, 1..4 produce
+    constexpr Tick L = 8;
+    ShardedKernel k(ShardedKernel::Config{S, L, S, 1 << 10});
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;
+    std::vector<Tick> arrivalTicks;
+
+    // Every producer runs chain events at the same ticks and posts two
+    // messages per step, all targeting exactly now + L, so each window
+    // boundary delivers one batch of equal-tick messages from all four
+    // producers at once.
+    struct Chain
+    {
+        ShardedKernel *k;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> *arrivals;
+        std::vector<Tick> *arrivalTicks;
+        std::array<std::uint32_t, S> seq{};
+
+        void
+        step(std::uint32_t src, unsigned rounds)
+        {
+            for (int copy = 0; copy < 2; ++copy) {
+                const std::uint32_t n = seq[src]++;
+                const Tick when = k->now(src) + L;
+                k->post(src, 0, when, [this, src, n, when] {
+                    arrivals->push_back({src, n});
+                    arrivalTicks->push_back(when);
+                });
+            }
+            if (rounds > 0) {
+                k->schedule(src, L, [this, src, rounds] {
+                    step(src, rounds - 1);
+                });
+            }
+        }
+    };
+
+    // One Chain per producer: seq counters are shard-private.
+    std::vector<Chain> chains(S, Chain{&k, &arrivals, &arrivalTicks});
+    for (std::uint32_t src = 1; src < S; ++src) {
+        Chain *c = &chains[src];
+        k.schedule(src, 4, [c, src] { c->step(src, 20); });
+    }
+    k.run();
+
+    ASSERT_EQ(arrivals.size(), 4u * 2u * 21u);
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+        const bool laterTick = arrivalTicks[i] > arrivalTicks[i - 1];
+        const bool sameTick = arrivalTicks[i] == arrivalTicks[i - 1];
+        const auto &[src0, n0] = arrivals[i - 1];
+        const auto &[src1, n1] = arrivals[i];
+        EXPECT_TRUE(laterTick ||
+                    (sameTick &&
+                     (src1 > src0 || (src1 == src0 && n1 > n0))))
+            << "arrival " << i << " out of (tick, src, seq) order: "
+            << "(" << arrivalTicks[i - 1] << "," << src0 << "," << n0
+            << ") then (" << arrivalTicks[i] << "," << src1 << ","
+            << n1 << ")";
+    }
+}
+
+/**
+ * Randomized storm property: for every source shard, the receiver
+ * observes that shard's messages in (tick, seq) order — the per-source
+ * projection of the (tick, src_shard, seq) merge key — no matter how
+ * delivery batches interleave across windows.
+ */
+TEST(PdesKernel, RandomizedStormMergesPerSourceInTickSeqOrder)
+{
+    constexpr std::uint32_t S = 6;  // shard 0 receives, 1..5 produce
+    constexpr Tick L = 5;
+    ShardedKernel k(ShardedKernel::Config{S, L, S, 1 << 12});
+
+    struct Msg
+    {
+        Tick when;
+        std::uint32_t src;
+        std::uint32_t seq;
+    };
+    std::vector<Msg> received;
+    std::vector<std::uint32_t> nextSeq(S, 0);
+    std::vector<std::mt19937> rngs;
+    for (std::uint32_t s = 0; s < S; ++s)
+        rngs.emplace_back(12345u + s);
+
+    struct Producer
+    {
+        ShardedKernel *k;
+        std::vector<Msg> *received;
+        std::vector<std::uint32_t> *nextSeq;
+        std::vector<std::mt19937> *rngs;
+
+        void
+        step(std::uint32_t src, unsigned rounds)
+        {
+            auto &rng = (*rngs)[src];
+            const unsigned burst = 1 + rng() % 4;
+            for (unsigned i = 0; i < burst; ++i) {
+                const std::uint32_t n = (*nextSeq)[src]++;
+                const Tick when =
+                    k->now(src) + L + static_cast<Tick>(rng() % 17);
+                k->post(src, 0, when, [this, src, n, when] {
+                    received->push_back(Msg{when, src, n});
+                });
+            }
+            if (rounds > 0) {
+                const Tick next = 1 + rng() % 9;
+                k->schedule(src, next, [this, src, rounds] {
+                    step(src, rounds - 1);
+                });
+            }
+        }
+    };
+
+    Producer p{&k, &received, &nextSeq, &rngs};
+    for (std::uint32_t src = 1; src < S; ++src)
+        k.schedule(src, 1 + src, [&p, src] { p.step(src, 60); });
+    k.run();
+
+    ASSERT_FALSE(received.empty());
+    // Per-source projection: ticks non-decreasing, seq increasing
+    // within a tick.
+    std::vector<Msg> last(S, Msg{0, 0, 0});
+    std::vector<bool> seen(S, false);
+    for (const auto &m : received) {
+        // Global tick order first: the receiver's clock never goes back.
+        if (seen[m.src]) {
+            EXPECT_GE(m.when, last[m.src].when)
+                << "src " << m.src << " went back in time";
+            if (m.when == last[m.src].when)
+                EXPECT_GT(m.seq, last[m.src].seq)
+                    << "src " << m.src << " reordered within tick "
+                    << m.when;
+        }
+        last[m.src] = m;
+        seen[m.src] = true;
+    }
+}
+
+TEST(PdesKernel, PostBelowLookaheadHorizonPanics)
+{
+    ShardedKernel k(ShardedKernel::Config{2, 10, 1, 64});
+    k.schedule(0, 50, [&k] {
+        // Window end is at least 51; tick 51 - 1 is below the horizon.
+        k.post(0, 1, k.now(0), [] {});
+    });
+    ScopedErrorCapture capture;
+    EXPECT_THROW(k.run(), SimError);
+}
+
+TEST(PdesKernel, MailboxOverflowPanics)
+{
+    ShardedKernel k(ShardedKernel::Config{2, 4, 1, 4});
+    ScopedErrorCapture capture;
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 100; ++i)
+                k.post(0, 1, 100, [] {});
+        },
+        SimError);
+}
+
+TEST(PdesKernel, WorkerPanicIsMarshalledToCaller)
+{
+    ShardedKernel k(ShardedKernel::Config{4, 4, 4, 64});
+    for (std::uint32_t s = 0; s < 4; ++s)
+        k.schedule(s, 1, [] {});
+    k.schedule(2, 7, [] { panic("injected failure on shard 2"); });
+    ScopedErrorCapture capture;
+    try {
+        k.run();
+        FAIL() << "worker panic did not propagate";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("injected failure"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PdesKernel, WorkerWarningsAreReemittedToTheCaller)
+{
+    ShardedKernel k(ShardedKernel::Config{4, 4, 4, 64});
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        k.schedule(s, 1 + s, [s] {
+            warn("shard %u says hello", s);
+        });
+    }
+    ScopedLogCapture logs;
+    k.run();
+    const std::string text = logs.take();
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        EXPECT_NE(text.find("shard " + std::to_string(s) + " says hello"),
+                  std::string::npos)
+            << "missing worker log for shard " << s << "; got: " << text;
+    }
+}
