@@ -296,6 +296,54 @@ gridRun(const std::string &app)
     return m;
 }
 
+/**
+ * Fast-path on/off pair on one quick app grid point. Same machine as
+ * gridRun() but with the conservation checker also off (the checkers
+ * are observability consumers, and any of them disables the
+ * direct-execution fast path), measured once per knob setting. The
+ * results are byte-identical across the knob (fastpath_diff_test), so
+ * the pair isolates the pure simulator-side cost/benefit.
+ */
+Measurement
+fastpathRun(const std::string &app, bool fast, std::uint64_t *window_hits,
+            std::uint64_t *shared_reads)
+{
+    WorkloadFactory factory = testWorkload(app);
+    MachineConfig cfg = makeMachineConfig(Technique::rc());
+    cfg.check.coherence = false;
+    cfg.check.race = false;
+    cfg.check.conservation = false;
+    cfg.cpu.fastPath = fast;
+
+    Machine machine(cfg);
+    auto w = factory();
+    Measurement m{std::string("fastpath_") + (fast ? "on_" : "off_") + app,
+                  0, 0.0};
+    auto t0 = Clock::now();
+    RunResult r = machine.run(*w);
+    m.seconds = secondsSince(t0);
+    m.events = machine.eventQueue().executed();
+    if (window_hits)
+        *window_hits = machine.memSystem().windowHits();
+    if (shared_reads)
+        *shared_reads = r.sharedReads;
+    return m;
+}
+
+Measurement
+bestOfFastpath(unsigned reps, const std::string &app, bool fast,
+               std::uint64_t *window_hits = nullptr,
+               std::uint64_t *shared_reads = nullptr)
+{
+    Measurement best = fastpathRun(app, fast, window_hits, shared_reads);
+    for (unsigned r = 1; r < reps; ++r) {
+        Measurement next = fastpathRun(app, fast, nullptr, nullptr);
+        if (next.seconds < best.seconds)
+            best = next;
+    }
+    return best;
+}
+
 Measurement
 bestOf(unsigned reps, Measurement (*fn)(std::uint64_t), std::uint64_t n)
 {
@@ -322,7 +370,7 @@ bestOfGrid(unsigned reps, const std::string &app)
 
 void
 writeJson(const std::vector<Measurement> &ms, std::uint64_t events,
-          unsigned reps)
+          unsigned reps, double fastpath_hit_fraction)
 {
     const char *env = std::getenv("DASHSIM_BENCH_JSON");
     std::string path = env ? env : "BENCH_kernel.json";
@@ -337,9 +385,11 @@ writeJson(const std::vector<Measurement> &ms, std::uint64_t events,
     std::fprintf(f, "{\n  \"schema\": \"dashsim-kernel-bench-1\",\n");
     std::fprintf(f,
                  "  \"meta\": {\"shards\": %u, \"host_threads\": %u, "
-                 "\"events_per_storm\": %llu, \"reps\": %u},\n",
+                 "\"events_per_storm\": %llu, \"reps\": %u, "
+                 "\"fastpath_hit_fraction\": %.4f},\n",
                  shardsFromEnv(), std::thread::hardware_concurrency(),
-                 static_cast<unsigned long long>(events), reps);
+                 static_cast<unsigned long long>(events), reps,
+                 fastpath_hit_fraction);
     std::fprintf(f, "  \"workloads\": [\n");
     for (std::size_t i = 0; i < ms.size(); ++i) {
         const Measurement &m = ms[i];
@@ -370,7 +420,7 @@ main()
                 "(%llu events/storm, best of %u, %u shard(s))\n\n",
                 static_cast<unsigned long long>(events), reps,
                 shardsFromEnv());
-    std::printf("%-14s %12s %10s %14s %10s\n", "workload", "events",
+    std::printf("%-16s %12s %10s %14s %10s\n", "workload", "events",
                 "seconds", "events/sec", "ns/event");
 
     std::vector<Measurement> ms;
@@ -380,11 +430,29 @@ main()
     for (const char *app : {"MP3D", "LU", "PTHOR"})
         ms.push_back(bestOfGrid(reps, app));
 
+    // fastpath_grid: on/off pairs on each quick app. Hit rate is
+    // window-validated reads (which skip the cache probe and stat
+    // update entirely) over all shared reads; results are byte-
+    // identical across the knob, so the pair isolates the pure
+    // simulator-side effect.
+    std::uint64_t fp_hits = 0, fp_reads = 0;
+    for (const char *app : {"MP3D", "LU", "PTHOR"}) {
+        std::uint64_t hits = 0, reads = 0;
+        ms.push_back(bestOfFastpath(reps, app, false));
+        ms.push_back(bestOfFastpath(reps, app, true, &hits, &reads));
+        fp_hits += hits;
+        fp_reads += reads;
+    }
+    const double fp_hit_fraction =
+        fp_reads ? static_cast<double>(fp_hits) / fp_reads : 0.0;
+
     for (const Measurement &m : ms)
-        std::printf("%-14s %12llu %10.3f %14.0f %10.2f\n", m.name.c_str(),
+        std::printf("%-16s %12llu %10.3f %14.0f %10.2f\n", m.name.c_str(),
                     static_cast<unsigned long long>(m.events), m.seconds,
                     m.eventsPerSec(), m.nsPerEvent());
+    std::printf("\nfastpath_hit_fraction (window-validated reads / "
+                "shared reads): %.4f\n", fp_hit_fraction);
 
-    writeJson(ms, events, reps);
+    writeJson(ms, events, reps, fp_hit_fraction);
     return 0;
 }

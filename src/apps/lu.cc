@@ -62,6 +62,27 @@ Lu::setup(Machine &m)
         mem.store<std::uint32_t>(flagAddr(j), 0);
 
     barrierAddr = sync::allocBarrier(mem);
+    pstate.assign(nprocs, PerProc{});
+}
+
+std::string
+Lu::checkpointKey() const
+{
+    return "LU/n=" + std::to_string(cfg.n) +
+           "/seed=" + std::to_string(cfg.seed) +
+           "/pfdist=" + std::to_string(cfg.prefetchDistance);
+}
+
+void
+Lu::saveProcessState(unsigned pid, ckpt::Writer &w) const
+{
+    w.u32(pstate[pid].ep);
+}
+
+void
+Lu::loadProcessState(unsigned pid, ckpt::Reader &r)
+{
+    pstate[pid].ep = r.u32();
 }
 
 SimProcess
@@ -72,51 +93,63 @@ Lu::run(Env env)
     const std::uint32_t n = cfg.n;
     const bool pf = env.prefetching();
     const std::uint32_t dist = cfg.prefetchDistance;
+    PerProc &st = pstate[pid];
 
-    co_await env.barrier(barrierAddr, nprocs);
-
-    for (std::uint32_t k = 0; k + 1 < n; ++k) {
-        if (owner(k, nprocs) == pid) {
-            // Normalize column k: divide the subdiagonal by the pivot.
-            double pivot = co_await env.read<double>(elem(k, k));
-            co_await env.compute(12);
-            for (std::uint32_t i = k + 1; i < n; ++i) {
-                if (pf && (i - k - 1) % 2 == 0 && i + dist < n)
-                    co_await env.prefetchEx(elem(i + dist, k));
-                double v = co_await env.read<double>(elem(i, k));
-                co_await env.compute(5);
-                co_await env.write<double>(elem(i, k), v / pivot);
-            }
-            // Publish: release write so every earlier store to the
-            // column is visible before the flag flips.
-            co_await env.writeRelease<std::uint32_t>(flagAddr(k), 1);
-        } else {
-            // Wait for the pivot column to be produced (acquire).
-            co_await env.waitFlag(flagAddr(k), 1);
-        }
-
-        // Apply the pivot column to every owned column to its right.
-        for (std::uint32_t j = k + 1; j < n; ++j) {
-            if (owner(j, nprocs) != pid)
-                continue;
-            double mult = co_await env.read<double>(elem(k, j));
-            co_await env.compute(8);
-            for (std::uint32_t i = k + 1; i < n; ++i) {
-                if (pf && (i - k - 1) % 2 == 0 && i + dist < n) {
-                    // Evenly distributed prefetches: pivot column
-                    // read-shared, owned column read-exclusive.
-                    co_await env.prefetch(elem(i + dist, k));
-                    co_await env.prefetchEx(elem(i + dist, j));
-                }
-                double a = co_await env.read<double>(elem(i, k));
-                double b = co_await env.read<double>(elem(i, j));
-                co_await env.compute(6);
-                co_await env.write<double>(elem(i, j), b - a * mult);
-            }
-        }
+    // Host-side resume dispatch: st.ep counts completed barrier
+    // episodes, written to its post-barrier value *before* the await
+    // (the barrier completion is the checkpoint park point). A fresh
+    // coroutine restored at episode e skips straight past the first e
+    // barriers without issuing any simulated access.
+    if (st.ep < 1) {
+        st.ep = 1;
+        co_await env.barrier(barrierAddr, nprocs);
     }
 
-    co_await env.barrier(barrierAddr, nprocs);
+    if (st.ep < 2) {
+        for (std::uint32_t k = 0; k + 1 < n; ++k) {
+            if (owner(k, nprocs) == pid) {
+                // Normalize column k: divide the subdiagonal by the pivot.
+                double pivot = co_await env.read<double>(elem(k, k));
+                co_await env.compute(12);
+                for (std::uint32_t i = k + 1; i < n; ++i) {
+                    if (pf && (i - k - 1) % 2 == 0 && i + dist < n)
+                        co_await env.prefetchEx(elem(i + dist, k));
+                    double v = co_await env.read<double>(elem(i, k));
+                    co_await env.compute(5);
+                    co_await env.write<double>(elem(i, k), v / pivot);
+                }
+                // Publish: release write so every earlier store to the
+                // column is visible before the flag flips.
+                co_await env.writeRelease<std::uint32_t>(flagAddr(k), 1);
+            } else {
+                // Wait for the pivot column to be produced (acquire).
+                co_await env.waitFlag(flagAddr(k), 1);
+            }
+
+            // Apply the pivot column to every owned column to its right.
+            for (std::uint32_t j = k + 1; j < n; ++j) {
+                if (owner(j, nprocs) != pid)
+                    continue;
+                double mult = co_await env.read<double>(elem(k, j));
+                co_await env.compute(8);
+                for (std::uint32_t i = k + 1; i < n; ++i) {
+                    if (pf && (i - k - 1) % 2 == 0 && i + dist < n) {
+                        // Evenly distributed prefetches: pivot column
+                        // read-shared, owned column read-exclusive.
+                        co_await env.prefetch(elem(i + dist, k));
+                        co_await env.prefetchEx(elem(i + dist, j));
+                    }
+                    double a = co_await env.read<double>(elem(i, k));
+                    double b = co_await env.read<double>(elem(i, j));
+                    co_await env.compute(6);
+                    co_await env.write<double>(elem(i, j), b - a * mult);
+                }
+            }
+        }
+
+        st.ep = 2;
+        co_await env.barrier(barrierAddr, nprocs);
+    }
 }
 
 void

@@ -46,6 +46,13 @@ class Lu : public Workload
     SimProcess run(Env env) override;
     void verify(Machine &m) override;
 
+    // --- barrier-point checkpointing ---
+    bool checkpointable() const override { return true; }
+    std::uint32_t checkpointEpisodes() const override { return 2; }
+    std::string checkpointKey() const override;
+    void saveProcessState(unsigned pid, ckpt::Writer &w) const override;
+    void loadProcessState(unsigned pid, ckpt::Reader &r) override;
+
     /** Owner process of column @p j under interleaved assignment. */
     static unsigned owner(std::uint32_t j, unsigned nprocs)
     {
@@ -64,7 +71,20 @@ class Lu : public Workload
         return flagBase + static_cast<Addr>(j) * lineBytes;
     }
 
+    /**
+     * Persistent per-process state, workload-owned so a checkpoint can
+     * serialize it. Updated to the post-barrier value immediately
+     * before each barrier await (the checkpoint park point); a fresh
+     * coroutine restored from a checkpoint dispatches on it host-side.
+     * ep: barrier episodes completed (1 = initial barrier, 2 = final).
+     */
+    struct PerProc
+    {
+        std::uint32_t ep = 0;
+    };
+
     LuConfig cfg;
+    std::vector<PerProc> pstate;    ///< per-process resume state
     std::vector<Addr> colBase;      ///< per-column base addresses
     Addr flagBase = 0;              ///< produced flags, one line each
     Addr barrierAddr = 0;

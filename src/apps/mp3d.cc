@@ -1,5 +1,6 @@
 #include "apps/mp3d.hh"
 
+#include <bit>
 #include <cmath>
 
 #include "sim/random.hh"
@@ -81,6 +82,36 @@ Mp3d::setup(Machine &m)
     barrierAddr = sync::allocBarrier(mem);
     globalCountAddr = mem.allocRoundRobin(lineBytes);
     mem.store<std::uint32_t>(globalCountAddr, 0);
+
+    pstate.assign(nprocs, PerProc{});
+    for (unsigned p = 0; p < nprocs; ++p)
+        pstate[p].rng = Rng(cfg.seed ^ (0x9e37ull * (p + 1)));
+}
+
+std::string
+Mp3d::checkpointKey() const
+{
+    return "MP3D/p=" + std::to_string(cfg.particles) + "/cells=" +
+           std::to_string(cfg.cellsX) + "x" + std::to_string(cfg.cellsY) +
+           "x" + std::to_string(cfg.cellsZ) +
+           "/steps=" + std::to_string(cfg.steps) +
+           "/seed=" + std::to_string(cfg.seed) + "/cp=" +
+           std::to_string(
+               std::bit_cast<std::uint64_t>(cfg.collideProbability));
+}
+
+void
+Mp3d::saveProcessState(unsigned pid, ckpt::Writer &w) const
+{
+    w.u32(pstate[pid].ep);
+    pstate[pid].rng.saveState(w);
+}
+
+void
+Mp3d::loadProcessState(unsigned pid, ckpt::Reader &r)
+{
+    pstate[pid].ep = r.u32();
+    pstate[pid].rng.loadState(r);
 }
 
 SimProcess
@@ -91,171 +122,194 @@ Mp3d::run(Env env)
     const std::uint32_t mine = particlesOf(pid, nprocs);
     const std::uint32_t ncells = numCells();
     const bool pf = env.prefetching();
-    Rng rng(cfg.seed ^ (0x9e37ull * (pid + 1)));
+    PerProc &st = pstate[pid];
 
     // Cells are scanned in slices during the bookkeeping phases.
     const std::uint32_t slice = (ncells + nprocs - 1) / nprocs;
     const std::uint32_t cell_lo = std::min(pid * slice, ncells);
     const std::uint32_t cell_hi = std::min(cell_lo + slice, ncells);
 
-    co_await env.barrier(barrierAddr, nprocs);
+    // Host-side resume dispatch (see Lu::run): st.ep counts completed
+    // barrier episodes, set to its post-barrier value immediately
+    // before each barrier await. Guards below skip the phases a
+    // checkpoint already completed without issuing a simulated access.
+    if (st.ep < 1) {
+        st.ep = 1;
+        co_await env.barrier(barrierAddr, nprocs);
+    }
 
     for (std::uint32_t step = 0; step < cfg.steps; ++step) {
-        // ---- Phase 1: move every owned particle. ----
-        for (std::uint32_t i = 0; i < mine; ++i) {
-            if (pf) {
-                // Prefetch particle i+2 (read-exclusive: it will be
-                // modified) and the cell of particle i+1 via its stored
-                // cell index (Section 5.2).
-                if (i + 2 < mine) {
-                    Addr p2 = particleAddr(pid, i + 2);
-                    co_await env.prefetchEx(p2);
-                    co_await env.prefetchEx(p2 + lineBytes);
+        const std::uint32_t base = 1 + 5 * step;
+        if (st.ep < base + 1) {
+            // ---- Phase 1: move every owned particle. ----
+            for (std::uint32_t i = 0; i < mine; ++i) {
+                if (pf) {
+                    // Prefetch particle i+2 (read-exclusive: it will be
+                    // modified) and the cell of particle i+1 via its stored
+                    // cell index (Section 5.2).
+                    if (i + 2 < mine) {
+                        Addr p2 = particleAddr(pid, i + 2);
+                        co_await env.prefetchEx(p2);
+                        co_await env.prefetchEx(p2 + lineBytes);
+                    }
+                    if (i + 1 < mine) {
+                        auto c1 = co_await env.read<std::uint32_t>(
+                            particleAddr(pid, i + 1) + pCell);
+                        Addr ca = cellAddr(c1 % ncells);
+                        co_await env.prefetchEx(ca);
+                        co_await env.prefetchEx(ca + lineBytes);
+                        co_await env.prefetchEx(ca + 2 * lineBytes);
+                    }
                 }
-                if (i + 1 < mine) {
-                    auto c1 = co_await env.read<std::uint32_t>(
-                        particleAddr(pid, i + 1) + pCell);
-                    Addr ca = cellAddr(c1 % ncells);
-                    co_await env.prefetchEx(ca);
-                    co_await env.prefetchEx(ca + lineBytes);
-                    co_await env.prefetchEx(ca + 2 * lineBytes);
+
+                const Addr a = particleAddr(pid, i);
+                co_await env.compute(12);  // loop and address arithmetic
+                float x = co_await env.read<float>(a + pX);
+                float y = co_await env.read<float>(a + pY);
+                float z = co_await env.read<float>(a + pZ);
+                float vx = co_await env.read<float>(a + pVx);
+                float vy = co_await env.read<float>(a + pVy);
+                float vz = co_await env.read<float>(a + pVz);
+                (void)co_await env.read<std::uint32_t>(a + pCell);
+                co_await env.compute(24);  // advance along velocity vector
+
+                auto wrap = [](float v, float max) {
+                    while (v < 0.0f)
+                        v += max;
+                    while (v >= max)
+                        v -= max;
+                    return v;
+                };
+                x = wrap(x + vx, static_cast<float>(cfg.cellsX));
+                y = wrap(y + vy, static_cast<float>(cfg.cellsY));
+                z = wrap(z + vz, static_cast<float>(cfg.cellsZ));
+                co_await env.write<float>(a + pX, x);
+                co_await env.write<float>(a + pY, y);
+                co_await env.write<float>(a + pZ, z);
+
+                co_await env.compute(10);  // cell-index computation
+                std::uint32_t c =
+                    (static_cast<std::uint32_t>(z) * cfg.cellsY +
+                     static_cast<std::uint32_t>(y)) *
+                        cfg.cellsX +
+                    static_cast<std::uint32_t>(x);
+                c %= ncells;
+                co_await env.write<std::uint32_t>(a + pCell, c);
+
+                // Space-cell interaction: the collision model needs the
+                // cell's reservoir velocity and occupancy either way.
+                // Per-cell statistics are updated without locks, exactly
+                // like the real MP3D (which tolerates the occasional lost
+                // update). The racy annotations are what make the program
+                // "properly labeled": every competing access is marked, so
+                // the happens-before race detector knows these conflicts
+                // are intentional. cObj is read-only during the run and
+                // needs no label.
+                const Addr ca = cellAddr(c);
+                auto cnt = co_await env.readRacy<std::uint32_t>(ca + cCount);
+                auto obj = co_await env.read<std::uint32_t>(ca + cObj);
+                float rvx = co_await env.readRacy<float>(ca + cResVx);
+                float rvy = co_await env.readRacy<float>(ca + cResVy);
+                float rvz = co_await env.readRacy<float>(ca + cResVz);
+                (void)co_await env.readRacy<std::uint32_t>(ca + cColl);
+                co_await env.compute(16);
+
+                if (obj) {
+                    // Specular reflection off the object: reverse velocity.
+                    co_await env.compute(8);
+                    vx = -vx;
+                    vy = -vy;
+                    vz = -vz;
+                } else if (st.rng.chance(cfg.collideProbability)) {
+                    // Probabilistic collision with the cell's reservoir
+                    // particle: exchange velocities (momentum conserving).
+                    co_await env.compute(20);
+                    co_await env.writeRacy<float>(ca + cResVx, vx);
+                    co_await env.writeRacy<float>(ca + cResVy, vy);
+                    co_await env.writeRacy<float>(ca + cResVz, vz);
+                    auto coll =
+                        co_await env.readRacy<std::uint32_t>(ca + cColl);
+                    co_await env.writeRacy<std::uint32_t>(ca + cColl,
+                                                          coll + 1);
+                    vx = rvx;
+                    vy = rvy;
+                    vz = rvz;
+                }
+
+                // Write back the (possibly unchanged) velocity - the real
+                // code recomputes it every step - and accumulate the cell
+                // statistics.
+                co_await env.write<float>(a + pVx, vx);
+                co_await env.write<float>(a + pVy, vy);
+                co_await env.write<float>(a + pVz, vz);
+                float sx = co_await env.readRacy<float>(ca + cSumVx);
+                float sy = co_await env.readRacy<float>(ca + cSumVy);
+                float sz2 = co_await env.readRacy<float>(ca + cSumVz);
+                co_await env.compute(12);
+                co_await env.writeRacy<std::uint32_t>(ca + cCount, cnt + 1);
+                co_await env.writeRacy<float>(ca + cSumVx, sx + vx);
+                co_await env.writeRacy<float>(ca + cSumVy, sy + vy);
+                co_await env.writeRacy<float>(ca + cSumVz, sz2 + vz);
+            }
+            st.ep = base + 1;
+            co_await env.barrier(barrierAddr, nprocs);
+        }
+
+        if (st.ep < base + 2) {
+            // ---- Phase 2: reservoir relaxation over a cell slice. ----
+            for (std::uint32_t c = cell_lo; c < cell_hi; ++c) {
+                Addr ca = cellAddr(c);
+                float rvx = co_await env.read<float>(ca + cResVx);
+                float rvy = co_await env.read<float>(ca + cResVy);
+                co_await env.compute(10);
+                co_await env.write<float>(ca + cResVx, 0.9f * rvx);
+                co_await env.write<float>(ca + cResVy, 0.9f * rvy);
+            }
+            st.ep = base + 2;
+            co_await env.barrier(barrierAddr, nprocs);
+        }
+
+        if (st.ep < base + 3) {
+            // ---- Phase 3: boundary-condition refresh (object cells). ----
+            for (std::uint32_t c = cell_lo; c < cell_hi; ++c) {
+                Addr ca = cellAddr(c);
+                auto obj = co_await env.read<std::uint32_t>(ca + cObj);
+                co_await env.compute(4);
+                if (obj) {
+                    auto coll = co_await env.read<std::uint32_t>(ca + cColl);
+                    co_await env.compute(6);
+                    co_await env.write<std::uint32_t>(ca + cColl, coll);
                 }
             }
-
-            const Addr a = particleAddr(pid, i);
-            co_await env.compute(12);  // loop and address arithmetic
-            float x = co_await env.read<float>(a + pX);
-            float y = co_await env.read<float>(a + pY);
-            float z = co_await env.read<float>(a + pZ);
-            float vx = co_await env.read<float>(a + pVx);
-            float vy = co_await env.read<float>(a + pVy);
-            float vz = co_await env.read<float>(a + pVz);
-            (void)co_await env.read<std::uint32_t>(a + pCell);
-            co_await env.compute(24);  // advance along velocity vector
-
-            auto wrap = [](float v, float max) {
-                while (v < 0.0f)
-                    v += max;
-                while (v >= max)
-                    v -= max;
-                return v;
-            };
-            x = wrap(x + vx, static_cast<float>(cfg.cellsX));
-            y = wrap(y + vy, static_cast<float>(cfg.cellsY));
-            z = wrap(z + vz, static_cast<float>(cfg.cellsZ));
-            co_await env.write<float>(a + pX, x);
-            co_await env.write<float>(a + pY, y);
-            co_await env.write<float>(a + pZ, z);
-
-            co_await env.compute(10);  // cell-index computation
-            std::uint32_t c =
-                (static_cast<std::uint32_t>(z) * cfg.cellsY +
-                 static_cast<std::uint32_t>(y)) *
-                    cfg.cellsX +
-                static_cast<std::uint32_t>(x);
-            c %= ncells;
-            co_await env.write<std::uint32_t>(a + pCell, c);
-
-            // Space-cell interaction: the collision model needs the
-            // cell's reservoir velocity and occupancy either way.
-            // Per-cell statistics are updated without locks, exactly
-            // like the real MP3D (which tolerates the occasional lost
-            // update). The racy annotations are what make the program
-            // "properly labeled": every competing access is marked, so
-            // the happens-before race detector knows these conflicts
-            // are intentional. cObj is read-only during the run and
-            // needs no label.
-            const Addr ca = cellAddr(c);
-            auto cnt = co_await env.readRacy<std::uint32_t>(ca + cCount);
-            auto obj = co_await env.read<std::uint32_t>(ca + cObj);
-            float rvx = co_await env.readRacy<float>(ca + cResVx);
-            float rvy = co_await env.readRacy<float>(ca + cResVy);
-            float rvz = co_await env.readRacy<float>(ca + cResVz);
-            (void)co_await env.readRacy<std::uint32_t>(ca + cColl);
-            co_await env.compute(16);
-
-            if (obj) {
-                // Specular reflection off the object: reverse velocity.
-                co_await env.compute(8);
-                vx = -vx;
-                vy = -vy;
-                vz = -vz;
-            } else if (rng.chance(cfg.collideProbability)) {
-                // Probabilistic collision with the cell's reservoir
-                // particle: exchange velocities (momentum conserving).
-                co_await env.compute(20);
-                co_await env.writeRacy<float>(ca + cResVx, vx);
-                co_await env.writeRacy<float>(ca + cResVy, vy);
-                co_await env.writeRacy<float>(ca + cResVz, vz);
-                auto coll =
-                    co_await env.readRacy<std::uint32_t>(ca + cColl);
-                co_await env.writeRacy<std::uint32_t>(ca + cColl,
-                                                      coll + 1);
-                vx = rvx;
-                vy = rvy;
-                vz = rvz;
-            }
-
-            // Write back the (possibly unchanged) velocity - the real
-            // code recomputes it every step - and accumulate the cell
-            // statistics.
-            co_await env.write<float>(a + pVx, vx);
-            co_await env.write<float>(a + pVy, vy);
-            co_await env.write<float>(a + pVz, vz);
-            float sx = co_await env.readRacy<float>(ca + cSumVx);
-            float sy = co_await env.readRacy<float>(ca + cSumVy);
-            float sz2 = co_await env.readRacy<float>(ca + cSumVz);
-            co_await env.compute(12);
-            co_await env.writeRacy<std::uint32_t>(ca + cCount, cnt + 1);
-            co_await env.writeRacy<float>(ca + cSumVx, sx + vx);
-            co_await env.writeRacy<float>(ca + cSumVy, sy + vy);
-            co_await env.writeRacy<float>(ca + cSumVz, sz2 + vz);
+            st.ep = base + 3;
+            co_await env.barrier(barrierAddr, nprocs);
         }
-        co_await env.barrier(barrierAddr, nprocs);
 
-        // ---- Phase 2: reservoir relaxation over a cell slice. ----
-        for (std::uint32_t c = cell_lo; c < cell_hi; ++c) {
-            Addr ca = cellAddr(c);
-            float rvx = co_await env.read<float>(ca + cResVx);
-            float rvy = co_await env.read<float>(ca + cResVy);
-            co_await env.compute(10);
-            co_await env.write<float>(ca + cResVx, 0.9f * rvx);
-            co_await env.write<float>(ca + cResVy, 0.9f * rvy);
-        }
-        co_await env.barrier(barrierAddr, nprocs);
-
-        // ---- Phase 3: boundary-condition refresh (object cells). ----
-        for (std::uint32_t c = cell_lo; c < cell_hi; ++c) {
-            Addr ca = cellAddr(c);
-            auto obj = co_await env.read<std::uint32_t>(ca + cObj);
+        if (st.ep < base + 4) {
+            // ---- Phase 4: reset the global particle counter. ----
+            if (pid == 0)
+                co_await env.write<std::uint32_t>(globalCountAddr, 0);
             co_await env.compute(4);
-            if (obj) {
-                auto coll = co_await env.read<std::uint32_t>(ca + cColl);
+            st.ep = base + 4;
+            co_await env.barrier(barrierAddr, nprocs);
+        }
+
+        if (st.ep < base + 5) {
+            // ---- Phase 5: gather per-cell statistics and reset counts. ----
+            std::uint32_t local_count = 0;
+            for (std::uint32_t c = cell_lo; c < cell_hi; ++c) {
+                Addr ca = cellAddr(c);
+                auto cnt = co_await env.read<std::uint32_t>(ca + cCount);
+                local_count += cnt;
                 co_await env.compute(6);
-                co_await env.write<std::uint32_t>(ca + cColl, coll);
+                co_await env.write<std::uint32_t>(ca + cCount, 0);
+                co_await env.write<float>(ca + cSumVx, 0.0f);
+                co_await env.write<float>(ca + cSumVy, 0.0f);
             }
+            co_await env.fetchAdd(globalCountAddr, local_count);
+            st.ep = base + 5;
+            co_await env.barrier(barrierAddr, nprocs);
         }
-        co_await env.barrier(barrierAddr, nprocs);
-
-        // ---- Phase 4: reset the global particle counter. ----
-        if (pid == 0)
-            co_await env.write<std::uint32_t>(globalCountAddr, 0);
-        co_await env.compute(4);
-        co_await env.barrier(barrierAddr, nprocs);
-
-        // ---- Phase 5: gather per-cell statistics and reset counts. ----
-        std::uint32_t local_count = 0;
-        for (std::uint32_t c = cell_lo; c < cell_hi; ++c) {
-            Addr ca = cellAddr(c);
-            auto cnt = co_await env.read<std::uint32_t>(ca + cCount);
-            local_count += cnt;
-            co_await env.compute(6);
-            co_await env.write<std::uint32_t>(ca + cCount, 0);
-            co_await env.write<float>(ca + cSumVx, 0.0f);
-            co_await env.write<float>(ca + cSumVy, 0.0f);
-        }
-        co_await env.fetchAdd(globalCountAddr, local_count);
-        co_await env.barrier(barrierAddr, nprocs);
     }
 }
 

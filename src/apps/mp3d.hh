@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/machine.hh"
+#include "sim/random.hh"
 
 namespace dashsim {
 
@@ -50,6 +51,19 @@ class Mp3d : public Workload
     void setup(Machine &m) override;
     SimProcess run(Env env) override;
     void verify(Machine &m) override;
+
+    // --- barrier-point checkpointing ---
+    bool checkpointable() const override { return true; }
+
+    /** One initial barrier plus five per time step. */
+    std::uint32_t checkpointEpisodes() const override
+    {
+        return 1 + 5 * cfg.steps;
+    }
+
+    std::string checkpointKey() const override;
+    void saveProcessState(unsigned pid, ckpt::Writer &w) const override;
+    void loadProcessState(unsigned pid, ckpt::Reader &r) override;
 
     /** Particle record: 32 bytes, two cache lines. */
     static constexpr unsigned particleBytes = 32;
@@ -87,7 +101,22 @@ class Mp3d : public Workload
         return per + (pid < extra ? 1 : 0);
     }
 
+    /**
+     * Persistent per-process state, workload-owned for checkpointing.
+     * ep counts completed barrier episodes (see run() for the layout:
+     * 1 after the initial barrier, then +1 per phase barrier) and is
+     * set to its post-barrier value immediately before each barrier
+     * await. The collision RNG lives here rather than as a coroutine
+     * local so its consumed-stream position survives a checkpoint.
+     */
+    struct PerProc
+    {
+        std::uint32_t ep = 0;
+        Rng rng;
+    };
+
     Mp3dConfig cfg;
+    std::vector<PerProc> pstate;     ///< per-process resume state
     std::vector<Addr> particleBase;  ///< per-process particle arrays
     Addr cellBase = 0;
     Addr barrierAddr = 0;

@@ -178,6 +178,44 @@ Pthor::setup(Machine &m)
     barrierAddr = sync::allocBarrier(mem);
     anyWorkAddr = mem.allocRoundRobin(lineBytes);
     mem.store<std::uint32_t>(anyWorkAddr, 0);
+
+    pstate.assign(nprocs, PerProc{});
+    for (unsigned p = 0; p < nprocs; ++p)
+        pstate[p].stim = Rng(cfg.seed ^ (0xabcdull + p));
+}
+
+std::string
+Pthor::checkpointKey() const
+{
+    return "PTHOR/n=" + std::to_string(cfg.elements) +
+           "/ff=" + std::to_string(cfg.flipflops) +
+           "/in=" + std::to_string(cfg.primaryInputs) +
+           "/lvl=" + std::to_string(cfg.levels) +
+           "/cyc=" + std::to_string(cfg.clockCycles) +
+           "/fan=" + std::to_string(cfg.maxFanout) +
+           "/qcap=" + std::to_string(cfg.queueCapacity) +
+           "/qpp=" + std::to_string(cfg.queuesPerProcess) +
+           "/polls=" + std::to_string(cfg.idlePolls) +
+           "/steal=" + std::to_string(cfg.workStealing ? 1 : 0) +
+           "/seed=" + std::to_string(cfg.seed);
+}
+
+void
+Pthor::saveProcessState(unsigned pid, ckpt::Writer &w) const
+{
+    const PerProc &st = pstate[pid];
+    w.u8(static_cast<std::uint8_t>(st.pt));
+    w.u32(st.cycle);
+    st.stim.saveState(w);
+}
+
+void
+Pthor::loadProcessState(unsigned pid, ckpt::Reader &r)
+{
+    PerProc &st = pstate[pid];
+    st.pt = static_cast<ResumePoint>(r.u8());
+    st.cycle = r.u32();
+    st.stim.loadState(r);
 }
 
 SimProcess
@@ -187,7 +225,15 @@ Pthor::run(Env env)
     const unsigned nprocs = env.nprocs();
     const std::uint32_t n = cfg.elements;
     const bool pf = env.prefetching();
-    Rng stimulus(cfg.seed ^ (0xabcdull + pid));
+    // Host-side resume dispatch: rpt is the point this process parked
+    // at when the checkpoint was taken (PtStart for a fresh run). On
+    // the first pass, sections that already executed before the parked
+    // barrier are skipped without issuing any simulated access; rpt is
+    // reset once every resume point has been passed. The state is
+    // written to its post-barrier value *before* each barrier await
+    // (barrier completion is the checkpoint park point).
+    PerProc &st = pstate[pid];
+    ResumePoint rpt = st.pt;
 
     auto addr = [&](std::uint32_t e) { return elemAddr(e, nprocs); };
     auto naddr = [&](std::uint32_t e) { return netAddr(e); };
@@ -279,46 +325,60 @@ Pthor::run(Env env)
             co_await env.unlock(a + eLock);
     };
 
-    co_await env.barrier(barrierAddr, nprocs);
-
-    for (std::uint32_t cycle = 0; cycle < cfg.clockCycles; ++cycle) {
-        // ---- Clock edge, phase A: sample all FF D-inputs. ----
-        for (std::uint32_t e = pid; e < n; e += nprocs) {
-            if (net[e].type != FF)
-                continue;
-            Addr a = addr(e);
-            auto d = co_await env.read<std::uint32_t>(a + eIn0);
-            auto v = co_await env.read<std::uint32_t>(naddr(d) + nValue);
-            co_await env.compute(4);
-            co_await env.write<std::uint32_t>(a + eNext, v);
-        }
+    if (rpt == PtStart) {
+        st.pt = PtInit;
         co_await env.barrier(barrierAddr, nprocs);
+    }
 
-        // ---- Clock edge, phase B: commit FF outputs and the stimulus,
-        //      activating fanout of everything that changed. ----
-        for (std::uint32_t e = pid; e < n; e += nprocs) {
-            GateType t = net[e].type;
-            if (t != FF && t != INPUT)
-                continue;
-            Addr a = addr(e);
-            std::uint32_t nv;
-            if (t == FF) {
-                nv = co_await env.read<std::uint32_t>(a + eNext);
-            } else {
-                nv = static_cast<std::uint32_t>(stimulus.below(2));
-                co_await env.compute(2);
+    for (std::uint32_t cycle = st.cycle; cycle < cfg.clockCycles;
+         ++cycle) {
+        if (rpt != PtSample && rpt != PtT1 && rpt != PtT2 &&
+            rpt != PtT3) {
+            // ---- Clock edge, phase A: sample all FF D-inputs. ----
+            for (std::uint32_t e = pid; e < n; e += nprocs) {
+                if (net[e].type != FF)
+                    continue;
+                Addr a = addr(e);
+                auto d = co_await env.read<std::uint32_t>(a + eIn0);
+                auto v =
+                    co_await env.read<std::uint32_t>(naddr(d) + nValue);
+                co_await env.compute(4);
+                co_await env.write<std::uint32_t>(a + eNext, v);
             }
-            auto old = co_await env.read<std::uint32_t>(a + eState);
-            co_await env.compute(4);
-            if (nv != old) {
-                co_await env.write<std::uint32_t>(a + eState, nv);
-                co_await env.write<std::uint32_t>(naddr(e) + nValue, nv);
-                auto nf = co_await env.read<std::uint32_t>(a + eNFan);
-                for (std::uint32_t f = 0; f < nf; ++f) {
-                    auto tgt = co_await env.read<std::uint32_t>(
-                        a + eFan + 4 * f);
-                    co_await env.compute(4);
-                    co_await activate(tgt);
+            st.pt = PtSample;
+            co_await env.barrier(barrierAddr, nprocs);
+        }
+
+        if (rpt != PtT1 && rpt != PtT2 && rpt != PtT3) {
+            // ---- Clock edge, phase B: commit FF outputs and the
+            //      stimulus, activating fanout of everything that
+            //      changed. ----
+            for (std::uint32_t e = pid; e < n; e += nprocs) {
+                GateType t = net[e].type;
+                if (t != FF && t != INPUT)
+                    continue;
+                Addr a = addr(e);
+                std::uint32_t nv;
+                if (t == FF) {
+                    nv = co_await env.read<std::uint32_t>(a + eNext);
+                } else {
+                    nv = static_cast<std::uint32_t>(st.stim.below(2));
+                    co_await env.compute(2);
+                }
+                auto old = co_await env.read<std::uint32_t>(a + eState);
+                co_await env.compute(4);
+                if (nv != old) {
+                    co_await env.write<std::uint32_t>(a + eState, nv);
+                    co_await env.write<std::uint32_t>(naddr(e) + nValue,
+                                                      nv);
+                    auto nf =
+                        co_await env.read<std::uint32_t>(a + eNFan);
+                    for (std::uint32_t f = 0; f < nf; ++f) {
+                        auto tgt = co_await env.read<std::uint32_t>(
+                            a + eFan + 4 * f);
+                        co_await env.compute(4);
+                        co_await activate(tgt);
+                    }
                 }
             }
         }
@@ -326,84 +386,102 @@ Pthor::run(Env env)
         // ---- Event-processing loop with barrier-based termination. ----
         bool cycle_done = false;
         while (!cycle_done) {
-            // Drain our own task queues round-robin.
-            bool drained_any = true;
-            while (drained_any) {
-                drained_any = false;
-                for (std::uint32_t q = 0; q < nq; ++q) {
-                    std::uint64_t item = 0;
-                    bool ok = false;
-                    co_await sync::pop(env, qref(pid, q), item, ok);
-                    if (ok) {
-                        co_await evaluate(
-                            static_cast<std::uint32_t>(item));
-                        drained_any = true;
-                    }
-                }
-            }
-
-            // Out of tasks: spin on the task queues until new work is
-            // scheduled. The spinning shows up as busy time (Section
-            // 2.2); only after several fruitless polls do we fall into
-            // a termination-detection round.
-            bool worked = false;
-            for (std::uint32_t sweep = 0;
-                 sweep < cfg.idlePolls && !worked; ++sweep) {
-                if (cfg.workStealing) {
-                    for (unsigned v = 1; v < nprocs && !worked; ++v) {
-                        unsigned victim = (pid + v) % nprocs;
-                        std::uint32_t len = 0;
-                        co_await sync::lengthEstimate(
-                            env, qref(victim, pid), len);
-                        co_await env.compute(8);
-                        if (!len)
-                            continue;
+            if (rpt != PtT1 && rpt != PtT2 && rpt != PtT3) {
+                // Drain our own task queues round-robin.
+                bool drained_any = true;
+                while (drained_any) {
+                    drained_any = false;
+                    for (std::uint32_t q = 0; q < nq; ++q) {
                         std::uint64_t item = 0;
                         bool ok = false;
-                        co_await sync::pop(env, qref(victim, pid), item,
-                                           ok);
+                        co_await sync::pop(env, qref(pid, q), item, ok);
                         if (ok) {
                             co_await evaluate(
                                 static_cast<std::uint32_t>(item));
-                            worked = true;
+                            drained_any = true;
                         }
                     }
                 }
-                // Poll our own queues (busy-wait loop).
-                for (std::uint32_t q = 0; q < nq; ++q) {
-                    std::uint32_t own = 0;
-                    co_await sync::lengthEstimate(env, qref(pid, q),
-                                                  own);
-                    co_await env.compute(10);
-                    if (own)
-                        worked = true;
+
+                // Out of tasks: spin on the task queues until new work
+                // is scheduled. The spinning shows up as busy time
+                // (Section 2.2); only after several fruitless polls do
+                // we fall into a termination-detection round.
+                bool worked = false;
+                for (std::uint32_t sweep = 0;
+                     sweep < cfg.idlePolls && !worked; ++sweep) {
+                    if (cfg.workStealing) {
+                        for (unsigned v = 1; v < nprocs && !worked;
+                             ++v) {
+                            unsigned victim = (pid + v) % nprocs;
+                            std::uint32_t len = 0;
+                            co_await sync::lengthEstimate(
+                                env, qref(victim, pid), len);
+                            co_await env.compute(8);
+                            if (!len)
+                                continue;
+                            std::uint64_t item = 0;
+                            bool ok = false;
+                            co_await sync::pop(env, qref(victim, pid),
+                                               item, ok);
+                            if (ok) {
+                                co_await evaluate(
+                                    static_cast<std::uint32_t>(item));
+                                worked = true;
+                            }
+                        }
+                    }
+                    // Poll our own queues (busy-wait loop).
+                    for (std::uint32_t q = 0; q < nq; ++q) {
+                        std::uint32_t own = 0;
+                        co_await sync::lengthEstimate(env, qref(pid, q),
+                                                      own);
+                        co_await env.compute(10);
+                        if (own)
+                            worked = true;
+                    }
                 }
+                if (worked)
+                    continue;
             }
-            if (worked)
-                continue;
 
             // Termination round (three barriers; Table 2's barrier
             // count comes mostly from here).
-            co_await env.barrier(barrierAddr, nprocs);
-            if (pid == 0)
-                co_await env.write<std::uint32_t>(anyWorkAddr, 0);
-            co_await env.barrier(barrierAddr, nprocs);
-            std::uint32_t pending = 0;
-            for (std::uint32_t q = 0; q < nq; ++q) {
-                std::uint32_t len = 0;
-                co_await sync::lengthEstimate(env, qref(pid, q), len);
-                pending += len;
+            if (rpt != PtT1 && rpt != PtT2 && rpt != PtT3) {
+                st.pt = PtT1;
+                co_await env.barrier(barrierAddr, nprocs);
             }
-            // Every process with pending work raises the same flag;
-            // the concurrent same-value stores are deliberate (labeled
-            // racy), saving a lock on the hot termination path.
-            if (pending)
-                co_await env.writeRacy<std::uint32_t>(anyWorkAddr, 1);
-            co_await env.barrier(barrierAddr, nprocs);
+            if (rpt != PtT2 && rpt != PtT3) {
+                if (pid == 0)
+                    co_await env.write<std::uint32_t>(anyWorkAddr, 0);
+                st.pt = PtT2;
+                co_await env.barrier(barrierAddr, nprocs);
+            }
+            if (rpt != PtT3) {
+                std::uint32_t pending = 0;
+                for (std::uint32_t q = 0; q < nq; ++q) {
+                    std::uint32_t len = 0;
+                    co_await sync::lengthEstimate(env, qref(pid, q),
+                                                  len);
+                    pending += len;
+                }
+                // Every process with pending work raises the same
+                // flag; the concurrent same-value stores are
+                // deliberate (labeled racy), saving a lock on the hot
+                // termination path.
+                if (pending)
+                    co_await env.writeRacy<std::uint32_t>(anyWorkAddr,
+                                                          1);
+                st.pt = PtT3;
+                co_await env.barrier(barrierAddr, nprocs);
+            }
+            rpt = PtStart;  // every resume point has been passed
             auto any = co_await env.read<std::uint32_t>(anyWorkAddr);
             if (!any)
                 cycle_done = true;
         }
+        st.pt = PtCycleEnd;
+        st.cycle = cycle + 1;
         co_await env.barrier(barrierAddr, nprocs);
     }
 }

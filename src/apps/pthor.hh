@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/machine.hh"
+#include "sim/random.hh"
 #include "tango/sync.hh"
 
 namespace dashsim {
@@ -70,6 +71,24 @@ class Pthor : public Workload
     void setup(Machine &m) override;
     SimProcess run(Env env) override;
     void verify(Machine &m) override;
+
+    // --- barrier-point checkpointing ---
+    bool checkpointable() const override { return true; }
+
+    /**
+     * Conservative minimum: one initial barrier plus, per clock cycle,
+     * the FF-sampling barrier, one termination round (three barriers),
+     * and the cycle-end barrier. Extra termination rounds only add
+     * barriers, so every episode in [1, this] is guaranteed to occur.
+     */
+    std::uint32_t checkpointEpisodes() const override
+    {
+        return 1 + 5 * cfg.clockCycles;
+    }
+
+    std::string checkpointKey() const override;
+    void saveProcessState(unsigned pid, ckpt::Writer &w) const override;
+    void loadProcessState(unsigned pid, ckpt::Reader &r) override;
 
     /** Element record: 80 bytes, five cache lines. */
     static constexpr unsigned elemBytes = 80;
@@ -134,7 +153,37 @@ class Pthor : public Workload
 
     void buildCircuit();
 
+    /**
+     * Resume points: where a checkpointed process continues. Each is
+     * named for the barrier whose completion it follows and is written
+     * to the per-process state immediately before that barrier await
+     * (barrier completion is the checkpoint park point).
+     */
+    enum ResumePoint : std::uint8_t
+    {
+        PtStart = 0,  ///< fresh run: before the initial barrier
+        PtInit,       ///< initial barrier completed
+        PtSample,     ///< FF-sampling (phase A) barrier completed
+        PtT1,         ///< termination-round barrier 1 completed
+        PtT2,         ///< termination-round barrier 2 completed
+        PtT3,         ///< termination-round barrier 3 completed
+        PtCycleEnd,   ///< cycle-end barrier completed (cycle bumped)
+    };
+
+    /**
+     * Persistent per-process state, workload-owned for checkpointing.
+     * The stimulus RNG lives here rather than as a coroutine local so
+     * its consumed-stream position survives a checkpoint.
+     */
+    struct PerProc
+    {
+        ResumePoint pt = PtStart;
+        std::uint32_t cycle = 0;  ///< next clock cycle to run
+        Rng stim;                 ///< primary-input stimulus stream
+    };
+
     PthorConfig cfg;
+    std::vector<PerProc> pstate;         ///< per-process resume state
     std::vector<HostElem> net;
     std::vector<Addr> elemBase;          ///< per-process element arrays
     Addr netBase = 0;                    ///< net records, round-robin

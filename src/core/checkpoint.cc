@@ -1,0 +1,133 @@
+#include "core/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "core/machine.hh"
+
+namespace dashsim::ckpt {
+
+std::uint64_t
+fnv1a(const void *p, std::size_t n, std::uint64_t h)
+{
+    const auto *b = static_cast<const std::uint8_t *>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= b[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+bool
+writeFile(const std::string &path, const std::vector<std::uint8_t> &blob)
+{
+    // Per-thread temp name: concurrent batch jobs that miss on the same
+    // key each write their own temp file; the renames are atomic and
+    // the blobs are byte-identical, so last-rename-wins is harmless.
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+            std::this_thread::get_id()));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            warn("checkpoint: cannot open %s for writing", tmp.c_str());
+            return false;
+        }
+        os.write(reinterpret_cast<const char *>(blob.data()),
+                 static_cast<std::streamsize>(blob.size()));
+        if (!os) {
+            warn("checkpoint: short write to %s", tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("checkpoint: rename %s -> %s failed", tmp.c_str(),
+             path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is)
+        return false;
+    const auto size = is.tellg();
+    if (size < 0)
+        return false;
+    out.resize(static_cast<std::size_t>(size));
+    is.seekg(0);
+    is.read(reinterpret_cast<char *>(out.data()),
+            static_cast<std::streamsize>(out.size()));
+    return static_cast<bool>(is);
+}
+
+} // namespace dashsim::ckpt
+
+namespace dashsim {
+
+std::uint64_t
+configHash(const MachineConfig &cfg)
+{
+    // Every field that changes simulated behavior goes into the hash in
+    // a fixed order. Observability and checker settings are *excluded*:
+    // results are byte-identical across them by construction, so a
+    // checkpoint captured with them off is valid for any of those
+    // settings a warm-started run is eligible under (eligibility
+    // independently requires them off).
+    ckpt::Writer w;
+    const MemConfig &m = cfg.mem;
+    w.u32(m.numNodes);
+    w.u32(m.primary.sizeBytes);
+    w.u32(m.primary.ways);
+    w.u32(m.secondary.sizeBytes);
+    w.u32(m.secondary.ways);
+    w.u32(m.writeBufferDepth);
+    w.u32(m.prefetchBufferDepth);
+    w.u32(m.mshrs);
+    w.u8(m.cacheSharedData ? 1 : 0);
+    const LatencyConfig &l = m.lat;
+    w.u64(l.readPrimaryHit);
+    w.u64(l.readSecondary);
+    w.u64(l.readLocal);
+    w.u64(l.readHome);
+    w.u64(l.readRemote);
+    w.u64(l.writeSecondary);
+    w.u64(l.writeLocal);
+    w.u64(l.writeHome);
+    w.u64(l.writeRemote);
+    w.u64(l.busOccupancy);
+    w.u64(l.busCtlOccupancy);
+    w.u64(l.dirOccupancy);
+    w.u64(l.netDataOccupancy);
+    w.u64(l.netCtlOccupancy);
+    w.u64(l.netHop);
+    w.u8(l.mesh ? 1 : 0);
+    w.u64(l.meshBase);
+    w.u64(l.meshPerHop);
+    w.u64(l.invalAckLatency);
+    w.u64(l.uncachedDiscount);
+    w.u64(l.primaryFillBusy);
+    const CpuConfig &c = cfg.cpu;
+    w.u8(static_cast<std::uint8_t>(c.consistency));
+    w.u32(c.numContexts);
+    w.u64(c.switchCycles);
+    w.u8(c.prefetch ? 1 : 0);
+    w.u64(c.switchThreshold);
+    w.u64(c.prefetchIssueCost);
+    // cpu.fastPath and cpu.fastPathFuzzSeed are deliberately excluded:
+    // the fast path is byte-identical by construction, so one
+    // checkpoint serves both settings (fastpath_diff_test relies on
+    // this when it byte-compares warm-started runs across the knob).
+    // cfg.shards is excluded too: checkpoints require the sequential
+    // kernel, and eligibility enforces that separately.
+    return ckpt::fnv1a(w.data().data(), w.data().size());
+}
+
+} // namespace dashsim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Barrier-point checkpoint serialization: a small, explicit binary
+ * format (little-endian, tagged sections) used by Machine::captureRun /
+ * Machine::resumeRun to save a quiescent machine + workload state and
+ * warm-start later runs that share the same configuration prefix.
+ *
+ * The format is deliberately dumb: fixed-width scalars written in call
+ * order, with u32 section tags sprinkled in so that a reader/writer
+ * mismatch fails loudly at the first divergent tag instead of
+ * misinterpreting bytes. Checkpoints are an on-disk cache keyed by
+ * (workload key, config hash); any format change bumps ckptVersion and
+ * silently invalidates old files.
+ */
+
+#ifndef CORE_CHECKPOINT_HH
+#define CORE_CHECKPOINT_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace dashsim::ckpt {
+
+/** Bump on any layout change; readers reject other versions. */
+inline constexpr std::uint32_t ckptVersion = 1;
+
+/** Magic number leading every checkpoint blob ("DSCK"). */
+inline constexpr std::uint32_t ckptMagic = 0x4453434bu;
+
+/** Append-only little-endian scalar writer. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf.push_back(v); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf.insert(buf.end(), b, b + n);
+    }
+
+    /** Section marker; the Reader asserts it back with expect(). */
+    void tag(std::uint32_t t) { u32(t); }
+
+    const std::vector<std::uint8_t> &data() const { return buf; }
+    std::vector<std::uint8_t> take() { return std::move(buf); }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/** Bounds-checked reader over a checkpoint blob; fatal on overrun. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *p, std::size_t n) : p(p), end(p + n) {}
+
+    explicit Reader(const std::vector<std::uint8_t> &v)
+        : Reader(v.data(), v.size())
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return *p++;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(*p++) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(*p++) << (8 * i);
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        return s;
+    }
+
+    void
+    bytes(void *out, std::size_t n)
+    {
+        need(n);
+        std::memcpy(out, p, n);
+        p += n;
+    }
+
+    /** Assert the next u32 equals @p t (section-tag cross-check). */
+    void
+    expect(std::uint32_t t)
+    {
+        std::uint32_t got = u32();
+        fatal_if(got != t,
+                 "checkpoint section tag mismatch: want %#x got %#x", t,
+                 got);
+    }
+
+    bool done() const { return p == end; }
+    std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        fatal_if(static_cast<std::size_t>(end - p) < n,
+                 "checkpoint blob truncated (need %zu, have %zu)", n,
+                 static_cast<std::size_t>(end - p));
+    }
+
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+};
+
+/** FNV-1a over @p n bytes, chained through @p h. */
+std::uint64_t fnv1a(const void *p, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ULL);
+
+/**
+ * Write @p blob to @p path atomically (temp file + rename), so a
+ * concurrent reader never sees a half-written checkpoint. Returns false
+ * (with a warn) on I/O error.
+ */
+bool writeFile(const std::string &path,
+               const std::vector<std::uint8_t> &blob);
+
+/** Read @p path into @p out; false if missing or unreadable. */
+bool readFile(const std::string &path, std::vector<std::uint8_t> &out);
+
+} // namespace dashsim::ckpt
+
+#endif // CORE_CHECKPOINT_HH

@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -155,7 +156,8 @@ std::size_t
 RunBatch::add(WorkloadFactory factory, const Technique &t,
               const MemConfig &base, std::string label)
 {
-    return add(RunPoint{std::move(factory), t, base, std::move(label)});
+    return add(RunPoint{std::move(factory), t, base, std::move(label),
+                        {}, {}});
 }
 
 unsigned
@@ -167,9 +169,38 @@ RunBatch::jobs() const
 namespace {
 
 /**
+ * Checkpoint cache key for warm starts (DASHSIM_CKPT_DIR): the
+ * workload's checkpointKey() hashed together with configHash(). The
+ * config hash deliberately excludes the fast-path, fuzz-seed, shard,
+ * checker, and observability knobs - results are byte-identical across
+ * those by construction, so sweep points that differ only in them
+ * share one checkpoint.
+ */
+std::string
+ckptCachePath(const char *dir, const Workload &w, const MachineConfig &cfg)
+{
+    const std::string key = w.checkpointKey();
+    std::uint64_t h = ckpt::fnv1a(key.data(), key.size());
+    const std::uint64_t ch = configHash(cfg);
+    h = ckpt::fnv1a(&ch, sizeof(ch), h);
+    char name[24];
+    std::snprintf(name, sizeof(name), "%016llx.ckpt",
+                  static_cast<unsigned long long>(h));
+    return std::string(dir) + "/" + name;
+}
+
+/**
  * Execute one point start-to-finish on the calling thread. Errors are
  * captured into the outcome instead of terminating, and warn/inform
  * output is buffered per run so concurrent points never interleave.
+ *
+ * When DASHSIM_CKPT_DIR is set and the point is checkpoint-eligible,
+ * the run warm-starts: a cache miss simulates the common prefix once,
+ * captures it at the workload's last guaranteed barrier episode, and
+ * publishes the blob; hits (including every later point of the sweep
+ * that shares the prefix) resume from the blob instead of
+ * re-simulating it. Both paths produce the result through resumeRun()
+ * on a fresh machine, so a miss and a hit are byte-identical.
  */
 RunOutcome
 runPoint(const RunPoint &p)
@@ -186,9 +217,33 @@ runPoint(const RunPoint &p)
         if (p.configure)
             p.configure(cfg);
         Machine m(cfg);
-        o.result = m.run(*w);
-        if (p.inspect)
-            p.inspect(m, o.result);
+        const char *ckdir = std::getenv("DASHSIM_CKPT_DIR");
+        const bool warm =
+            ckdir && *ckdir && w->checkpointable() &&
+            Machine::checkpointEligible(cfg) && !m.shardPlan().sharded() &&
+            !std::getenv("DASHSIM_TIMELINE") &&
+            !std::getenv("DASHSIM_REGISTRY");
+        if (!warm) {
+            o.result = m.run(*w);
+            if (p.inspect)
+                p.inspect(m, o.result);
+        } else {
+            const std::string path = ckptCachePath(ckdir, *w, cfg);
+            std::vector<std::uint8_t> blob;
+            if (!ckpt::readFile(path, blob)) {
+                blob = m.captureRun(*w, w->checkpointEpisodes());
+                if (!ckpt::writeFile(path, blob))
+                    warn("checkpoint cache write failed: %s",
+                         path.c_str());
+            }
+            // The capturing machine (if any) is spent; resume on a
+            // fresh machine with a fresh workload instance.
+            auto w2 = p.factory();
+            Machine m2(cfg);
+            o.result = m2.resumeRun(*w2, blob);
+            if (p.inspect)
+                p.inspect(m2, o.result);
+        }
         o.ok = true;
     } catch (const SimError &e) {
         o.error = std::string(e.kind() == SimError::Kind::Panic

@@ -1,10 +1,24 @@
 #include "core/machine.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/report.hh"
 
 namespace dashsim {
+
+namespace {
+
+/** DASHSIM_FASTPATH=0 disables the direct-execution fast path
+ *  process-wide (re-read per machine so tests can toggle it). */
+bool
+fastPathEnvAllows()
+{
+    const char *e = std::getenv("DASHSIM_FASTPATH");
+    return !(e && e[0] == '0' && e[1] == '\0');
+}
+
+} // namespace
 
 Machine::Machine(const MachineConfig &cfg)
     : cfg(cfg),
@@ -109,16 +123,41 @@ Machine::Machine(const MachineConfig &cfg)
             },
             this);
     }
+
+    // Direct-execution fast path: only when nothing can observe the
+    // difference. Observability consumers see per-reference transaction
+    // and charge hooks, the protocol checkers audit every transition,
+    // and the multi-context scheduler needs the general dispatch path —
+    // any of them forces the byte-identical general path.
+    dx = this->cfg.cpu.fastPath && fastPathEnvAllows() &&
+         this->cfg.cpu.numContexts == 1 && !want_attrib &&
+         !this->cfg.check.coherence && !this->cfg.check.race;
+    if (dx) {
+        for (auto &p : procs)
+            p->setDirectExec(true);
+    }
+}
+
+void
+Machine::spawnProcesses(Workload &w, TraceSink *sink,
+                        std::vector<SimProcess> &processes)
+{
+    const std::uint32_t nprocs = numProcesses();
+    processes.reserve(nprocs);
+    for (unsigned pid = 0; pid < nprocs; ++pid) {
+        NodeId node = nodeOfProcess(pid);
+        ContextId ctx = pid / cfg.mem.numNodes;
+        Context &c = procs[node]->context(ctx);
+        Env env(&c, &msys, pid, nprocs, sink);
+        processes.push_back(w.run(env));
+        procs[node]->bindProcess(ctx, processes.back().handle());
+    }
 }
 
 RunResult
 Machine::run(Workload &w)
 {
     w.setup(*this);
-
-    const std::uint32_t nprocs = numProcesses();
-    std::vector<SimProcess> processes;
-    processes.reserve(nprocs);
 
     Tick end_tick = 0;
     std::uint32_t done = 0;
@@ -136,14 +175,8 @@ Machine::run(Workload &w)
     if (race)
         sink = traceSink ? static_cast<TraceSink *>(&tee) : race.get();
 
-    for (unsigned pid = 0; pid < nprocs; ++pid) {
-        NodeId node = nodeOfProcess(pid);
-        ContextId ctx = pid / cfg.mem.numNodes;
-        Context &c = procs[node]->context(ctx);
-        Env env(&c, &msys, pid, nprocs, sink);
-        processes.push_back(w.run(env));
-        procs[node]->bindProcess(ctx, processes.back().handle());
-    }
+    std::vector<SimProcess> processes;
+    spawnProcesses(w, sink, processes);
 
     for (auto &p : procs)
         p->start();
@@ -152,6 +185,18 @@ Machine::run(Workload &w)
         eq.runWindowed(plan.lookahead);
     else
         eq.run();
+
+    return finishRun(w, end_tick, done);
+}
+
+RunResult
+Machine::finishRun(Workload &w, Tick end_tick, std::uint32_t done)
+{
+    const std::uint32_t nprocs = numProcesses();
+
+    // Fold batched fast-path hit counters into the regular statistics
+    // before anything reads them (no-op with the fast path off).
+    msys.flushDirectExec();
 
     if (done != nprocs) {
         // Dump scheduler state to make deadlocks diagnosable.
@@ -264,6 +309,203 @@ Machine::run(Workload &w)
         writeRegistryJson(cfg.obs.registryPath, *this, r);
 
     return r;
+}
+
+// ---------------------------------------------------------------------
+// Barrier-point checkpointing.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t tagMemImage = 0x696d656du;  // 'memi'
+constexpr std::uint32_t tagParks = 0x6b726170u;     // 'park'
+constexpr std::uint32_t tagEnd = 0x646e6565u;       // 'eend'
+} // namespace
+
+bool
+Machine::checkpointEligible(const MachineConfig &cfg)
+{
+    return cfg.cpu.numContexts == 1 && !cfg.cpu.prefetch &&
+           cfg.mem.cacheSharedData && !cfg.check.coherence &&
+           !cfg.check.race && !cfg.check.conservation &&
+           !cfg.obs.attribution && cfg.obs.timelinePath.empty() &&
+           cfg.obs.registryPath.empty();
+}
+
+std::vector<std::uint8_t>
+Machine::captureRun(Workload &w, std::uint32_t episodes)
+{
+    fatal_if(!checkpointEligible(cfg),
+             "captureRun: config is not checkpoint-eligible");
+    fatal_if(plan.sharded(),
+             "captureRun: the sharded kernel cannot checkpoint");
+    fatal_if(attrib || tl || coherence || race,
+             "captureRun: observability or checkers active");
+    fatal_if(!w.checkpointable(), "captureRun: workload %s is not "
+             "checkpointable", w.name().c_str());
+    fatal_if(episodes == 0 || episodes > w.checkpointEpisodes(),
+             "captureRun: episode %u out of range [1,%u]", episodes,
+             w.checkpointEpisodes());
+
+    w.setup(*this);
+    fatal_if(traceSink != nullptr, "captureRun: trace sink active");
+
+    const std::uint32_t nprocs = numProcesses();
+    Tick end_tick = 0;
+    std::uint32_t done = 0;
+    for (auto &p : procs) {
+        p->onContextDone = [&end_tick, &done](Tick t) {
+            end_tick = std::max(end_tick, t);
+            ++done;
+        };
+    }
+
+    // Park every context at its `episodes`-th barrier completion,
+    // recording the parks in execution order. Once the last context
+    // parks, the remaining queue is stale wake probes (generation
+    // guarded no-ops) plus in-flight writeback arrivals, which the
+    // memory system records for replay.
+    struct Park
+    {
+        NodeId node;
+        Tick tick;
+    };
+    std::vector<Park> parks;
+    std::vector<std::uint32_t> completed(cfg.mem.numNodes, 0);
+    std::uint32_t parked = 0;
+    for (NodeId n = 0; n < cfg.mem.numNodes; ++n) {
+        procs[n]->setBarrierHook(
+            [this, n, episodes, nprocs, &parks, &completed,
+             &parked](Context *) -> bool {
+                if (++completed[n] < episodes)
+                    return false;
+                parks.push_back({n, eq.now()});
+                if (++parked == nprocs)
+                    msys.beginCaptureDrain();
+                return true;
+            });
+    }
+
+    std::vector<SimProcess> processes;
+    spawnProcesses(w, nullptr, processes);
+    for (auto &p : procs)
+        p->start();
+    eq.run();
+
+    fatal_if(parked != nprocs,
+             "captureRun: only %u of %u processes reached barrier "
+             "episode %u (%u finished) - checkpointEpisodes() lied",
+             parked, nprocs, episodes, done);
+
+    ckpt::Writer wtr;
+    wtr.u32(ckpt::ckptMagic);
+    wtr.u32(ckpt::ckptVersion);
+    wtr.u64(configHash(cfg));
+    wtr.str(w.checkpointKey());
+    wtr.u32(nprocs);
+    wtr.u32(episodes);
+
+    wtr.tag(tagMemImage);
+    {
+        auto img = mem.imageSnapshot();
+        wtr.u64(img.size());
+        wtr.bytes(img.data(), img.size());
+    }
+
+    wtr.tag(tagParks);
+    wtr.u32(parked);
+    for (const Park &pk : parks) {
+        wtr.u32(pk.node);
+        wtr.u64(pk.tick);
+    }
+
+    for (const auto &p : procs)
+        p->saveState(wtr);
+    msys.saveState(wtr);
+    for (unsigned pid = 0; pid < nprocs; ++pid)
+        w.saveProcessState(pid, wtr);
+    wtr.tag(tagEnd);
+
+    // This machine is spent: its coroutines are permanently suspended
+    // at their barriers (destroyed safely with the SimProcess objects)
+    // and its event clock cannot rewind. The caller destroys it.
+    return wtr.take();
+}
+
+RunResult
+Machine::resumeRun(Workload &w, const std::vector<std::uint8_t> &blob)
+{
+    fatal_if(!checkpointEligible(cfg),
+             "resumeRun: config is not checkpoint-eligible");
+    fatal_if(plan.sharded(),
+             "resumeRun: the sharded kernel cannot resume a checkpoint");
+    fatal_if(attrib || tl || coherence || race,
+             "resumeRun: observability or checkers active");
+
+    ckpt::Reader r(blob);
+    fatal_if(r.u32() != ckpt::ckptMagic, "resumeRun: bad magic");
+    fatal_if(r.u32() != ckpt::ckptVersion,
+             "resumeRun: checkpoint version mismatch");
+    fatal_if(r.u64() != configHash(cfg),
+             "resumeRun: config hash mismatch");
+    const std::string key = r.str();
+    fatal_if(key != w.checkpointKey(),
+             "resumeRun: workload key mismatch (\"%s\" vs \"%s\")",
+             key.c_str(), w.checkpointKey().c_str());
+    const std::uint32_t nprocs = numProcesses();
+    fatal_if(r.u32() != nprocs, "resumeRun: process count mismatch");
+    (void)r.u32();  // capture episode, informational
+
+    // Deterministically rebuild the shared-data layout, then overwrite
+    // the arena contents with the captured image.
+    w.setup(*this);
+    fatal_if(traceSink != nullptr, "resumeRun: trace sink active");
+    r.expect(tagMemImage);
+    {
+        std::vector<std::uint8_t> img(r.u64());
+        r.bytes(img.data(), img.size());
+        mem.restoreImage(img);
+    }
+
+    Tick end_tick = 0;
+    std::uint32_t done = 0;
+    for (auto &p : procs) {
+        p->onContextDone = [&end_tick, &done](Tick t) {
+            end_tick = std::max(end_tick, t);
+            ++done;
+        };
+    }
+
+    // Bind fresh coroutines first (their host-side dispatch skips the
+    // completed phases), then overwrite the scheduler state with the
+    // captured image; the parked context comes back Running with no
+    // pending continuation, waiting for its park-resume event.
+    std::vector<SimProcess> processes;
+    spawnProcesses(w, nullptr, processes);
+
+    // Park resumes are scheduled before the memory system re-schedules
+    // its recorded writeback arrivals, so at equal ticks a park keeps
+    // its original (tick, seq) precedence.
+    r.expect(tagParks);
+    const std::uint32_t parked = r.u32();
+    fatal_if(parked != nprocs, "resumeRun: park count mismatch");
+    for (std::uint32_t i = 0; i < parked; ++i) {
+        NodeId n = r.u32();
+        Tick at = r.u64();
+        fatal_if(n >= cfg.mem.numNodes, "resumeRun: bad park node %u", n);
+        procs[n]->scheduleParkResume(0, at);
+    }
+
+    for (const auto &p : procs)
+        p->loadState(r);
+    msys.loadState(r);
+    for (unsigned pid = 0; pid < nprocs; ++pid)
+        w.loadProcessState(pid, r);
+    r.expect(tagEnd);
+    fatal_if(!r.done(), "resumeRun: %zu trailing bytes in checkpoint",
+             r.remaining());
+
+    eq.run();
+    return finishRun(w, end_tick, done);
 }
 
 void

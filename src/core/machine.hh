@@ -21,6 +21,7 @@
 #include "check/check_config.hh"
 #include "check/invariant.hh"
 #include "check/race.hh"
+#include "core/checkpoint.hh"
 #include "core/shard.hh"
 #include "cpu/processor.hh"
 #include "mem/mem_system.hh"
@@ -58,6 +59,43 @@ class Workload
 
     /** Optional post-run correctness check; panic/fatal on failure. */
     virtual void verify(Machine &) {}
+
+    // --- barrier-point checkpointing (core/checkpoint.hh) ---
+    //
+    // A checkpointable workload keeps all persistent per-process state
+    // in workload-owned structures (not coroutine locals) and updates
+    // it to the post-barrier value immediately *before* each
+    // env.barrier() await, so a fresh coroutine restored from a
+    // checkpoint can re-dispatch host-side to the first operation after
+    // the barrier it parked at, without issuing any simulated access.
+
+    /** True when this workload supports capture/resume. */
+    virtual bool checkpointable() const { return false; }
+
+    /**
+     * Number of per-process barrier completions that can serve as a
+     * park point (a conservative lower bound every run reaches).
+     */
+    virtual std::uint32_t checkpointEpisodes() const { return 0; }
+
+    /**
+     * Key identifying the workload *and its parameters* for checkpoint
+     * reuse; two workloads with equal keys and equal configHash() run
+     * identically up to any barrier.
+     */
+    virtual std::string checkpointKey() const { return name(); }
+
+    /** Serialize per-process persistent state for process @p pid. */
+    virtual void saveProcessState(unsigned pid, ckpt::Writer &) const
+    {
+        (void)pid;
+    }
+
+    /** Restore per-process persistent state for process @p pid. */
+    virtual void loadProcessState(unsigned pid, ckpt::Reader &)
+    {
+        (void)pid;
+    }
 };
 
 /** Full machine configuration. */
@@ -77,6 +115,16 @@ struct MachineConfig
      */
     std::uint32_t shards = 0;
 };
+
+/**
+ * Hash of every configuration field that can affect simulated timing
+ * or results (core/checkpoint.cc). Deliberately EXCLUDES the knobs
+ * that are byte-identical by construction: fastPath, fastPathFuzzSeed,
+ * shards, and the check/obs layers — a checkpoint captured under one
+ * setting of those restores correctly under any other, and the
+ * differential tests rely on the hashes matching across them.
+ */
+std::uint64_t configHash(const MachineConfig &cfg);
 
 /** Everything a run produces. */
 struct RunResult
@@ -155,6 +203,36 @@ class Machine
     /** Run @p w to completion and return the result breakdown. */
     RunResult run(Workload &w);
 
+    // --- barrier-point checkpointing ---
+
+    /**
+     * True when @p cfg permits capture/resume: sequential kernel, one
+     * context per node, no prefetching, shared data cached, checkers
+     * and observability off, and no trace sink (checked at run time).
+     * Everything the excluded knobs change is byte-identical anyway.
+     */
+    static bool checkpointEligible(const MachineConfig &cfg);
+
+    /**
+     * Run @p w until every process has completed @p episodes barrier
+     * episodes, park each process at that barrier, drain the event
+     * queue, and serialize the whole machine + workload state. The
+     * machine is spent afterwards: destroy it and resumeRun() the blob
+     * on a fresh one. Fatals if the config is ineligible or the
+     * workload finishes before reaching the requested episode.
+     */
+    std::vector<std::uint8_t> captureRun(Workload &w,
+                                         std::uint32_t episodes);
+
+    /**
+     * Restore a captureRun() blob into this (fresh) machine and run to
+     * completion, producing a RunResult byte-identical to a straight
+     * run() of the same workload/config. Fatals on any header mismatch
+     * (magic, version, configHash, workload key, process count).
+     */
+    RunResult resumeRun(Workload &w,
+                        const std::vector<std::uint8_t> &blob);
+
     // --- component access (setup code and tests) ---
     EventQueue &eventQueue() { return eq; }
     SharedMemory &memory() { return mem; }
@@ -164,6 +242,15 @@ class Machine
 
     /** The resolved event-kernel shard topology for this machine. */
     const ShardPlan &shardPlan() const { return plan; }
+
+    /**
+     * True when this machine runs with the direct-execution fast path.
+     * Requires cfg.cpu.fastPath, a single context per processor, no
+     * observability consumer (attribution, conservation checking,
+     * timeline, registry), no protocol checkers, and DASHSIM_FASTPATH
+     * not set to "0". Results are byte-identical either way.
+     */
+    bool directExecActive() const { return dx; }
 
     /** The coherence-invariant checker (null when disabled). */
     CoherenceChecker *coherenceChecker() { return coherence.get(); }
@@ -208,12 +295,21 @@ class Machine
     }
 
   private:
+    /** Create Envs, spawn the workload coroutines, bind them. */
+    void spawnProcesses(Workload &w, TraceSink *sink,
+                        std::vector<SimProcess> &processes);
+
+    /** Everything after the event queue drains: finalize, verify,
+     *  collect the RunResult, emit observability artifacts. */
+    RunResult finishRun(Workload &w, Tick end_tick, std::uint32_t done);
+
     MachineConfig cfg;
     ShardPlan plan;
     EventQueue eq;
     SharedMemory mem;
     MemorySystem msys;
     std::vector<std::unique_ptr<Processor>> procs;
+    bool dx = false;  ///< direct-execution fast path (directExecActive)
     TraceSink *traceSink = nullptr;
     std::unique_ptr<CoherenceChecker> coherence;
     std::unique_ptr<RaceDetector> race;

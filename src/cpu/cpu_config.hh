@@ -64,6 +64,29 @@ struct CpuConfig
      * itself, Section 5.2).
      */
     Tick prefetchIssueCost = 3;
+
+    /**
+     * Direct-execution fast path (Tango-style): guaranteed L1 hits are
+     * validated against a per-context window and charged without
+     * re-probing the cache, and single-context blocking operations
+     * resume through allocation-free scheduler events. Results are
+     * byte-identical with the flag on or off; the Machine additionally
+     * forces it off whenever observability or the protocol checkers
+     * are enabled, and the DASHSIM_FASTPATH=0 environment knob
+     * disables it globally.
+     */
+    bool fastPath = true;
+
+    /**
+     * Test-only fuzz knob: when nonzero, every direct-execution
+     * eligibility decision (the five fast-path suspend seams and the
+     * per-context read-window probe) is additionally gated by one bit
+     * of a deterministic xorshift stream seeded from this value, so a
+     * run interleaves fast-path and event-kernel servicing of the same
+     * reference stream at random. Results must stay byte-identical for
+     * any seed; the differential suite sweeps several.
+     */
+    std::uint64_t fastPathFuzzSeed = 0;
 };
 
 } // namespace dashsim

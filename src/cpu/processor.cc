@@ -10,6 +10,13 @@ Processor::Processor(EventQueue &eq, MemorySystem &mem, NodeId node,
 {
     fatal_if(cfg.numContexts == 0 || cfg.numContexts > 8,
              "numContexts must be in [1,8]");
+    if (cfg.fastPathFuzzSeed != 0) {
+        // Per-node decorrelated, never zero (xorshift64 fixed point).
+        fuzzState = cfg.fastPathFuzzSeed ^
+                    (0x9e3779b97f4a7c15ULL * (std::uint64_t{node} + 1));
+        if (fuzzState == 0)
+            fuzzState = 1;
+    }
     for (ContextId i = 0; i < cfg.numContexts; ++i) {
         auto c = std::make_unique<Context>();
         c->proc = this;
@@ -231,22 +238,64 @@ Processor::blockContext(Context *c, Tick stop,
     maybeDispatch(stop);
 }
 
+void
+Processor::resumeNow(Context *c, std::coroutine_handle<> h)
+{
+    h.resume();
+    if (c->top.done()) {
+        Tick s = flushPending(c);
+        c->state = Context::State::Done;
+        running = nullptr;
+        freeSince = s;
+        --live;
+        if (onContextDone)
+            onContextDone(s);
+        maybeDispatch(s);
+    }
+}
+
 std::function<void()>
 Processor::resumeContinuation(Context *c, std::coroutine_handle<> h)
 {
-    return [this, c, h]() {
-        h.resume();
-        if (c->top.done()) {
-            Tick s = flushPending(c);
-            c->state = Context::State::Done;
-            running = nullptr;
-            freeSince = s;
-            --live;
-            if (onContextDone)
-                onContextDone(s);
-            maybeDispatch(s);
-        }
-    };
+    return [this, c, h]() { resumeNow(c, h); };
+}
+
+template <typename Fn>
+void
+Processor::blockFast(Context *c, Tick stop, Tick wake, StallReason reason,
+                     Fn &&body)
+{
+    // Replicates blockContext() + makeReadyIf() + maybeDispatch() +
+    // grant() for the only shape a single-context direct-executed
+    // processor can take: the context blocks, nothing else can run,
+    // and the wake tick is known. State changes, charges, and the two
+    // scheduled events (wake, grant) match the general path exactly;
+    // the std::function continuation and the scheduler scan are gone.
+    c->blockedSince = stop;
+    c->blockReason = reason;
+    ++c->wakeGen;
+    c->state = Context::State::Blocked;
+    running = nullptr;
+    freeSince = stop;
+    eq.scheduleAtNode(node, wake,
+                      [this, c, body = std::forward<Fn>(body)]() {
+        // No other wake source exists on this path: watches are never
+        // registered and stale scheduled wakeups are generation-guarded.
+        panic_if(c->state != Context::State::Blocked,
+                 "direct-exec wake of a non-blocked context");
+        Tick t = eq.now();
+        if (t > freeSince)
+            charge(stallBucket(c->blockReason), freeSince, t, c);
+        resident = c;
+        running = c;
+        c->state = Context::State::Running;
+        rrNext = c->id + 1;
+        eq.scheduleAtNode(node, t, [this, c, body]() {
+            grantTick = eq.now();
+            grantCursor = grantTick;
+            body(*this, *c);
+        });
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -257,6 +306,35 @@ Processor::resumeContinuation(Context *c, std::coroutine_handle<> h)
 bool
 Processor::fastRead(Context *c, Addr a, unsigned size)
 {
+    const unsigned off = static_cast<unsigned>(a) & (lineBytes - 1);
+    const bool windowable =
+        directExec && off + size <= lineBytes && fastOk();
+    if (windowable) {
+        // Window probe: the line was a validated guaranteed L1 hit with
+        // no store-forwarding candidate; two epoch compares re-prove
+        // both facts without touching the cache or the stats (batched
+        // by noteWindowHit, folded in after the run).
+        Context::FastWin &w = c->win[lineIndex(a) & 7];
+        const auto need =
+            static_cast<std::uint16_t>(((1u << size) - 1) << off);
+        if (w.line == lineAddr(a) &&
+            w.cacheEpochV == mem.cacheEpoch(node) &&
+            (w.mask & need) == need) {
+            bool clean = w.storeEpochV == mem.storeEpoch(node);
+            if (!clean && !mem.pendingStoreValue(node, a)) {
+                // Stores entered the buffer since validation, but none
+                // to this word: re-stamp and keep the window.
+                w.storeEpochV = mem.storeEpoch(node);
+                clean = true;
+            }
+            if (clean) {
+                mem.noteWindowHit(node);
+                c->readValue = mem.memory().loadRaw(a, size);
+                c->pendingBusy += 1;
+                return true;
+            }
+        }
+    }
     if (auto v = mem.pendingStoreValue(node, a)) {
         mem.noteForwardedRead(node);
         if (mem.txnHookActive()) [[unlikely]]
@@ -268,6 +346,23 @@ Processor::fastRead(Context *c, Addr a, unsigned size)
     if (mem.tryFastRead(node, a)) {
         if (mem.txnHookActive()) [[unlikely]]
             mem.noteFastReadHit(node, fastIssueTick(c));
+        if (windowable) {
+            // Validated just now: primary hit, and the forwarding probe
+            // above came back empty. Remember both (with their epochs).
+            Context::FastWin &w = c->win[lineIndex(a) & 7];
+            const auto need =
+                static_cast<std::uint16_t>(((1u << size) - 1) << off);
+            if (w.line == lineAddr(a) &&
+                w.cacheEpochV == mem.cacheEpoch(node) &&
+                w.storeEpochV == mem.storeEpoch(node)) {
+                w.mask |= need;
+            } else {
+                w.line = lineAddr(a);
+                w.mask = need;
+                w.cacheEpochV = mem.cacheEpoch(node);
+                w.storeEpochV = mem.storeEpoch(node);
+            }
+        }
         c->readValue = mem.memory().loadRaw(a, size);
         c->pendingBusy += 1;
         return true;
@@ -318,6 +413,14 @@ Processor::suspendRead(Context *c, Addr a, unsigned size,
 {
     Tick s = flushPending(c);
     AccessOutcome o = mem.read(node, a, s);
+    if (directExec && fastOk()) {
+        blockFast(c, s, o.complete, StallReason::Read,
+                  [a, size, h](Processor &p, Context &cc) {
+                      cc.readValue = p.mem.memory().loadRaw(a, size);
+                      p.resumeNow(&cc, h);
+                  });
+        return;
+    }
     blockContext(c, s, o.complete, StallReason::Read,
                  [this, c, a, size, h]() {
                      c->readValue = mem.memory().loadRaw(a, size);
@@ -334,6 +437,11 @@ Processor::suspendWrite(Context *c, Addr a, std::uint64_t v, unsigned size,
     (void)release;  // a release needs no extra handling when stalling
     Tick s = flushPending(c);
     AccessOutcome o = mem.writeSc(node, a, v, size, s);
+    if (directExec && fastOk()) {
+        blockFast(c, s, o.complete, StallReason::Write,
+                  [h](Processor &p, Context &cc) { p.resumeNow(&cc, h); });
+        return;
+    }
     blockContext(c, s, o.complete, StallReason::Write,
                  resumeContinuation(c, h));
 }
@@ -343,6 +451,11 @@ Processor::suspendWriteStall(Context *c, std::coroutine_handle<> h)
 {
     Tick s = flushPending(c);
     Tick wake = std::max(s, c->stallUntil);
+    if (directExec && fastOk()) {
+        blockFast(c, s, wake, StallReason::Write,
+                  [h](Processor &p, Context &cc) { p.resumeNow(&cc, h); });
+        return;
+    }
     blockContext(c, s, wake, StallReason::Write, resumeContinuation(c, h));
 }
 
@@ -351,6 +464,11 @@ Processor::suspendPrefetchStall(Context *c, std::coroutine_handle<> h)
 {
     Tick s = flushPending(c);
     Tick wake = std::max(s, c->stallUntil);
+    if (directExec && fastOk()) {
+        blockFast(c, s, wake, StallReason::Prefetch,
+                  [h](Processor &p, Context &cc) { p.resumeNow(&cc, h); });
+        return;
+    }
     blockContext(c, s, wake, StallReason::Prefetch,
                  resumeContinuation(c, h));
 }
@@ -359,6 +477,11 @@ void
 Processor::suspendPause(Context *c, Tick n, std::coroutine_handle<> h)
 {
     Tick s = flushPending(c);
+    if (directExec && fastOk()) {
+        blockFast(c, s, s + n, StallReason::Sync,
+                  [h](Processor &p, Context &cc) { p.resumeNow(&cc, h); });
+        return;
+    }
     blockContext(c, s, s + n, StallReason::Sync, resumeContinuation(c, h));
 }
 
@@ -500,17 +623,17 @@ Processor::suspendBarrier(Context *c, Addr a, std::uint32_t participants,
                                 c->id);
                     mem.writeRc(node, sense_addr, my, 4, s2, true,
                                 c->id);
-                    resumeContinuation(c, h)();
+                    barrierFinish(c, h);
                 } else {
                     AccessOutcome o1 =
                         mem.writeSc(node, count_addr, 0, 4, s2);
                     AccessOutcome o2 =
                         mem.writeSc(node, sense_addr, my, 4, o1.complete);
                     blockContext(c, s2, o2.complete, StallReason::Sync,
-                                 resumeContinuation(c, h));
+                                 [this, c, h]() { barrierFinish(c, h); });
                 }
             } else {
-                barrierSpin(c, sense_addr, my, h);
+                barrierSpin(c, sense_addr, my, h, true);
             }
         });
 }
@@ -528,7 +651,7 @@ Processor::suspendWaitFlag(Context *c, Addr a, std::uint32_t value,
                      if (mem.memory().loadRaw(a, 4) == value)
                          resumeContinuation(c, h)();
                      else
-                         barrierSpin(c, a, value, h);
+                         barrierSpin(c, a, value, h, false);
                  });
 }
 
@@ -577,24 +700,28 @@ Processor::suspendQueuedUnlock(Context *c, Addr a,
 
 void
 Processor::barrierSpin(Context *c, Addr sense_addr, std::uint32_t my_sense,
-                       std::coroutine_handle<> h)
+                       std::coroutine_handle<> h, bool is_barrier)
 {
     Tick s = flushPending(c);
     c->waitAddr = sense_addr;
     blockContext(c, s, std::nullopt, StallReason::Sync,
-                 [this, c, sense_addr, my_sense, h]() {
+                 [this, c, sense_addr, my_sense, h, is_barrier]() {
                      // Woken by a commit on the sense line: refetch it.
                      Tick s2 = flushPending(c);
                      AccessOutcome o = mem.read(node, sense_addr, s2);
                      blockContext(
                          c, s2, o.complete, StallReason::Sync,
-                         [this, c, sense_addr, my_sense, h]() {
+                         [this, c, sense_addr, my_sense, h, is_barrier]() {
                              c->pendingBusy += 2;
                              if (mem.memory().loadRaw(sense_addr, 4) ==
                                  my_sense) {
-                                 resumeContinuation(c, h)();
+                                 if (is_barrier)
+                                     barrierFinish(c, h);
+                                 else
+                                     resumeContinuation(c, h)();
                              } else {
-                                 barrierSpin(c, sense_addr, my_sense, h);
+                                 barrierSpin(c, sense_addr, my_sense, h,
+                                             is_barrier);
                              }
                          });
                  });
@@ -610,6 +737,35 @@ Processor::barrierSpin(Context *c, Addr sense_addr, std::uint32_t my_sense,
                   [this, c, gen]() { makeReadyIf(c, gen, eq.now()); });
     if (mem.memory().loadRaw(sense_addr, 4) == my_sense)
         makeReadyIf(c, gen, eq.now());
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint park/resume.
+// ---------------------------------------------------------------------
+
+void
+Processor::barrierFinish(Context *c, std::coroutine_handle<> h)
+{
+    // A barrier completion is the only point where a checkpoint may
+    // park the context: returning true from the hook swallows the
+    // resume, leaving the coroutine suspended at the barrier await
+    // with its post-barrier pendingBusy already accumulated.
+    if (barrierHook && barrierHook(c))
+        return;
+    resumeNow(c, h);
+}
+
+void
+Processor::scheduleParkResume(ContextId id, Tick at)
+{
+    panic_if(id >= contexts.size(), "bad context id %u", id);
+    Context *c = contexts[id].get();
+    eq.scheduleAtNode(node, at, [this, c]() {
+        // grantTick/grantCursor were restored by loadState (at the RC
+        // last-arriver park site grantCursor has already advanced past
+        // the park tick); do not reset them here.
+        resumeNow(c, c->top);
+    });
 }
 
 // ---------------------------------------------------------------------

@@ -11,6 +11,7 @@
 #ifndef CPU_PROCESSOR_HH
 #define CPU_PROCESSOR_HH
 
+#include <algorithm>
 #include <array>
 #include <coroutine>
 #include <cstdint>
@@ -18,11 +19,13 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cpu/cpu_config.hh"
 #include "mem/mem_system.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -107,6 +110,22 @@ class Context
     /** Local sense per barrier address (sense-reversing barriers). */
     std::unordered_map<Addr, std::uint32_t> barrierSense;
 
+    /**
+     * Direct-execution read window: one recently-validated guaranteed-
+     * L1-hit line per slot. A hit re-proves itself with two epoch
+     * compares (mem_system.hh) instead of re-probing the cache and
+     * re-recording statistics per reference. `mask` marks the bytes of
+     * the line actually validated (probes are per-address).
+     */
+    struct FastWin
+    {
+        Addr line = ~Addr{0};
+        std::uint16_t mask = 0;
+        std::uint64_t cacheEpochV = 0;
+        std::uint64_t storeEpochV = 0;
+    };
+    std::array<FastWin, 8> win{};
+
     bool done() const { return state == State::Done; }
 };
 
@@ -173,6 +192,14 @@ class Processor
     NodeId nodeId() const { return node; }
     const CpuConfig &config() const { return cfg; }
     bool isRc() const { return cfg.consistency == Consistency::RC; }
+
+    /**
+     * Enable the direct-execution fast path. Only the Machine calls
+     * this, and only when the run is eligible (single context, no
+     * observability, no protocol checkers); results are byte-identical
+     * either way.
+     */
+    void setDirectExec(bool on) { directExec = on; }
 
     /** True for every model whose writes go through the write buffer
      *  (PC, WC, RC); false only for sequential consistency. */
@@ -280,6 +307,42 @@ class Processor
 
     Context &context(ContextId id) { return *contexts[id]; }
 
+    // ------------------------------------------------------------------
+    // Barrier-point checkpoints (core/checkpoint.hh). The hook fires at
+    // every barrier completion, right before the completing context
+    // would resume; returning true *parks* the context (it is simply
+    // never resumed, staying consistent mid-grant) so the Machine can
+    // capture the quiescent state. Only Machine::captureRun installs
+    // one.
+    // ------------------------------------------------------------------
+
+    /** Install (or clear) the barrier-completion park hook. */
+    void
+    setBarrierHook(std::function<bool(Context *)> hook)
+    {
+        barrierHook = std::move(hook);
+    }
+
+    /**
+     * Serialize scheduler + accounting + per-context state. Every
+     * context must be parked at a barrier (captureRun guarantees it).
+     */
+    template <class W>
+    void saveState(W &w) const;
+
+    /**
+     * Restore state saved by saveState() onto freshly bound contexts.
+     * The parked context is left Running and resident, exactly as it
+     * was mid-grant at capture; scheduleParkResume() re-arms its
+     * resumption.
+     */
+    template <class R>
+    void loadState(R &r);
+
+    /** Resume context @p id from the top of its (fresh) coroutine at
+     *  tick @p at — the tick it originally completed its barrier. */
+    void scheduleParkResume(ContextId id, Tick at);
+
   private:
     /**
      * Logical tick a non-suspending access issued right now would
@@ -325,15 +388,50 @@ class Processor
     std::function<void()> resumeContinuation(Context *c,
                                              std::coroutine_handle<> h);
 
+    /** resumeContinuation's body, invoked directly (fast path). */
+    void resumeNow(Context *c, std::coroutine_handle<> h);
+
+    /**
+     * Direct-execution replacement for blockContext() + the wake /
+     * dispatch / grant event chain when the wake tick is known and
+     * this is a single-context processor: two small-buffer events, no
+     * std::function allocation, no scheduler scan. @p body runs under
+     * the grant exactly where the blocked continuation would have.
+     */
+    template <typename Fn>
+    void blockFast(Context *c, Tick stop, Tick wake, StallReason reason,
+                   Fn &&body);
+
     /** Lock-acquire attempt (the exclusive test&set). */
     void lockAttempt(Context *c, Addr a, std::coroutine_handle<> h);
 
     /** Spin on a cached lock copy until it is invalidated, then retest. */
     void lockWait(Context *c, Addr a, std::coroutine_handle<> h);
 
-    /** Barrier spin step: re-read the sense flag after a wakeup. */
+    /**
+     * Barrier spin step: re-read the sense flag after a wakeup.
+     * @p is_barrier distinguishes true barrier waits from waitFlag()
+     * spins (which share this machinery but must never trip the
+     * checkpoint park hook).
+     */
     void barrierSpin(Context *c, Addr sense_addr, std::uint32_t my_sense,
-                     std::coroutine_handle<> h);
+                     std::coroutine_handle<> h, bool is_barrier);
+
+    /** Barrier completion: consult the park hook, then resume. */
+    void barrierFinish(Context *c, std::coroutine_handle<> h);
+
+    /** One deterministic eligibility coin-flip of the fuzz stream
+     *  (cpu_config.hh fastPathFuzzSeed); always true when not fuzzing. */
+    bool
+    fastOk()
+    {
+        if (fuzzState == 0) [[likely]]
+            return true;
+        fuzzState ^= fuzzState << 13;
+        fuzzState ^= fuzzState >> 7;
+        fuzzState ^= fuzzState << 17;
+        return (fuzzState & 1) != 0;
+    }
 
     void charge(Bucket b, Tick from, Tick to,
                 const Context *who = nullptr);
@@ -370,8 +468,118 @@ class Processor
     ChargeHookFn chargeHookFn = nullptr;
     void *chargeHookCtx = nullptr;
 
+    bool directExec = false;  ///< direct-execution fast path enabled
+    std::uint64_t fuzzState = 0;  ///< nonzero iff eligibility fuzzing
+
+    std::function<bool(Context *)> barrierHook;  ///< checkpoint capture
+
     Stats _stats;
 };
+
+// ---------------------------------------------------------------------
+// Checkpoint serialization. Template bodies live in the header so the
+// Writer/Reader types stay decoupled from this file's includes.
+// ---------------------------------------------------------------------
+
+template <class W>
+void
+Processor::saveState(W &w) const
+{
+    w.u64(cursor);
+    w.u64(freeSince);
+    w.u64(grantTick);
+    w.u64(grantCursor);
+    w.u64(lockoutNs);
+    w.u64(lockoutPf);
+    w.u32(rrNext);
+    for (auto v : _stats.buckets)
+        w.u64(v);
+    w.u64(_stats.locks);
+    w.u64(_stats.lockRetries);
+    w.u64(_stats.barriers);
+    w.u64(_stats.contextSwitches);
+    w.u64(_stats.prefetchesIssued);
+    _stats.runLength.saveState(w);
+    w.u32(static_cast<std::uint32_t>(contexts.size()));
+    for (const auto &cp : contexts) {
+        const Context &c = *cp;
+        w.u8(static_cast<std::uint8_t>(c.state));
+        w.u64(c.pendingBusy);
+        w.u64(c.pendingPf);
+        w.u64(c.readValue);
+        w.u64(c.rmwOld);
+        w.u64(c.stallUntil);
+        w.u64(c.blockedSince);
+        w.u64(c.waitAddr);
+        w.u8(static_cast<std::uint8_t>(c.blockReason));
+        w.u64(c.wakeGen);
+        // Deterministic order for the sense map.
+        std::vector<std::pair<Addr, std::uint32_t>> senses(
+            c.barrierSense.begin(), c.barrierSense.end());
+        std::sort(senses.begin(), senses.end());
+        w.u32(static_cast<std::uint32_t>(senses.size()));
+        for (const auto &[addr, sense] : senses) {
+            w.u64(addr);
+            w.u32(sense);
+        }
+        // The direct-execution windows are deliberately not saved: a
+        // window only memoizes a provable primary hit, so starting
+        // cold is observationally identical (the first re-probe
+        // revalidates through tryFastRead, which by the fast path's
+        // identity proof records the same statistics either way).
+    }
+}
+
+template <class R>
+void
+Processor::loadState(R &r)
+{
+    cursor = r.u64();
+    freeSince = r.u64();
+    grantTick = r.u64();
+    grantCursor = r.u64();
+    lockoutNs = r.u64();
+    lockoutPf = r.u64();
+    rrNext = r.u32();
+    for (auto &v : _stats.buckets)
+        v = r.u64();
+    _stats.locks = r.u64();
+    _stats.lockRetries = r.u64();
+    _stats.barriers = r.u64();
+    _stats.contextSwitches = r.u64();
+    _stats.prefetchesIssued = r.u64();
+    _stats.runLength.loadState(r);
+    std::uint32_t n = r.u32();
+    fatal_if(n != contexts.size(),
+             "processor checkpoint context-count mismatch");
+    for (auto &cp : contexts) {
+        Context &c = *cp;
+        c.state = static_cast<Context::State>(r.u8());
+        c.pendingBusy = r.u64();
+        c.pendingPf = r.u64();
+        c.readValue = r.u64();
+        c.rmwOld = r.u64();
+        c.stallUntil = r.u64();
+        c.blockedSince = r.u64();
+        c.waitAddr = r.u64();
+        c.blockReason = static_cast<StallReason>(r.u8());
+        c.wakeGen = r.u64();
+        c.barrierSense.clear();
+        for (std::uint32_t i = 0, m = r.u32(); i < m; ++i) {
+            Addr addr = r.u64();
+            c.barrierSense[addr] = r.u32();
+        }
+        c.win = {};
+        if (c.state == Context::State::Running) {
+            // Parked mid-grant at capture: make it resident again and
+            // drop the bind-time continuation (a park happens after the
+            // grant consumed it).
+            running = &c;
+            resident = &c;
+            c.onRun = nullptr;
+        }
+    }
+}
 
 } // namespace dashsim
 

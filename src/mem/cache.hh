@@ -123,6 +123,36 @@ class PrimaryCache
                 cb(l.tag << lineShift);
     }
 
+    /** Checkpoint serialization: the full tag array, slot for slot
+     *  (FIFO replacement depends on slot positions and stamps). */
+    template <class W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(fillClock);
+        w.u64(lines.size());
+        for (const Line &l : lines) {
+            w.u64(l.tag);
+            w.u64(l.stamp);
+            w.u8(l.valid ? 1 : 0);
+        }
+    }
+
+    template <class R>
+    void
+    loadState(R &r)
+    {
+        fillClock = r.u64();
+        std::uint64_t n = r.u64();
+        fatal_if(n != lines.size(),
+                 "primary-cache checkpoint geometry mismatch");
+        for (Line &l : lines) {
+            l.tag = r.u64();
+            l.stamp = r.u64();
+            l.valid = r.u8() != 0;
+        }
+    }
+
   private:
     struct Line
     {
@@ -253,6 +283,35 @@ class SecondaryCache
         for (const Line &l : lines)
             if (l.state != LineState::Invalid)
                 cb(l.tag << lineShift, l.state);
+    }
+
+    /** Checkpoint serialization (see PrimaryCache::saveState). */
+    template <class W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(fillClock);
+        w.u64(lines.size());
+        for (const Line &l : lines) {
+            w.u64(l.tag);
+            w.u64(l.stamp);
+            w.u8(static_cast<std::uint8_t>(l.state));
+        }
+    }
+
+    template <class R>
+    void
+    loadState(R &r)
+    {
+        fillClock = r.u64();
+        std::uint64_t n = r.u64();
+        fatal_if(n != lines.size(),
+                 "secondary-cache checkpoint geometry mismatch");
+        for (Line &l : lines) {
+            l.tag = r.u64();
+            l.stamp = r.u64();
+            l.state = static_cast<LineState>(r.u8());
+        }
     }
 
   private:

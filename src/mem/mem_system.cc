@@ -1,6 +1,9 @@
 #include "mem/mem_system.hh"
 
 #include <algorithm>
+#include <map>
+
+#include "core/checkpoint.hh"
 
 namespace dashsim {
 
@@ -209,6 +212,8 @@ MemorySystem::sendInvalidations(NodeId req, NodeId home, Addr line,
             m->poisoned = true;
         nodes[s].stats.invalidationsReceived++;
 
+        nodes[s].cacheEpoch++;
+
         // Timing: inval message home->s, ack s->req (point to point).
         PathWalker w(dir_time);
         w.stage(nodes[home].netOut, 2, L.netCtlOccupancy);
@@ -240,26 +245,40 @@ MemorySystem::writebackVictim(NodeId node, Addr victim_line, Tick t)
     // Home-affine event: it mutates the home node's directory state.
     pendingWritebacks[lineIndex(victim_line)]++;
     eq.scheduleAtNode(home, arrive, [this, victim_line, node]() {
-        DirEntry &e = dirEntry(victim_line);
-        // The evictor may have re-requested the line while this message
-        // was in flight (its new fill walked the directory first and
-        // re-established ownership). A live MSHR or an installed copy at
-        // the evictor means the Dirty entry describes the *new* epoch,
-        // and this stale writeback must not clear it.
-        const bool refetched =
-            nodes[node].secondary.probe(victim_line) != LineState::Invalid ||
-            nodes[node].mshrs.find(victim_line) != nullptr;
-        if (e.state == DirEntry::State::Dirty && e.owner == node &&
-            !refetched) {
-            e.state = DirEntry::State::Uncached;
-            e.owner = invalidNode;
-            e.sharers = 0;
+        if (capturing) [[unlikely]] {
+            // Checkpoint capture drain: the arrival belongs to the
+            // *resumed* run. Record it (the pendingWritebacks entry
+            // stays, so it serializes as still in flight) and replay
+            // it at restore.
+            recordedWb.push_back({victim_line, node, eq.now()});
+            return;
         }
-        auto it = pendingWritebacks.find(lineIndex(victim_line));
-        if (it != pendingWritebacks.end() && --it->second == 0)
-            pendingWritebacks.erase(it);
-        noteTransition(victim_line);
+        applyWritebackArrival(node, victim_line);
     });
+}
+
+void
+MemorySystem::applyWritebackArrival(NodeId node, Addr victim_line)
+{
+    DirEntry &e = dirEntry(victim_line);
+    // The evictor may have re-requested the line while this message
+    // was in flight (its new fill walked the directory first and
+    // re-established ownership). A live MSHR or an installed copy at
+    // the evictor means the Dirty entry describes the *new* epoch,
+    // and this stale writeback must not clear it.
+    const bool refetched =
+        nodes[node].secondary.probe(victim_line) != LineState::Invalid ||
+        nodes[node].mshrs.find(victim_line) != nullptr;
+    if (e.state == DirEntry::State::Dirty && e.owner == node &&
+        !refetched) {
+        e.state = DirEntry::State::Uncached;
+        e.owner = invalidNode;
+        e.sharers = 0;
+    }
+    auto it = pendingWritebacks.find(lineIndex(victim_line));
+    if (it != pendingWritebacks.end() && --it->second == 0)
+        pendingWritebacks.erase(it);
+    noteTransition(victim_line);
 }
 
 void
@@ -292,6 +311,7 @@ MemorySystem::scheduleFill(NodeId node, Addr line, bool exclusive,
             noteTransition(victim.addr);
         }
         nd.primary.fill(line);
+        nd.cacheEpoch++;
         Tick busy_until = eq.now() + cfg.lat.primaryFillBusy;
         nd.primaryBusy = std::max(nd.primaryBusy, busy_until);
         if (prefetch)
@@ -385,6 +405,7 @@ MemorySystem::trackPendingStore(NodeId node, Addr a, std::uint64_t value,
 {
     std::uint64_t seq = ++storeSeq;
     nodes[node].pendingStores[a] = PendingStore{value, size, seq};
+    nodes[node].storeEpoch++;
     eq.scheduleAtNode(node, commit_at, [this, node, a, seq]() {
         auto it = nodes[node].pendingStores.find(a);
         if (it != nodes[node].pendingStores.end() && it->second.seq == seq)
@@ -493,6 +514,23 @@ MemorySystem::noteTxn(NodeId node, obs::TxnOp op, Tick start,
 // Demand reads.
 // ---------------------------------------------------------------------
 
+void
+MemorySystem::flushDirectExec()
+{
+    for (auto &nd : nodes) {
+        if (!nd.fastHitBatch)
+            continue;
+        // Exactly the counters one tryFastRead() hit records, batched.
+        dxWindowHits += nd.fastHitBatch;
+        nd.stats.reads += nd.fastHitBatch;
+        nd.stats.sharedReadHits.hits += nd.fastHitBatch;
+        nd.stats.sharedReadHits.accesses += nd.fastHitBatch;
+        nd.stats.serviceCount[static_cast<int>(ServiceLevel::PrimaryHit)] +=
+            nd.fastHitBatch;
+        nd.fastHitBatch = 0;
+    }
+}
+
 bool
 MemorySystem::tryFastRead(NodeId node, Addr a)
 {
@@ -557,6 +595,7 @@ MemorySystem::read(NodeId node, Addr a, Tick t)
             if (nodes[node].secondary.probe(a) == LineState::Invalid)
                 return;
             nodes[node].primary.fill(a);
+            nodes[node].cacheEpoch++;
             nodes[node].primaryBusy =
                 std::max(nodes[node].primaryBusy,
                          eq.now() + cfg.lat.primaryFillBusy);
@@ -1056,6 +1095,210 @@ MemorySystem::busUtilization(NodeId node, Tick elapsed) const
     return static_cast<double>(nodes[node].busReq.busyCycles() +
                                nodes[node].busReply.busyCycles()) /
            static_cast<double>(elapsed);
+}
+
+// ---------------------------------------------------------------------
+// Barrier-point checkpointing.
+// ---------------------------------------------------------------------
+
+void
+MemorySystem::assertQuiescent() const
+{
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        panic_if(nodes[n].mshrs.inFlight() != 0,
+                 "checkpoint capture: node %u has %zu outstanding MSHRs",
+                 n, nodes[n].mshrs.inFlight());
+        panic_if(!nodes[n].pendingStores.empty(),
+                 "checkpoint capture: node %u has %zu uncommitted "
+                 "buffered stores",
+                 n, nodes[n].pendingStores.size());
+    }
+    for (const auto &[a, ql] : queuedLocks) {
+        panic_if(ql.held || !ql.waiters.empty(),
+                 "checkpoint capture: queued lock %llu held or contended",
+                 static_cast<unsigned long long>(a));
+    }
+}
+
+namespace {
+
+void
+saveNodeStats(ckpt::Writer &w, const MemorySystem::NodeStats &s)
+{
+    s.sharedReadHits.saveState(w);
+    s.sharedWriteHits.saveState(w);
+    w.u64(s.reads);
+    w.u64(s.writes);
+    w.u64(s.rmws);
+    w.u64(s.prefetchesIssued);
+    w.u64(s.prefetchesDropped);
+    w.u64(s.prefetchesCombined);
+    w.u64(s.invalidationsReceived);
+    s.readMissLatency.saveState(w);
+    for (auto c : s.serviceCount)
+        w.u64(c);
+}
+
+void
+loadNodeStats(ckpt::Reader &r, MemorySystem::NodeStats &s)
+{
+    s.sharedReadHits.loadState(r);
+    s.sharedWriteHits.loadState(r);
+    s.reads = r.u64();
+    s.writes = r.u64();
+    s.rmws = r.u64();
+    s.prefetchesIssued = r.u64();
+    s.prefetchesDropped = r.u64();
+    s.prefetchesCombined = r.u64();
+    s.invalidationsReceived = r.u64();
+    s.readMissLatency.loadState(r);
+    for (auto &c : s.serviceCount)
+        c = r.u64();
+}
+
+} // namespace
+
+void
+MemorySystem::saveState(ckpt::Writer &w) const
+{
+    assertQuiescent();
+    w.tag(0x6d656d73u);  // 'mems'
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        const Node &nd = nodes[n];
+        nd.primary.saveState(w);
+        nd.secondary.saveState(w);
+        // Write buffer: timing calendars only (no stores in flight).
+        w.u64(nd.wb.inFlight.size());
+        for (Tick t : nd.wb.inFlight)  // multiset iterates sorted
+            w.u64(t);
+        w.u64(nd.wb.nextIssueFree);
+        for (const auto &c : nd.wb.ctx) {
+            w.u64(c.allDone);
+            w.u64(c.ackDone);
+        }
+        {
+            std::map<Addr, Tick> sorted(nd.wb.lastCompletePerAddr.begin(),
+                                        nd.wb.lastCompletePerAddr.end());
+            w.u64(sorted.size());
+            for (const auto &[a, t] : sorted) {
+                w.u64(a);
+                w.u64(t);
+            }
+        }
+        w.u64(nd.pb.slots.size());
+        for (Tick t : nd.pb.slots)
+            w.u64(t);
+        w.u64(nd.pb.nextServiceFree);
+        nd.busReq.saveState(w);
+        nd.busReply.saveState(w);
+        nd.netOut.saveState(w);
+        nd.netIn.saveState(w);
+        nd.dir.saveState(w);
+        w.u64(nd.primaryBusy);
+        w.u64(nd.pfFillBusy);
+        saveNodeStats(w, nd.stats);
+        w.u64(nd.cacheEpoch);
+        w.u64(nd.storeEpoch);
+        w.u64(nd.fastHitBatch);
+    }
+    // Global structures, in sorted order for determinism.
+    {
+        std::map<Addr, DirEntry> sorted(directory.begin(), directory.end());
+        w.u64(sorted.size());
+        for (const auto &[idx, e] : sorted) {
+            w.u64(idx);
+            w.u8(static_cast<std::uint8_t>(e.state));
+            w.u32(e.sharers);
+            w.u32(e.owner);
+        }
+    }
+    {
+        std::map<Addr, unsigned> sorted(pendingWritebacks.begin(),
+                                        pendingWritebacks.end());
+        w.u64(sorted.size());
+        for (const auto &[idx, cnt] : sorted) {
+            w.u64(idx);
+            w.u32(cnt);
+        }
+    }
+    w.u64(storeSeq);
+    // Writeback arrivals recorded during the drain, in fire order.
+    // (Stale line watches and wake probes are deliberately dropped:
+    // they are generation-guarded no-ops in the original run too.)
+    w.u64(recordedWb.size());
+    for (const WbArrival &a : recordedWb) {
+        w.u64(a.line);
+        w.u32(a.node);
+        w.u64(a.tick);
+    }
+    w.tag(0x73646e65u);  // 'ends'
+}
+
+void
+MemorySystem::loadState(ckpt::Reader &r)
+{
+    r.expect(0x6d656d73u);
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        Node &nd = nodes[n];
+        nd.primary.loadState(r);
+        nd.secondary.loadState(r);
+        nd.wb.inFlight.clear();
+        for (std::uint64_t i = 0, cnt = r.u64(); i < cnt; ++i)
+            nd.wb.inFlight.insert(r.u64());
+        nd.wb.nextIssueFree = r.u64();
+        for (auto &c : nd.wb.ctx) {
+            c.allDone = r.u64();
+            c.ackDone = r.u64();
+        }
+        nd.wb.lastCompletePerAddr.clear();
+        for (std::uint64_t i = 0, cnt = r.u64(); i < cnt; ++i) {
+            Addr a = r.u64();
+            nd.wb.lastCompletePerAddr[a] = r.u64();
+        }
+        nd.pb.slots.clear();
+        for (std::uint64_t i = 0, cnt = r.u64(); i < cnt; ++i)
+            nd.pb.slots.insert(r.u64());
+        nd.pb.nextServiceFree = r.u64();
+        nd.busReq.loadState(r);
+        nd.busReply.loadState(r);
+        nd.netOut.loadState(r);
+        nd.netIn.loadState(r);
+        nd.dir.loadState(r);
+        nd.primaryBusy = r.u64();
+        nd.pfFillBusy = r.u64();
+        loadNodeStats(r, nd.stats);
+        nd.cacheEpoch = r.u64();
+        nd.storeEpoch = r.u64();
+        nd.fastHitBatch = r.u64();
+    }
+    directory.clear();
+    for (std::uint64_t i = 0, cnt = r.u64(); i < cnt; ++i) {
+        Addr idx = r.u64();
+        DirEntry e;
+        e.state = static_cast<DirEntry::State>(r.u8());
+        e.sharers = r.u32();
+        e.owner = r.u32();
+        directory.emplace(idx, e);
+    }
+    pendingWritebacks.clear();
+    for (std::uint64_t i = 0, cnt = r.u64(); i < cnt; ++i) {
+        Addr idx = r.u64();
+        pendingWritebacks[idx] = r.u32();
+    }
+    storeSeq = r.u64();
+    // Re-schedule the recorded writeback arrivals in their original
+    // fire order. The Machine schedules the park-resume events first,
+    // so at equal ticks a park still precedes these, matching the
+    // original (tick, seq) order.
+    for (std::uint64_t i = 0, cnt = r.u64(); i < cnt; ++i) {
+        Addr line = r.u64();
+        NodeId node = r.u32();
+        Tick at = r.u64();
+        eq.scheduleAtNode(mem.homeOf(line), at, [this, node, line]() {
+            applyWritebackArrival(node, line);
+        });
+    }
+    r.expect(0x73646e65u);
 }
 
 } // namespace dashsim

@@ -41,6 +41,11 @@
 
 namespace dashsim {
 
+namespace ckpt {
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Directory state for one memory line at its home node. */
 struct DirEntry
 {
@@ -119,6 +124,62 @@ class MemorySystem
 
     /** True when a transaction observer is installed (see setTxnHook). */
     bool txnHookActive() const { return txnHookFn != nullptr; }
+
+    // ------------------------------------------------------------------
+    // Direct-execution fast-path support (cpu/processor.cc). The
+    // processor keeps per-context windows of validated guaranteed-L1-hit
+    // lines; each window carries the epoch counters below, so a single
+    // compare re-proves "still a primary hit, no store-forwarding
+    // candidate" without touching the cache structures. The counters
+    // are maintained unconditionally (two increments on already-cold
+    // paths); nothing reads them unless the fast path is enabled.
+    // ------------------------------------------------------------------
+
+    /** Bumped whenever @p node's primary-cache contents change
+     *  (fill, invalidation, or eviction). */
+    std::uint64_t cacheEpoch(NodeId node) const
+    {
+        return nodes[node].cacheEpoch;
+    }
+
+    /** Bumped whenever a write enters @p node's store-forwarding
+     *  table (pendingStores). Removals do not bump: a window only
+     *  caches the *absence* of an entry, which removals preserve. */
+    std::uint64_t storeEpoch(NodeId node) const
+    {
+        return nodes[node].storeEpoch;
+    }
+
+    /**
+     * Count one window-validated primary-hit read for @p node. The
+     * counters a tryFastRead() hit would have recorded are batched
+     * here and folded in by flushDirectExec() so the per-hit cost is
+     * one increment.
+     */
+    void noteWindowHit(NodeId node) { nodes[node].fastHitBatch++; }
+
+    /**
+     * Fold the batched window-hit counters into the regular statistics
+     * (reads, hit rates, service levels). The Machine calls this once
+     * after the event queue drains, before results are assembled;
+     * idempotent because the batch is consumed.
+     */
+    void flushDirectExec();
+
+    /**
+     * Host-side count of window-validated fast-path read hits
+     * (kernel_microbench's fastpath_hit_fraction numerator). Not part
+     * of simulated results: folded window hits are indistinguishable
+     * from tryFastRead() hits in every statistic by design.
+     */
+    std::uint64_t
+    windowHits() const
+    {
+        std::uint64_t n = dxWindowHits;
+        for (const auto &nd : nodes)
+            n += nd.fastHitBatch;
+        return n;
+    }
 
     /**
      * Feed a primary-hit read serviced on the processor's non-suspending
@@ -413,6 +474,34 @@ class MemorySystem
     HitRate totalReadHits() const;
     HitRate totalWriteHits() const;
 
+    // ------------------------------------------------------------------
+    // Barrier-point checkpointing (core/checkpoint.hh). The Machine
+    // parks every context at a barrier completion, then drains the
+    // event queue. Once the drain starts, the only remaining events
+    // that still mutate protocol state are in-flight dirty-eviction
+    // (writeback) arrivals; beginCaptureDrain() switches those to
+    // *recording* mode so they can be re-scheduled verbatim at
+    // restore instead of mutating the captured directory.
+    // ------------------------------------------------------------------
+
+    /** Start recording writeback arrivals instead of applying them. */
+    void beginCaptureDrain() { capturing = true; }
+
+    /**
+     * Panic unless the drained system is in the quiescent shape a
+     * barrier park guarantees: no outstanding MSHRs, no buffered
+     * stores awaiting commit, and every queued lock free with no
+     * waiters. (In-flight writebacks are legal: they were recorded.)
+     */
+    void assertQuiescent() const;
+
+    /** Serialize the full memory-system state (post-drain only). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Restore a saveState() image into this fresh system, including
+     *  re-scheduling the recorded writeback arrivals. */
+    void loadState(ckpt::Reader &r);
+
     /** Bus utilization of @p node in [0,1] given total elapsed ticks. */
     double busUtilization(NodeId node, Tick elapsed) const;
 
@@ -474,6 +563,11 @@ class MemorySystem
         Tick pfFillBusy = 0;
         std::unordered_map<Addr, PendingStore> pendingStores;
         NodeStats stats;
+
+        // Direct-execution fast-path epochs (see cacheEpoch()).
+        std::uint64_t cacheEpoch = 0;
+        std::uint64_t storeEpoch = 0;
+        std::uint64_t fastHitBatch = 0;
     };
 
     /** Combined timing result of a directory transaction. */
@@ -514,6 +608,10 @@ class MemorySystem
 
     /** Handle a dirty eviction: schedule the writeback message. */
     void writebackVictim(NodeId node, Addr victim_line, Tick t);
+
+    /** Directory-side effect of a writeback arrival (the body of the
+     *  event writebackVictim schedules; re-scheduled at restore). */
+    void applyWritebackArrival(NodeId node, Addr victim_line);
 
     /** Install @p line into both cache levels of @p node at @p t. */
     void scheduleFill(NodeId node, Addr line, bool exclusive, bool prefetch,
@@ -568,6 +666,10 @@ class MemorySystem
     SharedMemory &mem;
     MemConfig cfg;
     std::vector<Node> nodes;
+
+    /** Host-side window-hit total accumulated by flushDirectExec()
+     *  (see windowHits()); never serialized, never in results. */
+    std::uint64_t dxWindowHits = 0;
     std::unordered_map<Addr, DirEntry> directory;
     std::unordered_map<Addr, QueuedLock> queuedLocks;
     std::unordered_map<Addr, std::vector<std::function<void()>>> watches;
@@ -580,6 +682,18 @@ class MemorySystem
     /** In-flight dirty-eviction messages by line index (ref-counted). */
     std::unordered_map<Addr, unsigned> pendingWritebacks;
     std::uint64_t storeSeq = 0;
+
+    // --- checkpoint capture state ---
+    struct WbArrival
+    {
+        Addr line;    ///< victim line address
+        NodeId node;  ///< evicting node
+        Tick tick;    ///< original arrival tick
+    };
+    bool capturing = false;
+    /** Writeback arrivals that fired during the capture drain, in
+     *  fire order (their relative order is preserved at restore). */
+    std::vector<WbArrival> recordedWb;
 };
 
 } // namespace dashsim

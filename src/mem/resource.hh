@@ -153,6 +153,36 @@ class Resource
         _requests = 0;
     }
 
+    /** Checkpoint serialization: the calendar verbatim (interval order
+     *  and the prune floor both affect future acquire() results). */
+    template <class W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(floorTick);
+        w.u64(_busyCycles);
+        w.u64(_requests);
+        w.u64(busy.size());
+        for (const Interval &iv : busy) {
+            w.u64(iv.start);
+            w.u64(iv.end);
+        }
+    }
+
+    template <class R>
+    void
+    loadState(R &r)
+    {
+        floorTick = r.u64();
+        _busyCycles = r.u64();
+        _requests = r.u64();
+        busy.resize(r.u64());
+        for (Interval &iv : busy) {
+            iv.start = r.u64();
+            iv.end = r.u64();
+        }
+    }
+
   private:
     struct Interval
     {

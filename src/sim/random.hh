@@ -18,7 +18,9 @@ namespace dashsim {
 class Rng
 {
   public:
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    Rng() : Rng(0x9e3779b97f4a7c15ULL) {}
+
+    explicit Rng(std::uint64_t seed)
     {
         // splitmix64 expansion of the seed into the 4-word state.
         std::uint64_t x = seed;
@@ -64,6 +66,23 @@ class Rng
 
     /** Bernoulli trial with probability @p p. */
     bool chance(double p) { return uniform() < p; }
+
+    /** Checkpoint serialization: the raw 4-word xoshiro state. */
+    template <class W>
+    void
+    saveState(W &w) const
+    {
+        for (auto v : s)
+            w.u64(v);
+    }
+
+    template <class R>
+    void
+    loadState(R &r)
+    {
+        for (auto &v : s)
+            v = r.u64();
+    }
 
   private:
     static std::uint64_t

@@ -96,6 +96,43 @@ class SampleStat
         negBuckets.clear();
     }
 
+    /** Checkpoint serialization (core/checkpoint.hh Writer/Reader). */
+    template <class W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(_count);
+        w.f64(_sum);
+        w.f64(_min);
+        w.f64(_max);
+        w.u64(buckets.size());
+        for (auto b : buckets)
+            w.u64(b);
+        w.u64(negBuckets.size());
+        for (const auto &[k, n] : negBuckets) {
+            w.i64(k);
+            w.u64(n);
+        }
+    }
+
+    template <class R>
+    void
+    loadState(R &r)
+    {
+        _count = r.u64();
+        _sum = r.f64();
+        _min = r.f64();
+        _max = r.f64();
+        buckets.assign(r.u64(), 0);
+        for (auto &b : buckets)
+            b = r.u64();
+        negBuckets.clear();
+        for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {
+            auto k = r.i64();
+            negBuckets[k] = r.u64();
+        }
+    }
+
   private:
     /**
      * Flat index of the bucket holding non-negative value @p i.
@@ -150,6 +187,22 @@ struct HitRate
         return accesses ? 100.0 * static_cast<double>(hits) /
                               static_cast<double>(accesses)
                         : 0.0;
+    }
+
+    template <class W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(hits);
+        w.u64(accesses);
+    }
+
+    template <class R>
+    void
+    loadState(R &r)
+    {
+        hits = r.u64();
+        accesses = r.u64();
     }
 };
 
