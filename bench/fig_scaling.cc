@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Scaling-curve family: each of the paper's five figure comparisons
+ * (caching, consistency, prefetch, multiple contexts, combined) re-run
+ * as a processor-count sweep, 16 -> 64 -> 256 -> 1024, on the
+ * contended 2D mesh with a scalable directory format. The paper
+ * evaluates every technique at a fixed 16-processor machine; this
+ * binary asks how each technique's benefit holds up as the machine -
+ * and with it the invalidation fan-out, the network diameter, and the
+ * directory pressure - grows.
+ *
+ * Workloads are weak-scaled (problem size grows with the processor
+ * count) so per-processor work stays roughly constant and the curves
+ * isolate the machine effects:
+ *   MP3D   particles = 50 x P          (2 steps)
+ *   LU     n = 48 x cbrt(P/16)         (total flops ~ linear in P)
+ *   PTHOR  elements = 150 x P          (6-level circuit, 2 clocks)
+ *
+ * Environment knobs (on top of the common bench knobs):
+ *   DASHSIM_QUICK=1            sweep {16, 64} only (smoke/CI)
+ *   DASHSIM_SCALING_PROCS=a,b  explicit comma-separated sweep list
+ *   DASHSIM_DIRFORMAT=...      fullbv | limptr (default) | coarse
+ *
+ * CSVs land under DASHSIM_CSV_DIR as <APP>_scaling_<family>.csv, one
+ * row per (P, technique) point; committed reference curves live in
+ * bench/data/scaling/.
+ */
+
+#include "common.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "apps/lu.hh"
+#include "apps/mp3d.hh"
+#include "apps/pthor.hh"
+
+using namespace benchutil;
+
+namespace {
+
+DirFormat
+dirFormatFromEnv()
+{
+    const char *e = std::getenv("DASHSIM_DIRFORMAT");
+    if (!e || !e[0] || std::strcmp(e, "limptr") == 0)
+        return DirFormat::LimitedPointer;
+    if (std::strcmp(e, "fullbv") == 0)
+        return DirFormat::FullBitVector;
+    if (std::strcmp(e, "coarse") == 0)
+        return DirFormat::CoarseVector;
+    fatal("DASHSIM_DIRFORMAT must be fullbv, limptr, or coarse (got %s)",
+          e);
+}
+
+const char *
+dirFormatName(DirFormat f)
+{
+    switch (f) {
+      case DirFormat::FullBitVector:
+        return "full-bit-vector";
+      case DirFormat::LimitedPointer:
+        return "limited-pointer";
+      case DirFormat::CoarseVector:
+        return "coarse-vector";
+    }
+    return "?";
+}
+
+std::vector<std::uint32_t>
+procCounts()
+{
+    if (const char *e = std::getenv("DASHSIM_SCALING_PROCS")) {
+        std::vector<std::uint32_t> out;
+        const char *p = e;
+        while (*p) {
+            char *end = nullptr;
+            long v = std::strtol(p, &end, 10);
+            fatal_if(end == p || v <= 0,
+                     "bad DASHSIM_SCALING_PROCS entry near '%s'", p);
+            out.push_back(static_cast<std::uint32_t>(v));
+            p = (*end == ',') ? end + 1 : end;
+        }
+        fatal_if(out.empty(), "empty DASHSIM_SCALING_PROCS");
+        return out;
+    }
+    if (quickMode())
+        return {16, 64};
+    return {16, 64, 256, 1024};
+}
+
+/**
+ * Weak-scaled workload for @p procs processors running @p ctx_per_proc
+ * hardware contexts each (families that compare context counts size
+ * the workload for their largest machine so every technique in the
+ * family runs the identical program).
+ */
+WorkloadFactory
+scaledWorkload(const std::string &name, std::uint32_t procs,
+               std::uint32_t ctx_per_proc)
+{
+    if (name == "MP3D") {
+        const std::uint32_t actors = procs * ctx_per_proc;
+        return [procs, actors] {
+            Mp3dConfig c;
+            c.particles = 50 * procs;
+            // Scale the space with the *actor* count (procs x
+            // contexts), not just the node count: the rate of MP3D's
+            // tolerated statistical lost-updates on the unlocked
+            // per-cell counters grows with how many actors can
+            // collide on a cell concurrently, so constant
+            // actors-per-cell keeps the loss rate inside the
+            // benchmark's conservation tolerance at every sweep
+            // point.
+            c.cellsZ = std::max(1u, (7 * actors + 15) / 16);
+            c.steps = 2;
+            return std::make_unique<Mp3d>(c);
+        };
+    }
+    if (name == "LU") {
+        return [procs] {
+            LuConfig c;
+            c.n = static_cast<std::uint32_t>(
+                std::lround(48.0 * std::cbrt(procs / 16.0)));
+            return std::make_unique<Lu>(c);
+        };
+    }
+    fatal_if(name != "PTHOR", "unknown scaling workload '%s'",
+             name.c_str());
+    return [procs] {
+        PthorConfig c;
+        c.elements = 150 * procs;
+        c.flipflops = c.elements / 10;
+        c.primaryInputs = 32;
+        c.levels = 6;
+        c.clockCycles = 2;
+        return std::make_unique<Pthor>(c);
+    };
+}
+
+struct Family
+{
+    const char *key;      ///< CSV suffix
+    const char *title;    ///< figure being scaled
+    std::uint32_t ctxPerProc; ///< largest context count in the family
+    std::vector<std::pair<std::string, Technique>> techniques;
+};
+
+} // namespace
+
+int
+main()
+{
+    const DirFormat format = dirFormatFromEnv();
+    const std::vector<std::uint32_t> procs = procCounts();
+
+    printRunHeader("Scaling curves: Figures 2-6 from 16 to 1024 "
+                   "processors");
+    std::printf("directory format: %s, contended 2D mesh\n\n",
+                dirFormatName(format));
+
+    const Family families[] = {
+        {"fig2", "Figure 2 (caching)", 1,
+         {{"NoCache", Technique::noCache()}, {"SC", Technique::sc()}}},
+        {"fig3", "Figure 3 (consistency)", 1,
+         {{"SC", Technique::sc()}, {"RC", Technique::rc()}}},
+        {"fig4", "Figure 4 (prefetch)", 1,
+         {{"SC", Technique::sc()}, {"SC+PF", Technique::scPrefetch()}}},
+        {"fig5", "Figure 5 (multiple contexts)", 4,
+         {{"SC", Technique::sc()},
+          {"SC 4ctx/sw4", Technique::multiContext(4, 4)}}},
+        {"fig6", "Figure 6 (combined)", 4,
+         {{"RC", Technique::rc()},
+          {"RC+PF 4ctx/sw4",
+           Technique::multiContext(4, 4, Consistency::RC, true)}}},
+    };
+
+    for (auto &[app, unused_factory] : workloads()) {
+        (void)unused_factory; // replaced by the weak-scaled factories
+        for (const Family &fam : families) {
+            RunBatch batch;
+            for (std::uint32_t p : procs) {
+                for (const auto &[tname, t] : fam.techniques) {
+                    RunPoint pt;
+                    pt.factory = scaledWorkload(app, p, fam.ctxPerProc);
+                    pt.technique = t;
+                    pt.label = "P" + std::to_string(p) + "/" + tname;
+                    pt.configure = [p, format](MachineConfig &cfg) {
+                        cfg.mem.numNodes = p;
+                        cfg.mem.lat.mesh = true;
+                        cfg.mem.dirFormat = format;
+                    };
+                    batch.add(std::move(pt));
+                }
+            }
+
+            std::vector<BreakdownRow> rows;
+            for (auto &o : batch.run())
+                rows.push_back({o.label, takeResult(o)});
+
+            std::printf("%s - %s\n", app.c_str(), fam.title);
+            std::printf("  %-20s %14s %10s\n", "point", "exec cycles",
+                        "speedup");
+            const std::size_t per_p = fam.techniques.size();
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+                // Speedup of each technique over the first technique at
+                // the same processor count (the per-P baseline bar).
+                const RunResult &base =
+                    rows[i - i % per_p].result;
+                std::printf("  %-20s %14llu %9.2fx\n",
+                            rows[i].label.c_str(),
+                            static_cast<unsigned long long>(
+                                rows[i].result.execTime),
+                            speedup(rows[i].result, base));
+            }
+            std::printf("\n");
+            emitCsv(app + "_scaling_" + fam.key + ".csv",
+                    app + " scaling " + fam.key, rows);
+        }
+    }
+    return 0;
+}

@@ -344,6 +344,49 @@ bestOfFastpath(unsigned reps, const std::string &app, bool fast,
     return best;
 }
 
+/**
+ * Contended-mesh on/off pair on one quick app grid point. The mesh
+ * adds per-hop link calendars to every cross-node message; this pair
+ * watches the simulator-side cost of those extra PathWalker stages
+ * (the ctor-precomputed mesh dimensions keep per-call work flat).
+ * Unlike the fastpath pair the two runs simulate *different* machines
+ * (the mesh is a timing model, not an implementation knob), so only
+ * wall-clock per event is comparable - and it should stay within noise
+ * of the uniform-network run.
+ */
+Measurement
+meshRun(const std::string &app, bool mesh)
+{
+    WorkloadFactory factory = testWorkload(app);
+    MachineConfig cfg = makeMachineConfig(Technique::rc());
+    cfg.check.coherence = false;
+    cfg.check.race = false;
+    cfg.check.conservation = false;
+    cfg.mem.lat.mesh = mesh;
+
+    Machine machine(cfg);
+    auto w = factory();
+    Measurement m{std::string("mesh_") + (mesh ? "on_" : "off_") + app, 0,
+                  0.0};
+    auto t0 = Clock::now();
+    machine.run(*w);
+    m.seconds = secondsSince(t0);
+    m.events = machine.eventQueue().executed();
+    return m;
+}
+
+Measurement
+bestOfMesh(unsigned reps, const std::string &app, bool mesh)
+{
+    Measurement best = meshRun(app, mesh);
+    for (unsigned r = 1; r < reps; ++r) {
+        Measurement next = meshRun(app, mesh);
+        if (next.seconds < best.seconds)
+            best = next;
+    }
+    return best;
+}
+
 Measurement
 bestOf(unsigned reps, Measurement (*fn)(std::uint64_t), std::uint64_t n)
 {
@@ -445,6 +488,14 @@ main()
     }
     const double fp_hit_fraction =
         fp_reads ? static_cast<double>(fp_hits) / fp_reads : 0.0;
+
+    // mesh_grid: uniform-network vs contended-mesh pair per quick app.
+    // The ns/event columns should sit within noise of each other; a
+    // gap means the per-hop link stages got expensive.
+    for (const char *app : {"MP3D", "LU", "PTHOR"}) {
+        ms.push_back(bestOfMesh(reps, app, false));
+        ms.push_back(bestOfMesh(reps, app, true));
+    }
 
     for (const Measurement &m : ms)
         std::printf("%-16s %12llu %10.3f %14.0f %10.2f\n", m.name.c_str(),

@@ -60,8 +60,9 @@ std::string
 CoherenceChecker::describeLine(Addr line, const DirEntry &e) const
 {
     std::string s = detail::vformat(
-        "dir=%s sharers=%08x owner=%d wbPending=%d |", stateName(e.state),
-        e.sharers, e.owner == invalidNode ? -1 : static_cast<int>(e.owner),
+        "dir=%s sharers=%s owner=%d wbPending=%d |", stateName(e.state),
+        e.sharers.hex().c_str(),
+        e.owner == invalidNode ? -1 : static_cast<int>(e.owner),
         msys.writebackPending(line) ? 1 : 0);
     for (NodeId n = 0; n < msys.config().numNodes; ++n) {
         LineState st = msys.secondaryStateOf(n, line);
@@ -154,7 +155,7 @@ CoherenceChecker::checkLine(Addr line)
             // Holders must appear in the sharers mask (the mask may be
             // a superset: clean evictions are silent).
             if (st == LineState::Dirty ||
-                (st == LineState::Shared && !(e.sharers & (1u << n))))
+                (st == LineState::Shared && !e.sharers.test(n)))
                 report(Kind::SharedClean, line, e);
             // An in-flight *exclusive* fill under a Shared entry means
             // a sharing writeback failed to downgrade it.

@@ -51,11 +51,13 @@ struct LitmusResult
 
 /**
  * Run @p iterations perturbed instances of litmus test @p k under
- * consistency model @p model on a 4-node machine (coherence checking
- * on, race detection off - the kernels race on purpose).
+ * consistency model @p model (coherence checking on, race detection
+ * off - the kernels race on purpose). @p num_nodes sizes the machine
+ * (>= 4); only the first four processes participate, so larger
+ * machines exercise the same races across a bigger directory/network.
  */
 LitmusResult runLitmus(LitmusKind k, Consistency model,
-                       unsigned iterations);
+                       unsigned iterations, std::uint32_t num_nodes = 4);
 
 } // namespace dashsim
 

@@ -92,6 +92,9 @@ configHash(const MachineConfig &cfg)
     w.u32(m.prefetchBufferDepth);
     w.u32(m.mshrs);
     w.u8(m.cacheSharedData ? 1 : 0);
+    w.u8(static_cast<std::uint8_t>(m.dirFormat));
+    w.u32(m.dirPointers);
+    w.u32(m.dirRegionSize);
     const LatencyConfig &l = m.lat;
     w.u64(l.readPrimaryHit);
     w.u64(l.readSecondary);
@@ -111,6 +114,7 @@ configHash(const MachineConfig &cfg)
     w.u8(l.mesh ? 1 : 0);
     w.u64(l.meshBase);
     w.u64(l.meshPerHop);
+    w.u8(l.torus ? 1 : 0);
     w.u64(l.invalAckLatency);
     w.u64(l.uncachedDiscount);
     w.u64(l.primaryFillBusy);

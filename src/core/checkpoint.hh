@@ -27,7 +27,10 @@
 namespace dashsim::ckpt {
 
 /** Bump on any layout change; readers reject other versions. */
-inline constexpr std::uint32_t ckptVersion = 1;
+/** v2: SharerSet directory encoding (variable-width sharer words +
+ *  overflow flag), mesh link calendars, and directory-format
+ *  accounting counters. v1 images are rejected at the header check. */
+inline constexpr std::uint32_t ckptVersion = 2;
 
 /** Magic number leading every checkpoint blob ("DSCK"). */
 inline constexpr std::uint32_t ckptMagic = 0x4453434bu;

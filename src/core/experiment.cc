@@ -190,6 +190,22 @@ ckptCachePath(const char *dir, const Workload &w, const MachineConfig &cfg)
 }
 
 /**
+ * A cached blob is usable only when its header carries this build's
+ * magic and version. Stale entries (an image from a build with a
+ * different serialization format, e.g. the pre-SharerSet u32 sharer
+ * encoding) are rejected here and recaptured in place rather than
+ * reaching resumeRun, which would fatal on them.
+ */
+bool
+ckptHeaderCurrent(const std::vector<std::uint8_t> &blob)
+{
+    if (blob.size() < 8)
+        return false;
+    ckpt::Reader r(blob);
+    return r.u32() == ckpt::ckptMagic && r.u32() == ckpt::ckptVersion;
+}
+
+/**
  * Execute one point start-to-finish on the calling thread. Errors are
  * captured into the outcome instead of terminating, and warn/inform
  * output is buffered per run so concurrent points never interleave.
@@ -230,7 +246,7 @@ runPoint(const RunPoint &p)
         } else {
             const std::string path = ckptCachePath(ckdir, *w, cfg);
             std::vector<std::uint8_t> blob;
-            if (!ckpt::readFile(path, blob)) {
+            if (!ckpt::readFile(path, blob) || !ckptHeaderCurrent(blob)) {
                 blob = m.captureRun(*w, w->checkpointEpisodes());
                 if (!ckpt::writeFile(path, blob))
                     warn("checkpoint cache write failed: %s",

@@ -523,6 +523,12 @@ Machine::fillRegistry(obs::Registry &reg, const RunResult &r) const
     reg.set("machine.kernel.cross_inline", eq.crossInline());
     reg.set("machine.kernel.cross_deferred", eq.crossDeferred());
 
+    // Directory-format accounting (limited-pointer overflows, inexact
+    // invalidation cost). Zero under the full-bit-vector default.
+    reg.set("machine.dir.overflows", msys.dirOverflowCount());
+    reg.set("machine.dir.over_invalidations",
+            msys.overInvalidationCount());
+
     // Stable dotted-name mapping of each service level; see
     // docs/OBSERVABILITY.md before renaming anything here.
     static constexpr const char *levelKey[7] = {

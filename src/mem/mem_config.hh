@@ -71,6 +71,13 @@ struct LatencyConfig
     Tick meshPerHop = 7;    ///< per-hop wire + switch latency
 
     /**
+     * With `mesh` on, also wrap the grid into a 2-D torus: per-dim
+     * distances take the shorter way around. Requires a full
+     * cols x rows grid (every node position occupied).
+     */
+    bool torus = false;
+
+    /**
      * Extra latency from the ownership grant until the last invalidation
      * acknowledgement reaches the requester (sharer inval + ack hops).
      */
@@ -104,10 +111,42 @@ struct CacheGeometry
     std::uint32_t numSets() const { return numLines() / ways; }
 };
 
+/**
+ * Directory sharer-tracking format (Section 2's full bit vector plus
+ * the two scalable formats the >64-node configurations need). All
+ * three are layered over the same exact SharerSet bookkeeping; they
+ * differ only in which nodes an exclusive request invalidates and in
+ * the overflow / over-invalidation accounting.
+ */
+enum class DirFormat : std::uint8_t
+{
+    /** One presence bit per node; invalidations are exact. */
+    FullBitVector,
+    /**
+     * Dir_i_B: i node pointers; once a line ever has more than i
+     * sharers the entry overflows (sticky until the line resets to
+     * Dirty/Uncached) and an exclusive request broadcasts
+     * invalidations to every node.
+     */
+    LimitedPointer,
+    /**
+     * Coarse vector: one presence bit per region of dirRegionSize
+     * consecutive nodes; invalidations cover whole marked regions.
+     */
+    CoarseVector,
+};
+
 /** Whole memory-system configuration. */
 struct MemConfig
 {
     std::uint32_t numNodes = 16;
+
+    /** Directory sharer-tracking format (see DirFormat). */
+    DirFormat dirFormat = DirFormat::FullBitVector;
+    /** Pointer count i of the limited-pointer (Dir_i_B) format. */
+    std::uint32_t dirPointers = 4;
+    /** Nodes per region bit of the coarse-vector format. */
+    std::uint32_t dirRegionSize = 8;
 
     /** Scaled caches (Section 2.3): 2 KB primary, 4 KB secondary. */
     CacheGeometry primary{2 * 1024};

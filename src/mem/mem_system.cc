@@ -11,8 +11,22 @@ MemorySystem::MemorySystem(EventQueue &eq, SharedMemory &mem,
                            const MemConfig &cfg)
     : eq(eq), mem(mem), cfg(cfg)
 {
-    fatal_if(cfg.numNodes == 0 || cfg.numNodes > 32,
-             "numNodes must be in [1,32] (directory uses a 32-bit mask)");
+    fatal_if(cfg.numNodes == 0, "numNodes must be nonzero");
+    fatal_if(cfg.dirFormat == DirFormat::LimitedPointer &&
+                 cfg.dirPointers == 0,
+             "limited-pointer directory needs at least one pointer");
+    fatal_if(cfg.dirFormat == DirFormat::CoarseVector &&
+                 cfg.dirRegionSize == 0,
+             "coarse-vector directory needs a nonzero region size");
+    // Row-major near-square grid, computed once: hopLatency() sits on
+    // the memory hot path and must not re-derive the shape per call.
+    while (meshCols * meshCols < cfg.numNodes)
+        ++meshCols;
+    meshRows = (cfg.numNodes + meshCols - 1) / meshCols;
+    fatal_if(cfg.lat.torus &&
+                 (!cfg.lat.mesh || meshCols * meshRows != cfg.numNodes),
+             "torus requires mesh mode and a full %u x %u grid",
+             meshCols, meshRows);
     nodes.reserve(cfg.numNodes);
     for (std::uint32_t i = 0; i < cfg.numNodes; ++i)
         nodes.emplace_back(cfg);
@@ -30,15 +44,54 @@ MemorySystem::hopLatency(NodeId from, NodeId to) const
     const LatencyConfig &L = cfg.lat;
     if (!L.mesh || from == to)
         return L.netHop;
-    // Row-major near-square grid.
-    std::uint32_t cols = 1;
-    while (cols * cols < cfg.numNodes)
-        ++cols;
-    std::uint32_t fx = from % cols, fy = from / cols;
-    std::uint32_t tx = to % cols, ty = to / cols;
-    std::uint32_t dist = (fx > tx ? fx - tx : tx - fx) +
-                         (fy > ty ? fy - ty : ty - fy);
-    return L.meshBase + L.meshPerHop * dist;
+    std::uint32_t fx = from % meshCols, fy = from / meshCols;
+    std::uint32_t tx = to % meshCols, ty = to / meshCols;
+    std::uint32_t dx = fx > tx ? fx - tx : tx - fx;
+    std::uint32_t dy = fy > ty ? fy - ty : ty - fy;
+    if (L.torus) {
+        dx = std::min(dx, meshCols - dx);
+        dy = std::min(dy, meshRows - dy);
+    }
+    return L.meshBase + L.meshPerHop * (dx + dy);
+}
+
+void
+MemorySystem::meshRoute(PathWalker &w, NodeId from, NodeId to,
+                        Tick offset, Tick occupancy)
+{
+    const LatencyConfig &L = cfg.lat;
+    if (!L.mesh || from == to)
+        return;
+    // Dimension-order (X then Y) route; every traversed node's
+    // directional output link is a FCFS calendar, so a hot link shows
+    // up as queueing on each message crossing it. Under the torus each
+    // dimension takes the shorter way around (ties go forward).
+    std::uint32_t x = from % meshCols, y = from / meshCols;
+    const std::uint32_t tx = to % meshCols, ty = to / meshCols;
+    std::uint32_t k = 0;
+    auto hop = [&](std::uint32_t node, std::uint32_t dir) {
+        w.stage(nodes[node].meshLink[dir],
+                offset + L.meshBase + k * L.meshPerHop, occupancy);
+        ++k;
+    };
+    while (x != tx) {
+        bool east = tx > x;
+        if (L.torus) {
+            std::uint32_t fwd = (tx + meshCols - x) % meshCols;
+            east = fwd <= meshCols - fwd;
+        }
+        hop(y * meshCols + x, east ? 0u : 1u);
+        x = east ? (x + 1) % meshCols : (x + meshCols - 1) % meshCols;
+    }
+    while (y != ty) {
+        bool south = ty > y;
+        if (L.torus) {
+            std::uint32_t fwd = (ty + meshRows - y) % meshRows;
+            south = fwd <= meshRows - fwd;
+        }
+        hop(y * meshCols + x, south ? 3u : 2u);
+        y = south ? (y + 1) % meshRows : (y + meshRows - 1) % meshRows;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -84,9 +137,11 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             const Tick hopHO = hopLatency(home, o);
             const Tick hopOR = hopLatency(o, req);
             w.stage(nodes[home].netOut, 10, L.netCtlOccupancy);
+            meshRoute(w, home, o, 10, L.netCtlOccupancy);
             w.stage(nodes[o].netIn, 10 + hopHO, L.netCtlOccupancy);
             w.stage(nodes[o].busReq, 12 + hopHO, L.busCtlOccupancy);
             w.stage(nodes[o].netOut, 18 + hopHO, L.netDataOccupancy);
+            meshRoute(w, o, req, 18 + hopHO, L.netDataOccupancy);
             w.stage(nodes[req].netIn, 18 + hopHO + hopOR,
                     L.netDataOccupancy);
             w.stage(nodes[req].busReply, 22 + hopHO + hopOR,
@@ -103,6 +158,7 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
         }
     } else {
         w.stage(nodes[req].netOut, 4, L.netCtlOccupancy);
+        meshRoute(w, req, home, 4, L.netCtlOccupancy);
         w.stage(nodes[home].netIn, 4 + hopRH, L.netCtlOccupancy);
         dir_start = w.stage(nodes[home].dir, 6 + hopRH, L.dirOccupancy);
         if (dirtyElsewhere) {
@@ -110,12 +166,15 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             const Tick hopHO = hopLatency(home, o);
             const Tick hopOR = hopLatency(o, req);
             w.stage(nodes[home].netOut, 12 + hopRH, L.netCtlOccupancy);
+            meshRoute(w, home, o, 12 + hopRH, L.netCtlOccupancy);
             w.stage(nodes[o].netIn, 12 + hopRH + hopHO,
                     L.netCtlOccupancy);
             w.stage(nodes[o].busReq, 14 + hopRH + hopHO,
                     L.busCtlOccupancy);
             w.stage(nodes[o].netOut, 20 + hopRH + hopHO,
                     L.netDataOccupancy);
+            meshRoute(w, o, req, 20 + hopRH + hopHO,
+                      L.netDataOccupancy);
             w.stage(nodes[req].netIn, 20 + hopRH + hopHO + hopOR,
                     L.netDataOccupancy);
             w.stage(nodes[req].busReply, 24 + hopRH + hopHO + hopOR,
@@ -129,6 +188,7 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
         } else {
             w.stage(nodes[home].busReq, 12 + hopRH, L.busCtlOccupancy);
             w.stage(nodes[home].netOut, 24 + hopRH, net_reply);
+            meshRoute(w, home, req, 24 + hopRH, net_reply);
             w.stage(nodes[req].netIn, 24 + 2 * hopRH, net_reply);
             w.stage(nodes[req].busReply, 26 + 2 * hopRH, bus_reply);
             r.dataAt = w.finish(L.readHome - 2 * L.netHop +
@@ -144,20 +204,29 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
 
     // --- Directory and remote-cache state updates (eager) ---
     if (exclusive) {
-        std::uint32_t invalidatees = 0;
-        if (e.state == DirEntry::State::Shared)
-            invalidatees = e.sharers & ~(1u << req);
-        else if (e.state == DirEntry::State::Dirty &&
-                 e.owner != invalidNode && e.owner != req)
-            invalidatees = 1u << e.owner;
-        if (invalidatees) {
-            Tick ack =
-                sendInvalidations(req, home, line, invalidatees, dir_start);
+        if (e.state == DirEntry::State::Shared) {
+            SharerSet exact = e.sharers;
+            exact.remove(req);
+            if (!exact.empty()) {
+                Tick ack = sendInvalidations(
+                    req, home, line, invalidationTargets(e, req), exact,
+                    dir_start);
+                r.ackDone = std::max(r.ownAt, ack);
+            }
+        } else if (e.state == DirEntry::State::Dirty &&
+                   e.owner != invalidNode && e.owner != req) {
+            // The owner is tracked by an exact pointer in every
+            // format, so this invalidation never broadcasts.
+            SharerSet owner_only;
+            owner_only.add(e.owner);
+            Tick ack = sendInvalidations(req, home, line, owner_only,
+                                         owner_only, dir_start);
             r.ackDone = std::max(r.ownAt, ack);
         }
         e.state = DirEntry::State::Dirty;
         e.owner = req;
-        e.sharers = 0;
+        e.sharers.clear();
+        e.overflowed = false;
     } else {
         if (e.state == DirEntry::State::Dirty && e.owner != invalidNode &&
             e.owner != req) {
@@ -168,14 +237,17 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             // directory (Dirty copy under a Shared directory entry).
             if (auto *m = nodes[e.owner].mshrs.find(line))
                 m->exclusive = false;
-            e.sharers = 1u << e.owner;
+            NodeId prev = e.owner;
             e.state = DirEntry::State::Shared;
-            e.sharers |= 1u << req;
             e.owner = invalidNode;
+            e.sharers.clear();
+            e.overflowed = false;
+            dirAddSharer(e, prev);
+            dirAddSharer(e, req);
         } else if (req == home &&
                    (e.state == DirEntry::State::Uncached ||
                     (e.state == DirEntry::State::Shared &&
-                     (e.sharers & ~(1u << req)) == 0))) {
+                     noOtherSharers(e, req)))) {
             // Local-memory read with no other node holding a copy: the
             // home grants exclusive ownership so a subsequent write
             // retires in the cache. This matches the behavior the
@@ -184,28 +256,103 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             // rates); remote reads always return read-shared copies.
             e.state = DirEntry::State::Dirty;
             e.owner = req;
-            e.sharers = 0;
+            e.sharers.clear();
+            e.overflowed = false;
             r.exclusiveGrant = true;
         } else {
             e.state = DirEntry::State::Shared;
-            e.sharers |= 1u << req;
+            dirAddSharer(e, req);
             e.owner = invalidNode;
         }
     }
     return r;
 }
 
+SharerSet
+MemorySystem::invalidationTargets(const DirEntry &e, NodeId req) const
+{
+    SharerSet t;
+    switch (cfg.dirFormat) {
+      case DirFormat::FullBitVector:
+        t = e.sharers;
+        break;
+      case DirFormat::LimitedPointer:
+        if (!e.overflowed) {
+            t = e.sharers;
+        } else {
+            // Dir_i_B: the pointers overflowed, so the home no longer
+            // knows who shares and must broadcast the invalidation.
+            for (NodeId n = 0; n < cfg.numNodes; ++n)
+                t.add(n);
+        }
+        break;
+      case DirFormat::CoarseVector: {
+        // Region cover of the exact set: every node in any region that
+        // contains a sharer. Computed from the exact set on demand,
+        // which is equivalent to accumulating region bits because
+        // sharer sets only grow between full resets.
+        const std::uint32_t rs = cfg.dirRegionSize;
+        e.sharers.forEach([&](NodeId s) {
+            NodeId start = s / rs * rs;
+            NodeId end = std::min<NodeId>(start + rs, cfg.numNodes);
+            for (NodeId n = start; n < end; ++n)
+                t.add(n);
+        });
+        break;
+      }
+    }
+    t.remove(req);
+    return t;
+}
+
+bool
+MemorySystem::noOtherSharers(const DirEntry &e, NodeId req) const
+{
+    switch (cfg.dirFormat) {
+      case DirFormat::FullBitVector:
+        return e.sharers.noneExcept(req);
+      case DirFormat::LimitedPointer:
+        return !e.overflowed && e.sharers.noneExcept(req);
+      case DirFormat::CoarseVector:
+        // The hardware only sees region bits: a marked region - even
+        // the requester's own - may hide another sharer, so a Shared
+        // entry never proves exclusivity.
+        return e.sharers.empty();
+    }
+    return false;
+}
+
+void
+MemorySystem::dirAddSharer(DirEntry &e, NodeId n)
+{
+    e.sharers.add(n);
+    if (cfg.dirFormat == DirFormat::LimitedPointer && !e.overflowed &&
+        e.sharers.count() > cfg.dirPointers) {
+        e.overflowed = true;
+        dirOverflows++;
+    }
+}
+
 Tick
 MemorySystem::sendInvalidations(NodeId req, NodeId home, Addr line,
-                                std::uint32_t sharers, Tick dir_time)
+                                const SharerSet &targets,
+                                const SharerSet &exact, Tick dir_time)
 {
     const LatencyConfig &L = cfg.lat;
     Tick last_ack = dir_time;
     for (NodeId s = 0; s < cfg.numNodes; ++s) {
-        if (!(sharers & (1u << s)))
+        if (!targets.test(s))
             continue;
+        // A target outside the exact set holds no copy: the message
+        // and its ack still cost time and bandwidth, which is the
+        // price of the inexact directory format.
+        if (!exact.test(s))
+            overInvalidations++;
         // Eager cache-state effect: drop the copy and poison any fill
         // still in flight so the stale response cannot install it.
+        // (No-ops for an over-invalidated non-sharer: a node with a
+        // copy or a fill in flight is in the exact set by
+        // construction.)
         nodes[s].secondary.invalidate(line);
         nodes[s].primary.invalidate(line);
         if (auto *m = nodes[s].mshrs.find(line))
@@ -214,14 +361,23 @@ MemorySystem::sendInvalidations(NodeId req, NodeId home, Addr line,
 
         nodes[s].cacheEpoch++;
 
-        // Timing: inval message home->s, ack s->req (point to point).
+        // Timing: inval message home->s, ack s->req (point to point);
+        // distance-dependent under the mesh (invalAckLatency is the
+        // uniform two-hop value, so the uniform network reproduces the
+        // paper's constant exactly).
+        const Tick hopHS = hopLatency(home, s);
+        const Tick hopSR = hopLatency(s, req);
         PathWalker w(dir_time);
         w.stage(nodes[home].netOut, 2, L.netCtlOccupancy);
-        w.stage(nodes[s].netIn, 2 + L.netHop, L.netCtlOccupancy);
-        w.stage(nodes[s].busReq, 4 + L.netHop, L.busCtlOccupancy);
-        w.stage(nodes[s].netOut, 6 + L.netHop, L.netCtlOccupancy);
-        w.stage(nodes[req].netIn, 6 + 2 * L.netHop, L.netCtlOccupancy);
-        last_ack = std::max(last_ack, w.finish(8 + L.invalAckLatency));
+        meshRoute(w, home, s, 2, L.netCtlOccupancy);
+        w.stage(nodes[s].netIn, 2 + hopHS, L.netCtlOccupancy);
+        w.stage(nodes[s].busReq, 4 + hopHS, L.busCtlOccupancy);
+        w.stage(nodes[s].netOut, 6 + hopHS, L.netCtlOccupancy);
+        meshRoute(w, s, req, 6 + hopHS, L.netCtlOccupancy);
+        w.stage(nodes[req].netIn, 6 + hopHS + hopSR, L.netCtlOccupancy);
+        last_ack = std::max(last_ack,
+                            w.finish(8 + L.invalAckLatency -
+                                     2 * L.netHop + hopHS + hopSR));
     }
     return last_ack;
 }
@@ -237,9 +393,11 @@ MemorySystem::writebackVictim(NodeId node, Addr victim_line, Tick t)
     if (home == node) {
         arrive = w.stage(nodes[home].dir, 6, L.dirOccupancy);
     } else {
+        const Tick hopNH = hopLatency(node, home);
         w.stage(nodes[node].netOut, 6, L.netDataOccupancy);
-        w.stage(nodes[home].netIn, 6 + L.netHop, L.netDataOccupancy);
-        arrive = w.stage(nodes[home].dir, 8 + L.netHop, L.dirOccupancy);
+        meshRoute(w, node, home, 6, L.netDataOccupancy);
+        w.stage(nodes[home].netIn, 6 + hopNH, L.netDataOccupancy);
+        arrive = w.stage(nodes[home].dir, 8 + hopNH, L.dirOccupancy);
     }
     // The directory learns of the eviction when the message arrives.
     // Home-affine event: it mutates the home node's directory state.
@@ -273,7 +431,8 @@ MemorySystem::applyWritebackArrival(NodeId node, Addr victim_line)
         !refetched) {
         e.state = DirEntry::State::Uncached;
         e.owner = invalidNode;
-        e.sharers = 0;
+        e.sharers.clear();
+        e.overflowed = false;
     }
     auto it = pendingWritebacks.find(lineIndex(victim_line));
     if (it != pendingWritebacks.end() && --it->second == 0)
@@ -370,9 +529,11 @@ MemorySystem::queuedLockRelease(NodeId node, Addr a, Tick t)
         arrive = w.stage(nodes[home].dir, 4, L.dirOccupancy) +
                  L.dirOccupancy;
     } else {
+        const Tick hopNH = hopLatency(node, home);
         w.stage(nodes[node].netOut, 4, L.netCtlOccupancy);
-        w.stage(nodes[home].netIn, 4 + L.netHop, L.netCtlOccupancy);
-        arrive = w.stage(nodes[home].dir, 6 + L.netHop, L.dirOccupancy) +
+        meshRoute(w, node, home, 4, L.netCtlOccupancy);
+        w.stage(nodes[home].netIn, 4 + hopNH, L.netCtlOccupancy);
+        arrive = w.stage(nodes[home].dir, 6 + hopNH, L.dirOccupancy) +
                  L.dirOccupancy;
     }
     eq.scheduleAtNode(home, arrive, [this, a]() {
@@ -443,22 +604,28 @@ MemorySystem::walkUncached(NodeId req, Addr a, bool is_write, Tick t)
                              : L.readLocal - L.uncachedDiscount;
         r.dataAt = r.ownAt = w.finish(base);
     } else {
+        const Tick hopRH = hopLatency(req, home);
         w.stage(nodes[req].netOut, 4, L.netCtlOccupancy);
-        w.stage(nodes[home].netIn, 4 + L.netHop, L.netCtlOccupancy);
-        w.stage(nodes[home].dir, 6 + L.netHop, L.dirOccupancy);
+        meshRoute(w, req, home, 4, L.netCtlOccupancy);
+        w.stage(nodes[home].netIn, 4 + hopRH, L.netCtlOccupancy);
+        w.stage(nodes[home].dir, 6 + hopRH, L.dirOccupancy);
         if (!is_write) {
-            w.stage(nodes[home].netOut, 14 + L.netHop,
+            w.stage(nodes[home].netOut, 14 + hopRH,
                     L.netDataOccupancy);
-            w.stage(nodes[req].netIn, 14 + 2 * L.netHop,
+            meshRoute(w, home, req, 14 + hopRH, L.netDataOccupancy);
+            w.stage(nodes[req].netIn, 14 + 2 * hopRH,
                     L.netDataOccupancy);
         }
         // The paper says uncached accesses are "five to ten cycles less"
         // than the cached fills; remote accesses save the larger amount
         // because both the request and reply skip the cache fill stages.
-        Tick base = is_write ? L.writeHome - L.uncachedDiscount - 2
-                             : L.readHome - L.uncachedDiscount - 2;
+        Tick base = is_write
+                        ? L.writeHome - L.uncachedDiscount - 2 -
+                              L.netHop + hopRH
+                        : L.readHome - L.uncachedDiscount - 2 -
+                              2 * L.netHop + 2 * hopRH;
         r.dataAt = r.ownAt = w.finish(base);
-        r.netCycles = is_write ? L.netHop : 2 * L.netHop;
+        r.netCycles = is_write ? hopRH : 2 * hopRH;
     }
     r.ackDone = r.ownAt;
     r.queueing = w.queueing();
@@ -1194,6 +1361,8 @@ MemorySystem::saveState(ckpt::Writer &w) const
         nd.netOut.saveState(w);
         nd.netIn.saveState(w);
         nd.dir.saveState(w);
+        for (const Resource &l : nd.meshLink)
+            l.saveState(w);
         w.u64(nd.primaryBusy);
         w.u64(nd.pfFillBusy);
         saveNodeStats(w, nd.stats);
@@ -1208,7 +1377,8 @@ MemorySystem::saveState(ckpt::Writer &w) const
         for (const auto &[idx, e] : sorted) {
             w.u64(idx);
             w.u8(static_cast<std::uint8_t>(e.state));
-            w.u32(e.sharers);
+            e.sharers.saveState(w);
+            w.u8(e.overflowed ? 1 : 0);
             w.u32(e.owner);
         }
     }
@@ -1222,6 +1392,8 @@ MemorySystem::saveState(ckpt::Writer &w) const
         }
     }
     w.u64(storeSeq);
+    w.u64(dirOverflows);
+    w.u64(overInvalidations);
     // Writeback arrivals recorded during the drain, in fire order.
     // (Stale line watches and wake probes are deliberately dropped:
     // they are generation-guarded no-ops in the original run too.)
@@ -1264,6 +1436,8 @@ MemorySystem::loadState(ckpt::Reader &r)
         nd.netOut.loadState(r);
         nd.netIn.loadState(r);
         nd.dir.loadState(r);
+        for (Resource &l : nd.meshLink)
+            l.loadState(r);
         nd.primaryBusy = r.u64();
         nd.pfFillBusy = r.u64();
         loadNodeStats(r, nd.stats);
@@ -1276,7 +1450,8 @@ MemorySystem::loadState(ckpt::Reader &r)
         Addr idx = r.u64();
         DirEntry e;
         e.state = static_cast<DirEntry::State>(r.u8());
-        e.sharers = r.u32();
+        e.sharers.loadState(r);
+        e.overflowed = r.u8() != 0;
         e.owner = r.u32();
         directory.emplace(idx, e);
     }
@@ -1286,6 +1461,8 @@ MemorySystem::loadState(ckpt::Reader &r)
         pendingWritebacks[idx] = r.u32();
     }
     storeSeq = r.u64();
+    dirOverflows = r.u64();
+    overInvalidations = r.u64();
     // Re-schedule the recorded writeback arrivals in their original
     // fire order. The Machine schedules the park-resume events first,
     // so at equal ticks a park still precedes these, matching the

@@ -34,6 +34,7 @@
 #include "mem/mem_config.hh"
 #include "mem/resource.hh"
 #include "mem/shared_memory.hh"
+#include "mem/sharer_set.hh"
 #include "obs/txn.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -52,8 +53,15 @@ struct DirEntry
     enum class State : std::uint8_t { Uncached, Shared, Dirty };
 
     State state = State::Uncached;
-    std::uint32_t sharers = 0;  ///< bitmask of nodes with Shared copies
+    SharerSet sharers;          ///< exact set of nodes with Shared copies
     NodeId owner = invalidNode; ///< valid when state == Dirty
+    /**
+     * Limited-pointer (Dir_i_B) overflow flag: sticky once the sharer
+     * count ever exceeds the pointer budget, cleared only when the
+     * entry resets to Dirty or Uncached. While set, exclusive requests
+     * broadcast invalidations to every node.
+     */
+    bool overflowed = false;
 };
 
 /** Atomic read-modify-write operations supported by the memory system. */
@@ -299,18 +307,25 @@ class MemorySystem
      * Visit every contention-modeled resource as (node, index-in-node,
      * name, resource). The timeline sink installs per-resource trace
      * hooks through this; index is stable (busReq=0, busReply=1,
-     * netOut=2, netIn=3, dir=4).
+     * netOut=2, netIn=3, dir=4, and with the mesh enabled the four
+     * directional output links linkE=5, linkW=6, linkN=7, linkS=8).
      */
     template <typename Fn>
     void
     forEachResource(Fn &&cb)
     {
+        static constexpr const char *linkName[4] = {"linkE", "linkW",
+                                                    "linkN", "linkS"};
         for (NodeId n = 0; n < cfg.numNodes; ++n) {
             cb(n, 0u, "busReq", nodes[n].busReq);
             cb(n, 1u, "busReply", nodes[n].busReply);
             cb(n, 2u, "netOut", nodes[n].netOut);
             cb(n, 3u, "netIn", nodes[n].netIn);
             cb(n, 4u, "dir", nodes[n].dir);
+            if (cfg.lat.mesh) {
+                for (std::uint32_t d = 0; d < 4; ++d)
+                    cb(n, 5u + d, linkName[d], nodes[n].meshLink[d]);
+            }
         }
     }
 
@@ -505,6 +520,16 @@ class MemorySystem
     /** Bus utilization of @p node in [0,1] given total elapsed ticks. */
     double busUtilization(NodeId node, Tick elapsed) const;
 
+    /** Limited-pointer entries that overflowed into broadcast mode. */
+    std::uint64_t dirOverflowCount() const { return dirOverflows; }
+
+    /** Invalidations sent to nodes that held no copy (inexact-format
+     *  broadcast / region-cover cost). */
+    std::uint64_t overInvalidationCount() const
+    {
+        return overInvalidations;
+    }
+
   private:
     struct WriteBufferState
     {
@@ -559,6 +584,12 @@ class MemorySystem
         Resource netOut;
         Resource netIn;
         Resource dir;
+        /**
+         * Directional mesh output links (E=+x, W=-x, N=-y, S=+y), the
+         * per-hop FCFS calendars of the contended-mesh model. Idle
+         * (never booked) unless the mesh extension is on.
+         */
+        std::array<Resource, 4> meshLink;
         Tick primaryBusy = 0;
         Tick pfFillBusy = 0;
         std::unordered_map<Addr, PendingStore> pendingStores;
@@ -602,9 +633,45 @@ class MemorySystem
     FillResult walkFill(NodeId req, Addr line, bool exclusive, Tick t,
                         bool with_data = true);
 
-    /** Send invalidations for @p line to every sharer except @p req. */
+    /**
+     * Send invalidations for @p line to every node in @p targets.
+     * @p exact is the precise sharer set (minus the requester); any
+     * target outside it is an over-invalidation forced by an inexact
+     * directory format (broadcast or region cover) and is counted.
+     */
     Tick sendInvalidations(NodeId req, NodeId home, Addr line,
-                           std::uint32_t sharers, Tick dir_time);
+                           const SharerSet &targets,
+                           const SharerSet &exact, Tick dir_time);
+
+    /**
+     * Nodes an exclusive request by @p req must invalidate, given the
+     * directory format: the exact sharers (full bit vector, or a
+     * limited-pointer entry that never overflowed), every node
+     * (overflowed limited-pointer broadcast), or the region cover of
+     * the sharers (coarse vector). Never includes @p req.
+     */
+    SharerSet invalidationTargets(const DirEntry &e, NodeId req) const;
+
+    /**
+     * Can the home prove no node other than @p req holds a copy? Exact
+     * under full-bit-vector and non-overflowed limited-pointer; the
+     * inexact formats answer conservatively (an overflowed entry or a
+     * marked coarse region may hide other sharers), which only costs
+     * an exclusive grant, never correctness.
+     */
+    bool noOtherSharers(const DirEntry &e, NodeId req) const;
+
+    /** Record @p n as a sharer, tracking limited-pointer overflow. */
+    void dirAddSharer(DirEntry &e, NodeId n);
+
+    /**
+     * Book the directional output link of every node along the
+     * dimension-order (X then Y) route from @p from to @p to, hop k at
+     * uncontended offset @p offset + meshBase + k*meshPerHop. No-op
+     * when the mesh extension is off or the route is empty.
+     */
+    void meshRoute(PathWalker &w, NodeId from, NodeId to, Tick offset,
+                   Tick occupancy);
 
     /** Handle a dirty eviction: schedule the writeback message. */
     void writebackVictim(NodeId node, Addr victim_line, Tick t);
@@ -666,6 +733,14 @@ class MemorySystem
     SharedMemory &mem;
     MemConfig cfg;
     std::vector<Node> nodes;
+
+    /** Mesh grid shape, precomputed once (row-major near-square). */
+    std::uint32_t meshCols = 1;
+    std::uint32_t meshRows = 1;
+
+    /** Directory-format accounting (obs registry, not RunResult). */
+    std::uint64_t dirOverflows = 0;
+    std::uint64_t overInvalidations = 0;
 
     /** Host-side window-hit total accumulated by flushDirectExec()
      *  (see windowHits()); never serialized, never in results. */

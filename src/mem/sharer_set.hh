@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Dynamically sized sharer set for directory entries.
+ *
+ * The original directory kept sharers in a raw std::uint32_t bitmask,
+ * which capped the machine at 32 nodes (and made `1u << node` shift
+ * overflow a latent bug at the boundary). SharerSet is a bitset that
+ * grows with the node count: the first 64 nodes live in an inline
+ * word, so machines up to 64 nodes never allocate per entry; larger
+ * machines spill into a vector of additional words.
+ *
+ * The set always records the *exact* sharers. The scalable directory
+ * formats (limited-pointer Dir_i_B, coarse vector) are layered on top
+ * by the memory system: they only change which nodes get invalidated
+ * and when an overflow/over-invalidation is counted, never what the
+ * precise set is. That is semantically faithful because sharer sets
+ * only grow between full resets (there are no selective removals), so
+ * "overflowed i pointers" and "region cover of the exact set" are
+ * functions of the exact set plus one sticky flag.
+ */
+
+#ifndef MEM_SHARER_SET_HH
+#define MEM_SHARER_SET_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dashsim {
+
+class SharerSet
+{
+  public:
+    void
+    add(NodeId n)
+    {
+        if (n < 64) {
+            w0 |= std::uint64_t{1} << n;
+            return;
+        }
+        std::size_t idx = n / 64 - 1;
+        if (idx >= rest.size())
+            rest.resize(idx + 1, 0);
+        rest[idx] |= std::uint64_t{1} << (n % 64);
+    }
+
+    void
+    remove(NodeId n)
+    {
+        if (n < 64) {
+            w0 &= ~(std::uint64_t{1} << n);
+            return;
+        }
+        std::size_t idx = n / 64 - 1;
+        if (idx < rest.size())
+            rest[idx] &= ~(std::uint64_t{1} << (n % 64));
+    }
+
+    bool
+    test(NodeId n) const
+    {
+        if (n < 64)
+            return (w0 >> n) & 1;
+        std::size_t idx = n / 64 - 1;
+        return idx < rest.size() && ((rest[idx] >> (n % 64)) & 1);
+    }
+
+    void
+    clear()
+    {
+        w0 = 0;
+        rest.clear();
+    }
+
+    bool
+    empty() const
+    {
+        if (w0)
+            return false;
+        for (std::uint64_t w : rest)
+            if (w)
+                return false;
+        return true;
+    }
+
+    std::uint32_t
+    count() const
+    {
+        std::uint32_t c = popcount(w0);
+        for (std::uint64_t w : rest)
+            c += popcount(w);
+        return c;
+    }
+
+    /** True when the set is empty or contains only @p n. */
+    bool
+    noneExcept(NodeId n) const
+    {
+        for (std::size_t i = 0; i < 1 + rest.size(); ++i) {
+            std::uint64_t w = word(i);
+            if (n / 64 == i)
+                w &= ~(std::uint64_t{1} << (n % 64));
+            if (w)
+                return false;
+        }
+        return true;
+    }
+
+    /** Visit every member in ascending node order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&cb) const
+    {
+        for (std::size_t i = 0; i < 1 + rest.size(); ++i) {
+            std::uint64_t w = word(i);
+            while (w) {
+                std::uint64_t bit = w & (~w + 1);
+                cb(static_cast<NodeId>(i * 64 + bitIndex(bit)));
+                w ^= bit;
+            }
+        }
+    }
+
+    bool
+    operator==(const SharerSet &o) const
+    {
+        std::size_t n = std::max(rest.size(), o.rest.size()) + 1;
+        for (std::size_t i = 0; i < n; ++i)
+            if (word(i) != o.word(i))
+                return false;
+        return true;
+    }
+
+    bool operator!=(const SharerSet &o) const { return !(*this == o); }
+
+    /**
+     * Hex rendering for diagnostics, most-significant word first,
+     * matching the old "%08x" formatting for sets confined to the
+     * low 32 nodes.
+     */
+    std::string
+    hex() const
+    {
+        static const char *digits = "0123456789abcdef";
+        std::size_t words = 1 + rest.size();
+        // Drop all-zero high words, but always print at least 8 digits.
+        while (words > 1 && word(words - 1) == 0)
+            --words;
+        std::string s;
+        for (std::size_t i = words; i-- > 0;) {
+            std::uint64_t w = word(i);
+            int top = (i + 1 == words && i == 0 && (w >> 32) == 0) ? 7
+                                                                   : 15;
+            for (int d = top; d >= 0; --d)
+                s += digits[(w >> (4 * d)) & 0xf];
+        }
+        return s;
+    }
+
+    /** Checkpoint serialization: canonical word-count + words. */
+    template <class W>
+    void
+    saveState(W &w) const
+    {
+        std::size_t words = 1 + rest.size();
+        while (words > 1 && word(words - 1) == 0)
+            --words;
+        w.u32(static_cast<std::uint32_t>(words));
+        for (std::size_t i = 0; i < words; ++i)
+            w.u64(word(i));
+    }
+
+    template <class R>
+    void
+    loadState(R &r)
+    {
+        clear();
+        std::uint32_t words = r.u32();
+        for (std::uint32_t i = 0; i < words; ++i) {
+            std::uint64_t w = r.u64();
+            if (i == 0)
+                w0 = w;
+            else {
+                rest.resize(i, 0);
+                rest[i - 1] = w;
+            }
+        }
+    }
+
+  private:
+    std::uint64_t
+    word(std::size_t i) const
+    {
+        if (i == 0)
+            return w0;
+        return i - 1 < rest.size() ? rest[i - 1] : 0;
+    }
+
+    static std::uint32_t
+    popcount(std::uint64_t w)
+    {
+        std::uint32_t c = 0;
+        while (w) {
+            w &= w - 1;
+            ++c;
+        }
+        return c;
+    }
+
+    static std::uint32_t
+    bitIndex(std::uint64_t bit)
+    {
+        std::uint32_t i = 0;
+        while (bit >>= 1)
+            ++i;
+        return i;
+    }
+
+    std::uint64_t w0 = 0;               ///< nodes 0..63 (no allocation)
+    std::vector<std::uint64_t> rest;    ///< nodes 64.. in 64-node words
+};
+
+} // namespace dashsim
+
+#endif // MEM_SHARER_SET_HH

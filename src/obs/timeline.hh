@@ -43,8 +43,9 @@ class Timeline
     static constexpr std::uint32_t schedTid = 0;
     /** Transaction lane of a CPU track. */
     static constexpr std::uint32_t txnTid = 99;
-    /** Resources per memory node (busReq/busReply/netOut/netIn/dir). */
-    static constexpr std::uint32_t resourcesPerNode = 8;
+    /** Resources per memory node (busReq/busReply/netOut/netIn/dir,
+     *  plus the four mesh links when the mesh extension is on). */
+    static constexpr std::uint32_t resourcesPerNode = 16;
 
     static std::uint32_t cpuPid(NodeId n) { return 1 + n; }
     static std::uint32_t memPid(NodeId n) { return 1000 + n; }

@@ -98,7 +98,7 @@ TEST_F(CheckRig, InjectedDirtyWithoutOwnerCopy)
     DirEntry &e = ms.debugDirEntry(lineAddr(a));
     e.state = DirEntry::State::Dirty;
     e.owner = 3;
-    e.sharers = 0;
+    e.sharers.clear();
 
     chk.auditAll();
     EXPECT_TRUE(hasKind(chk, InvariantViolation::Kind::DirtyExclusive));
@@ -179,6 +179,93 @@ TEST_F(CheckRig, InjectedMshrForInstalledLine)
 
     chk.auditAll();
     EXPECT_TRUE(hasKind(chk, InvariantViolation::Kind::MshrPresent));
+}
+
+// ---------------------------------------------------------------------
+// The same injections above node 32, on a 64-node machine: the checker
+// must see corruption that the old 32-bit sharer mask could not even
+// represent.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct CheckRig64 : ::testing::Test
+{
+    EventQueue eq;
+    SharedMemory mem{64};
+    MemConfig mcfg;
+    CheckConfig ccfg{};
+
+    CheckRig64()
+    {
+        mcfg.numNodes = 64;
+        ccfg.coherence = true;
+        ccfg.failFast = false;
+        ccfg.auditInterval = 64;
+    }
+};
+
+} // namespace
+
+TEST_F(CheckRig64, InjectedDirtyOwnerAboveNode32WithoutCopy)
+{
+    MemorySystem ms(eq, mem, mcfg);
+    CoherenceChecker chk(ms, ccfg);
+    Addr a = mem.allocLocal(lineBytes, 0);
+
+    DirEntry &e = ms.debugDirEntry(lineAddr(a));
+    e.state = DirEntry::State::Dirty;
+    e.owner = 40;
+    e.sharers.clear();
+
+    chk.auditAll();
+    bool found = false;
+    for (const auto &v : chk.violations())
+        if (v.kind == InvariantViolation::Kind::DirtyExclusive)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST_F(CheckRig64, InjectedDirtyCopyAboveNode32UnderSharedDir)
+{
+    MemorySystem ms(eq, mem, mcfg);
+    CoherenceChecker chk(ms, ccfg);
+    Addr a = mem.allocLocal(lineBytes, 0);
+
+    // Legitimate shared copies at nodes 33 and 63 (two readers so the
+    // exclusive-grant optimization cannot leave the entry Dirty)...
+    ms.read(33, a, eq.now());
+    eq.run();
+    ms.read(63, a, eq.now());
+    eq.run();
+    ASSERT_EQ(ms.dirSnapshot(lineAddr(a)).state, DirEntry::State::Shared);
+    ASSERT_TRUE(ms.dirSnapshot(lineAddr(a)).sharers.test(63));
+    // ...then node 45 materializes a dirty copy the directory never
+    // granted.
+    ms.debugSecondary(45).fill(lineAddr(a), LineState::Dirty);
+
+    chk.auditAll();
+    bool found = false;
+    for (const auto &v : chk.violations())
+        if (v.kind == InvariantViolation::Kind::SharedClean)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST_F(CheckRig64, InjectedUncachedButCachedAboveNode32)
+{
+    MemorySystem ms(eq, mem, mcfg);
+    CoherenceChecker chk(ms, ccfg);
+    Addr a = mem.allocLocal(lineBytes, 0);
+
+    ms.debugSecondary(50).fill(lineAddr(a), LineState::Shared);
+
+    chk.auditAll();
+    bool found = false;
+    for (const auto &v : chk.violations())
+        if (v.kind == InvariantViolation::Kind::UncachedEmpty)
+            found = true;
+    EXPECT_TRUE(found);
 }
 
 // ---------------------------------------------------------------------

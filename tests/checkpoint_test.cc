@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <random>
 #include <string>
 #include <vector>
@@ -146,6 +147,24 @@ TEST(CheckpointHeader, RejectsCorruptMagic)
     EXPECT_THROW(m.resumeRun(*w2, blob), SimError);
 }
 
+TEST(CheckpointHeader, RejectsStaleVersion)
+{
+    const MachineConfig cfg = ckptConfig();
+    auto w1 = testWorkload("LU")();
+    std::vector<std::uint8_t> blob = Machine(cfg).captureRun(*w1, 1);
+
+    // Rewrite the header version to 1 (the pre-SharerSet format, which
+    // encoded sharers as a fixed u32): the mismatch must be caught at
+    // the header check, not by mis-parsing the directory image.
+    blob[4] = 1;
+    blob[5] = blob[6] = blob[7] = 0;
+
+    auto w2 = testWorkload("LU")();
+    Machine m(cfg);
+    ScopedErrorCapture errors;
+    EXPECT_THROW(m.resumeRun(*w2, blob), SimError);
+}
+
 TEST(CheckpointHeader, RejectsConfigHashMismatch)
 {
     const MachineConfig cfg = ckptConfig();
@@ -260,5 +279,58 @@ TEST(CheckpointWarmStart, BatchReusesCheckpointsByteIdentically)
                 << ref[i].label << " differs on warm round " << round;
         }
     }
+    ASSERT_EQ(unsetenv("DASHSIM_CKPT_DIR"), 0);
+}
+
+/** Stale cache entries (a pre-SharerSet format version in the header)
+ *  must be rejected at the header check and transparently recaptured,
+ *  not fed to resumeRun. */
+TEST(CheckpointWarmStart, StaleCacheEntryIsRecaptured)
+{
+    RunPoint p;
+    p.factory = testWorkload("LU");
+    p.label = "LU";
+    p.configure = [](MachineConfig &cfg) {
+        cfg.check.coherence = false;
+        cfg.check.race = false;
+        cfg.check.conservation = false;
+    };
+
+    RunBatch cold(1);
+    cold.add(p);
+    auto ref = cold.run();
+    ASSERT_TRUE(ref[0].ok) << ref[0].error;
+
+    const std::string dir = ::testing::TempDir() + "dashsim_stale";
+    std::string cmd = "mkdir -p " + dir;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    ASSERT_EQ(setenv("DASHSIM_CKPT_DIR", dir.c_str(), 1), 0);
+
+    {
+        RunBatch warm(1);
+        warm.add(p);
+        auto got = warm.run();
+        ASSERT_TRUE(got[0].ok) << got[0].error;
+    }
+
+    // Age every cached blob to format version 1.
+    unsigned aged = 0;
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        std::vector<std::uint8_t> blob;
+        ASSERT_TRUE(ckpt::readFile(ent.path().string(), blob));
+        ASSERT_GE(blob.size(), 8u);
+        blob[4] = 1;
+        blob[5] = blob[6] = blob[7] = 0;
+        ASSERT_TRUE(ckpt::writeFile(ent.path().string(), blob));
+        ++aged;
+    }
+    ASSERT_GE(aged, 1u);
+
+    RunBatch warm(1);
+    warm.add(p);
+    auto got = warm.run();
+    ASSERT_TRUE(got[0].ok) << got[0].label << ": " << got[0].error;
+    EXPECT_EQ(serializeResult(ref[0].result),
+              serializeResult(got[0].result));
     ASSERT_EQ(unsetenv("DASHSIM_CKPT_DIR"), 0);
 }

@@ -101,6 +101,38 @@ expectShardCountInvariant(const std::vector<Technique> &techniques)
     }
 }
 
+/**
+ * 64-node grid (above the old 32-node sharer-mask cap): every scalable
+ * directory format on the contended mesh, under RC. Used to prove the
+ * big-machine configurations keep the same host-parallelism
+ * invariances as the paper grids.
+ */
+std::vector<RunPoint>
+grid64Points()
+{
+    const std::pair<const char *, DirFormat> formats[] = {
+        {"fullbv", DirFormat::FullBitVector},
+        {"limptr", DirFormat::LimitedPointer},
+        {"coarse", DirFormat::CoarseVector},
+    };
+    std::vector<RunPoint> points;
+    for (auto &[name, factory] : testWorkloads()) {
+        for (const auto &[fname, f] : formats) {
+            RunPoint p;
+            p.factory = factory;
+            p.technique = Technique::rc();
+            p.label = name + "/64/" + fname;
+            p.configure = [f](MachineConfig &cfg) {
+                cfg.mem.numNodes = 64;
+                cfg.mem.lat.mesh = true;
+                cfg.mem.dirFormat = f;
+            };
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
 } // namespace
 
 TEST(Determinism, Figure2GridJobCountInvariant)
@@ -175,6 +207,50 @@ TEST(Determinism, Figure6GridShardCountInvariant)
          Technique::rcPrefetch(),
          Technique::multiContext(2, 4, Consistency::RC, true),
          Technique::multiContext(4, 4, Consistency::RC, true)});
+}
+
+/** The 64-node mesh grid at 1 worker and at 8: byte-identical. */
+TEST(Determinism, SixtyFourNodeGridJobCountInvariant)
+{
+    auto points = grid64Points();
+    RunBatch serial(1);
+    RunBatch parallel(8);
+    for (const auto &p : points) {
+        serial.add(p);
+        parallel.add(p);
+    }
+    auto s1 = serializeAll(serial.run());
+    auto s8 = serializeAll(parallel.run());
+    ASSERT_EQ(s1.size(), s8.size());
+    for (std::size_t i = 0; i < s1.size(); ++i)
+        EXPECT_EQ(s1[i], s8[i]) << points[i].label
+                                << " differs between 1 and 8 jobs";
+}
+
+/** The 64-node mesh grid through the sharded kernel at 1 and 4 shards:
+ *  byte-identical. The shard override composes with (not replaces) the
+ *  grid's own 64-node configure hook. */
+TEST(Determinism, SixtyFourNodeGridShardCountInvariant)
+{
+    auto points = grid64Points();
+    std::vector<std::vector<std::string>> results;
+    for (std::uint32_t shards : {1u, 4u}) {
+        RunBatch batch(8);
+        for (auto p : points) {
+            auto base = p.configure;
+            p.configure = [base, shards](MachineConfig &cfg) {
+                if (base)
+                    base(cfg);
+                cfg.shards = shards;
+            };
+            batch.add(std::move(p));
+        }
+        results.push_back(serializeAll(batch.run()));
+    }
+    ASSERT_EQ(results[0].size(), results[1].size());
+    for (std::size_t i = 0; i < results[0].size(); ++i)
+        EXPECT_EQ(results[0][i], results[1][i])
+            << points[i].label << " differs between 1 and 4 shards";
 }
 
 /** The DASHSIM_SHARDS environment knob reaches machines built with the

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Directory scalability tests: the 64-node regression for the lifted
+ * 32-node sharer-bitmask cap, plus the semantics and accounting of the
+ * scalable directory formats (limited-pointer Dir_i_B with
+ * broadcast-on-overflow, coarse vector with region invalidation).
+ *
+ * The protocol-level tests drive a bare MemorySystem; the closing
+ * tests run full 64-node machines (contended mesh on) under each
+ * format with the verification layer active (DASHSIM_CHECK=1 from
+ * tests/CMakeLists.txt), so coherence, race, and phase-conservation
+ * audits all cover the new formats end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.hh"
+#include "mem/mem_system.hh"
+#include "obs/registry.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+using namespace dashsim;
+
+namespace {
+
+/** Bare protocol rig with a configurable node count and format. */
+struct FormatRig
+{
+    EventQueue eq;
+    SharedMemory mem;
+    MemConfig mcfg;
+
+    FormatRig(std::uint32_t nodes, DirFormat f, std::uint32_t pointers = 4,
+              std::uint32_t region = 8)
+        : mem(nodes)
+    {
+        mcfg.numNodes = nodes;
+        mcfg.dirFormat = f;
+        mcfg.dirPointers = pointers;
+        mcfg.dirRegionSize = region;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The lifted cap: >32 sharers on a 64-node machine, then an exclusive
+// upgrade that must invalidate every one of them. Every assertion here
+// crosses the old `1u << node` boundary.
+// ---------------------------------------------------------------------
+
+TEST(DirFormat, SixtyFourSharersThenExclusiveUpgrade)
+{
+    FormatRig rig(64, DirFormat::FullBitVector);
+    MemorySystem ms(rig.eq, rig.mem, rig.mcfg);
+    Addr a = rig.mem.allocLocal(lineBytes, 0);
+
+    for (NodeId n = 0; n < 64; ++n) {
+        ms.read(n, a, rig.eq.now());
+        rig.eq.run();
+    }
+    DirEntry e = ms.dirSnapshot(lineAddr(a));
+    ASSERT_EQ(e.state, DirEntry::State::Shared);
+    EXPECT_EQ(e.sharers.count(), 64u);
+    for (NodeId n : {0u, 31u, 32u, 33u, 45u, 63u})
+        EXPECT_TRUE(e.sharers.test(n)) << "node " << n;
+
+    // Exclusive upgrade from node 5: all 63 other copies invalidated.
+    ms.writeSc(5, a, 1, 4, rig.eq.now());
+    rig.eq.run();
+    e = ms.dirSnapshot(lineAddr(a));
+    EXPECT_EQ(e.state, DirEntry::State::Dirty);
+    EXPECT_EQ(e.owner, 5u);
+    EXPECT_TRUE(e.sharers.empty());
+    for (NodeId n = 0; n < 64; ++n) {
+        if (n == 5)
+            continue;
+        EXPECT_EQ(ms.stats(n).invalidationsReceived, 1u) << "node " << n;
+        EXPECT_EQ(ms.secondaryStateOf(n, lineAddr(a)), LineState::Invalid)
+            << "node " << n;
+    }
+    // Full bit vector is exact: no overflow, no over-invalidation.
+    EXPECT_EQ(ms.dirOverflowCount(), 0u);
+    EXPECT_EQ(ms.overInvalidationCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Limited-pointer Dir_i_B: the i+1'th sharer overflows the pointer
+// array; an exclusive request against an overflowed entry broadcasts
+// invalidations to every node.
+// ---------------------------------------------------------------------
+
+TEST(DirFormat, LimitedPointerOverflowBroadcasts)
+{
+    FormatRig rig(16, DirFormat::LimitedPointer, /*pointers=*/2);
+    MemorySystem ms(rig.eq, rig.mem, rig.mcfg);
+    Addr a = rig.mem.allocLocal(lineBytes, 0);
+
+    // Readers 1, 2: within the two pointers (the first read takes the
+    // exclusive-grant path; the second demotes it to Shared {1,2}).
+    for (NodeId n : {1u, 2u}) {
+        ms.read(n, a, rig.eq.now());
+        rig.eq.run();
+    }
+    EXPECT_EQ(ms.dirOverflowCount(), 0u);
+
+    // Reader 3 is the third sharer: pointer overflow.
+    ms.read(3, a, rig.eq.now());
+    rig.eq.run();
+    EXPECT_EQ(ms.dirOverflowCount(), 1u);
+    DirEntry e = ms.dirSnapshot(lineAddr(a));
+    EXPECT_EQ(e.sharers.count(), 3u); // exact set still tracked
+    EXPECT_TRUE(e.overflowed);
+
+    // Exclusive upgrade from node 1: Dir_i_B has lost the sharer
+    // identities, so it broadcasts to all 15 other nodes; 13 of them
+    // (everyone but exact sharers 2 and 3) are over-invalidations.
+    ms.writeSc(1, a, 1, 4, rig.eq.now());
+    rig.eq.run();
+    EXPECT_EQ(ms.overInvalidationCount(), 13u);
+    std::uint64_t received = 0;
+    for (NodeId n = 0; n < 16; ++n)
+        received += ms.stats(n).invalidationsReceived;
+    EXPECT_EQ(received, 15u);
+    EXPECT_EQ(ms.stats(1).invalidationsReceived, 0u); // never self
+    e = ms.dirSnapshot(lineAddr(a));
+    EXPECT_EQ(e.state, DirEntry::State::Dirty);
+    EXPECT_EQ(e.owner, 1u);
+    EXPECT_FALSE(e.overflowed); // full reset clears the sticky flag
+}
+
+/** Below the pointer limit the format is exact: no broadcast. */
+TEST(DirFormat, LimitedPointerExactWithinPointers)
+{
+    FormatRig rig(16, DirFormat::LimitedPointer, /*pointers=*/4);
+    MemorySystem ms(rig.eq, rig.mem, rig.mcfg);
+    Addr a = rig.mem.allocLocal(lineBytes, 0);
+
+    for (NodeId n : {1u, 2u, 3u}) {
+        ms.read(n, a, rig.eq.now());
+        rig.eq.run();
+    }
+    ms.writeSc(1, a, 1, 4, rig.eq.now());
+    rig.eq.run();
+    EXPECT_EQ(ms.dirOverflowCount(), 0u);
+    EXPECT_EQ(ms.overInvalidationCount(), 0u);
+    std::uint64_t received = 0;
+    for (NodeId n = 0; n < 16; ++n)
+        received += ms.stats(n).invalidationsReceived;
+    EXPECT_EQ(received, 2u); // exactly sharers 2 and 3
+}
+
+// ---------------------------------------------------------------------
+// Coarse vector: one bit per dirRegionSize-node region; invalidations
+// cover whole regions, and members of a covered region that never held
+// the line count as over-invalidations.
+// ---------------------------------------------------------------------
+
+TEST(DirFormat, CoarseVectorInvalidatesWholeRegions)
+{
+    FormatRig rig(16, DirFormat::CoarseVector, /*pointers=*/4,
+                  /*region=*/4);
+    MemorySystem ms(rig.eq, rig.mem, rig.mcfg);
+    Addr a = rig.mem.allocLocal(lineBytes, 0);
+
+    // Sharers {1, 2, 5}: regions {0..3} and {4..7} are marked.
+    for (NodeId n : {1u, 2u, 5u}) {
+        ms.read(n, a, rig.eq.now());
+        rig.eq.run();
+    }
+
+    // Exclusive upgrade from node 1: both regions are swept minus the
+    // requester, i.e. {0,2,3,4,5,6,7} - 7 invalidations, 5 of which
+    // hit nodes with no copy (everyone but 2 and 5).
+    ms.writeSc(1, a, 1, 4, rig.eq.now());
+    rig.eq.run();
+    EXPECT_EQ(ms.overInvalidationCount(), 5u);
+    for (NodeId n : {0u, 2u, 3u, 4u, 5u, 6u, 7u})
+        EXPECT_EQ(ms.stats(n).invalidationsReceived, 1u) << "node " << n;
+    for (NodeId n : {1u, 8u, 12u, 15u})
+        EXPECT_EQ(ms.stats(n).invalidationsReceived, 0u) << "node " << n;
+    // Region bits never overflow a pointer array.
+    EXPECT_EQ(ms.dirOverflowCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Full 64-node machines under each format, contended mesh on, with the
+// coherence / race / phase-conservation checkers active (conservation
+// violations panic, so a clean completion is the assertion).
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t
+registryValue(Machine &m, const RunResult &r, const std::string &key)
+{
+    obs::Registry reg;
+    m.fillRegistry(reg, r);
+    EXPECT_TRUE(reg.has(key)) << key;
+    return reg.has(key) ? reg.get(key) : 0;
+}
+
+void
+runCheckedGrid(DirFormat f, std::uint64_t *overflows = nullptr,
+               std::uint64_t *over_invals = nullptr)
+{
+    MachineConfig cfg;
+    cfg.mem.numNodes = 64;
+    cfg.mem.lat.mesh = true;
+    cfg.mem.dirFormat = f;
+    cfg.mem.dirPointers = 4;
+    cfg.mem.dirRegionSize = 8;
+
+    auto w = testWorkload("LU")();
+    Machine m(cfg);
+    RunResult r = m.run(*w);
+    EXPECT_EQ(r.coherenceViolations, 0u);
+    EXPECT_EQ(r.racesDetected, 0u);
+    EXPECT_GT(r.execTime, 0u);
+    if (overflows)
+        *overflows = registryValue(m, r, "machine.dir.overflows");
+    if (over_invals)
+        *over_invals =
+            registryValue(m, r, "machine.dir.over_invalidations");
+}
+
+} // namespace
+
+TEST(DirFormat, FullBitVector64NodeGridClean)
+{
+    std::uint64_t overflows = 1, over = 1;
+    runCheckedGrid(DirFormat::FullBitVector, &overflows, &over);
+    EXPECT_EQ(overflows, 0u);
+    EXPECT_EQ(over, 0u);
+}
+
+TEST(DirFormat, LimitedPointer64NodeGridClean)
+{
+    std::uint64_t overflows = 0, over = 0;
+    runCheckedGrid(DirFormat::LimitedPointer, &overflows, &over);
+    // LU's pivot column is read by far more than 4 nodes: the format
+    // must overflow and pay broadcast invalidations.
+    EXPECT_GT(overflows, 0u);
+    EXPECT_GT(over, 0u);
+}
+
+TEST(DirFormat, CoarseVector64NodeGridClean)
+{
+    std::uint64_t over = 0;
+    runCheckedGrid(DirFormat::CoarseVector, nullptr, &over);
+    EXPECT_GT(over, 0u);
+}
+
+/** A torus needs a full grid: 64 nodes is 8x8, so it must construct
+ *  and run; a partial grid must be rejected. */
+TEST(DirFormat, TorusRequiresFullGrid)
+{
+    MachineConfig cfg;
+    cfg.mem.numNodes = 64;
+    cfg.mem.lat.mesh = true;
+    cfg.mem.lat.torus = true;
+    auto w = testWorkload("LU")();
+    Machine m(cfg);
+    RunResult r = m.run(*w);
+    EXPECT_EQ(r.coherenceViolations, 0u);
+
+    // 13 nodes lays out as a ragged 4x4 grid with three holes; wrap
+    // links through the holes would be meaningless.
+    MachineConfig bad;
+    bad.mem.numNodes = 13;
+    bad.mem.lat.mesh = true;
+    bad.mem.lat.torus = true;
+    ScopedErrorCapture errors;
+    EXPECT_THROW(Machine{bad}, SimError);
+}

@@ -68,3 +68,39 @@ TEST(Litmus, IriwAtomicStoresUnderRc)
     auto r = runLitmus(LitmusKind::Iriw, Consistency::RC, 48);
     EXPECT_EQ(r.reordered, 0u) << histogram(r);
 }
+
+// ---------------------------------------------------------------------
+// The same kernels at 64 nodes: the racing quartet is unchanged but
+// every protocol message now crosses the big machine's directory and
+// (uniform) network, above the old 32-node cap. The consistency-model
+// verdicts must be identical.
+// ---------------------------------------------------------------------
+
+TEST(Litmus, MessagePassingForbiddenUnderScAt64Nodes)
+{
+    auto r = runLitmus(LitmusKind::MessagePassing, Consistency::SC, 60,
+                       64);
+    EXPECT_EQ(r.reordered, 0u) << histogram(r);
+    EXPECT_EQ(r.iterations, 60u);
+}
+
+TEST(Litmus, MessagePassingObservableUnderRcAt64Nodes)
+{
+    auto r = runLitmus(LitmusKind::MessagePassing, Consistency::RC, 60,
+                       64);
+    EXPECT_GT(r.reordered, 0u) << histogram(r);
+}
+
+TEST(Litmus, StoreBufferingForbiddenUnderScAt64Nodes)
+{
+    auto r = runLitmus(LitmusKind::StoreBuffering, Consistency::SC, 32,
+                       64);
+    EXPECT_EQ(r.reordered, 0u) << histogram(r);
+}
+
+TEST(Litmus, StoreBufferingObservableUnderRcAt64Nodes)
+{
+    auto r = runLitmus(LitmusKind::StoreBuffering, Consistency::RC, 32,
+                       64);
+    EXPECT_GT(r.reordered, 0u) << histogram(r);
+}

@@ -364,6 +364,35 @@ TEST(MachineObs, ConservationHoldsAtEveryShardCount)
     }
 }
 
+/**
+ * 64-node contended-mesh grid: stall accounting and per-transaction
+ * phase conservation stay clean above the old 32-node cap (run()
+ * panics on a violation), and the per-link mesh calendars surface in
+ * the registry with real traffic on them.
+ */
+TEST(MachineObs, SixtyFourNodeMeshConservesAndReportsLinkOccupancy)
+{
+    MachineConfig cfg;
+    cfg.mem.numNodes = 64;
+    cfg.mem.lat.mesh = true;
+    cfg.obs.attribution = true;
+    cfg.check.conservation = true;
+    Machine m(cfg);
+    RunResult r = runWithObs(m, "LU");
+    for (NodeId n = 0; n < cfg.mem.numNodes; ++n)
+        EXPECT_EQ(m.processor(n).stats().total(), r.execTime) << n;
+
+    Registry reg;
+    m.fillRegistry(reg, r);
+    ASSERT_TRUE(reg.has("p0.res.linkE.busy_cycles"));
+    std::uint64_t link_busy = 0;
+    for (NodeId n = 0; n < cfg.mem.numNodes; ++n)
+        for (const char *d : {"linkE", "linkW", "linkN", "linkS"})
+            link_busy += reg.get("p" + std::to_string(n) + ".res." + d +
+                                 ".busy_cycles");
+    EXPECT_GT(link_busy, 0u);
+}
+
 TEST(MachineObs, AttributionOffByDefaultWithoutConsumers)
 {
     MachineConfig cfg;

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for SharerSet (src/mem/sharer_set.hh), the dynamically
+ * sized directory sharer bitset that replaced the raw 32-bit mask.
+ * Exercises membership across the inline-word / spill boundary at node
+ * 64, the ascending visit order the invalidation paths depend on, the
+ * diagnostic hex rendering, equality across differently sized
+ * representations, and the canonical checkpoint encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/checkpoint.hh"
+#include "mem/sharer_set.hh"
+
+using namespace dashsim;
+
+TEST(SharerSet, AddTestRemoveAcrossWordBoundary)
+{
+    SharerSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+
+    // One member per interesting position: word 0 ends at node 63,
+    // word 1 starts at node 64.
+    for (NodeId n : {0u, 31u, 32u, 63u, 64u, 100u, 127u, 128u}) {
+        EXPECT_FALSE(s.test(n)) << n;
+        s.add(n);
+        EXPECT_TRUE(s.test(n)) << n;
+    }
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_FALSE(s.test(65));
+    EXPECT_FALSE(s.test(1023));
+
+    s.remove(64);
+    EXPECT_FALSE(s.test(64));
+    EXPECT_TRUE(s.test(63));
+    EXPECT_TRUE(s.test(100));
+    EXPECT_EQ(s.count(), 7u);
+
+    // Removing an absent member (including one beyond every allocated
+    // word) is a no-op.
+    s.remove(64);
+    s.remove(4096);
+    EXPECT_EQ(s.count(), 7u);
+
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.test(100));
+}
+
+TEST(SharerSet, NoneExcept)
+{
+    SharerSet s;
+    EXPECT_TRUE(s.noneExcept(0));
+    EXPECT_TRUE(s.noneExcept(77));
+
+    s.add(45);
+    EXPECT_TRUE(s.noneExcept(45));
+    EXPECT_FALSE(s.noneExcept(44));
+    EXPECT_FALSE(s.noneExcept(200));
+
+    s.add(70);
+    EXPECT_FALSE(s.noneExcept(45));
+    EXPECT_FALSE(s.noneExcept(70));
+}
+
+TEST(SharerSet, ForEachVisitsAscending)
+{
+    SharerSet s;
+    // Inserted out of order on purpose.
+    for (NodeId n : {127u, 3u, 64u, 63u, 0u, 90u})
+        s.add(n);
+
+    std::vector<NodeId> seen;
+    s.forEach([&](NodeId n) { seen.push_back(n); });
+    EXPECT_EQ(seen, (std::vector<NodeId>{0, 3, 63, 64, 90, 127}));
+}
+
+TEST(SharerSet, HexMatchesLegacyFormatting)
+{
+    SharerSet s;
+    EXPECT_EQ(s.hex(), "00000000");
+
+    // Low-32 sets keep the old %08x rendering byte-for-byte.
+    s.add(0);
+    s.add(4);
+    s.add(31);
+    EXPECT_EQ(s.hex(), "80000011");
+
+    // Bit 32 widens the inline word to 16 digits.
+    s.add(32);
+    EXPECT_EQ(s.hex(), "0000000180000011");
+
+    // A spill word prints most-significant first.
+    s.add(64);
+    EXPECT_EQ(s.hex(), "00000000000000010000000180000011");
+}
+
+TEST(SharerSet, EqualityIgnoresTrailingZeroWords)
+{
+    SharerSet a, b;
+    a.add(5);
+    b.add(5);
+    EXPECT_EQ(a, b);
+
+    // Force b to allocate (and then vacate) a spill word: the logical
+    // sets stay equal even though the representations differ.
+    b.add(100);
+    EXPECT_NE(a, b);
+    b.remove(100);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, a);
+
+    a.add(65);
+    EXPECT_NE(b, a);
+}
+
+TEST(SharerSet, SaveLoadRoundTripIsCanonical)
+{
+    SharerSet s;
+    for (NodeId n : {1u, 33u, 64u, 190u})
+        s.add(n);
+
+    ckpt::Writer w;
+    s.saveState(w);
+
+    SharerSet loaded;
+    loaded.add(7); // must be cleared by loadState
+    ckpt::Reader r(w.data());
+    loaded.loadState(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(loaded, s);
+    EXPECT_FALSE(loaded.test(7));
+
+    // Canonical encoding: a set that shrank back below the spill
+    // boundary serializes identically to one that never spilled.
+    SharerSet shrunk;
+    shrunk.add(190);
+    shrunk.add(9);
+    shrunk.remove(190);
+    SharerSet plain;
+    plain.add(9);
+    ckpt::Writer w1, w2;
+    shrunk.saveState(w1);
+    plain.saveState(w2);
+    EXPECT_EQ(w1.data(), w2.data());
+}
