@@ -7,6 +7,27 @@
 
 namespace dashsim {
 
+namespace {
+
+/**
+ * Mesh-adjusted walk bases substitute per-pair hop latencies for the
+ * uniform netHop terms folded into the Table 1 path constants. Tick is
+ * unsigned, so a config whose mesh hops (or uncached discount)
+ * undercut those constants must fail loudly instead of wrapping to an
+ * astronomically large tick.
+ */
+Tick
+checkedBase(std::int64_t base, const char *what)
+{
+    fatal_if(base < 0,
+             "latency config drives the %s walk base negative (%lld); "
+             "mesh hops undercut netHop by more than the path constant "
+             "absorbs", what, static_cast<long long>(base));
+    return static_cast<Tick>(base);
+}
+
+} // namespace
+
 MemorySystem::MemorySystem(EventQueue &eq, SharedMemory &mem,
                            const MemConfig &cfg)
     : eq(eq), mem(mem), cfg(cfg)
@@ -69,9 +90,15 @@ MemorySystem::meshRoute(PathWalker &w, NodeId from, NodeId to,
     std::uint32_t x = from % meshCols, y = from / meshCols;
     const std::uint32_t tx = to % meshCols, ty = to / meshCols;
     std::uint32_t k = 0;
-    auto hop = [&](std::uint32_t node, std::uint32_t dir) {
-        w.stage(nodes[node].meshLink[dir],
-                offset + L.meshBase + k * L.meshPerHop, occupancy);
+    auto hop = [&](std::uint32_t pos, std::uint32_t dir) {
+        // A partial grid (numNodes < meshCols * meshRows) leaves hole
+        // positions in the last row with no node behind them; a route
+        // may still traverse one (e.g. the Y leg after an X leg that
+        // ended above a hole). The traversal costs its hop of latency
+        // like any other, but there is no link calendar to contend on.
+        if (pos < cfg.numNodes)
+            w.stage(nodes[pos].meshLink[dir],
+                    offset + L.meshBase + k * L.meshPerHop, occupancy);
         ++k;
     };
     while (x != tx) {
@@ -179,10 +206,15 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
                     L.netDataOccupancy);
             w.stage(nodes[req].busReply, 24 + hopRH + hopHO + hopOR,
                     L.busOccupancy);
-            r.dataAt = w.finish(L.readRemote - 3 * L.netHop + hopRH +
-                                hopHO + hopOR);     // 90 uniform
-            r.ownAt = w.finish(L.writeRemote - 3 * L.netHop + hopRH +
-                               hopHO + hopOR);      // 82 uniform
+            const std::int64_t hops3 =
+                static_cast<std::int64_t>(hopRH + hopHO + hopOR) -
+                3 * static_cast<std::int64_t>(L.netHop);
+            r.dataAt = w.finish(checkedBase(
+                static_cast<std::int64_t>(L.readRemote) + hops3,
+                "readRemote"));                     // 90 uniform
+            r.ownAt = w.finish(checkedBase(
+                static_cast<std::int64_t>(L.writeRemote) + hops3,
+                "writeRemote"));                    // 82 uniform
             r.level = ServiceLevel::RemoteNode;
             r.netCycles = hopRH + hopHO + hopOR;
         } else {
@@ -191,10 +223,15 @@ MemorySystem::walkFill(NodeId req, Addr line, bool exclusive, Tick t,
             meshRoute(w, home, req, 24 + hopRH, net_reply);
             w.stage(nodes[req].netIn, 24 + 2 * hopRH, net_reply);
             w.stage(nodes[req].busReply, 26 + 2 * hopRH, bus_reply);
-            r.dataAt = w.finish(L.readHome - 2 * L.netHop +
-                                2 * hopRH);         // 72 uniform
-            r.ownAt = w.finish(L.writeHome - 2 * L.netHop +
-                               2 * hopRH);          // 64 uniform
+            const std::int64_t hops2 =
+                2 * (static_cast<std::int64_t>(hopRH) -
+                     static_cast<std::int64_t>(L.netHop));
+            r.dataAt = w.finish(checkedBase(
+                static_cast<std::int64_t>(L.readHome) + hops2,
+                "readHome"));                       // 72 uniform
+            r.ownAt = w.finish(checkedBase(
+                static_cast<std::int64_t>(L.writeHome) + hops2,
+                "writeHome"));                      // 64 uniform
             r.level = ServiceLevel::HomeNode;
             r.netCycles = 2 * hopRH;
         }
@@ -343,23 +380,25 @@ MemorySystem::sendInvalidations(NodeId req, NodeId home, Addr line,
     for (NodeId s = 0; s < cfg.numNodes; ++s) {
         if (!targets.test(s))
             continue;
-        // A target outside the exact set holds no copy: the message
-        // and its ack still cost time and bandwidth, which is the
-        // price of the inexact directory format.
-        if (!exact.test(s))
+        if (exact.test(s)) {
+            // Eager cache-state effect: drop the copy and poison any
+            // fill still in flight so the stale response cannot
+            // install it.
+            nodes[s].secondary.invalidate(line);
+            nodes[s].primary.invalidate(line);
+            if (auto *m = nodes[s].mshrs.find(line))
+                m->poisoned = true;
+            nodes[s].cacheEpoch++;
+        } else {
+            // A target outside the exact set holds no copy: the
+            // message and its ack still cost time and bandwidth below
+            // (the price of the inexact directory format), but there
+            // is no cached state to touch — in particular no
+            // cacheEpoch bump, which would spuriously invalidate
+            // direct-execution read windows on uninvolved nodes.
             overInvalidations++;
-        // Eager cache-state effect: drop the copy and poison any fill
-        // still in flight so the stale response cannot install it.
-        // (No-ops for an over-invalidated non-sharer: a node with a
-        // copy or a fill in flight is in the exact set by
-        // construction.)
-        nodes[s].secondary.invalidate(line);
-        nodes[s].primary.invalidate(line);
-        if (auto *m = nodes[s].mshrs.find(line))
-            m->poisoned = true;
+        }
         nodes[s].stats.invalidationsReceived++;
-
-        nodes[s].cacheEpoch++;
 
         // Timing: inval message home->s, ack s->req (point to point);
         // distance-dependent under the mesh (invalAckLatency is the
@@ -375,9 +414,13 @@ MemorySystem::sendInvalidations(NodeId req, NodeId home, Addr line,
         w.stage(nodes[s].netOut, 6 + hopHS, L.netCtlOccupancy);
         meshRoute(w, s, req, 6 + hopHS, L.netCtlOccupancy);
         w.stage(nodes[req].netIn, 6 + hopHS + hopSR, L.netCtlOccupancy);
-        last_ack = std::max(last_ack,
-                            w.finish(8 + L.invalAckLatency -
-                                     2 * L.netHop + hopHS + hopSR));
+        last_ack = std::max(
+            last_ack,
+            w.finish(checkedBase(
+                8 + static_cast<std::int64_t>(L.invalAckLatency) +
+                    static_cast<std::int64_t>(hopHS + hopSR) -
+                    2 * static_cast<std::int64_t>(L.netHop),
+                "invalAck")));
     }
     return last_ack;
 }
@@ -600,8 +643,11 @@ MemorySystem::walkUncached(NodeId req, Addr a, bool is_write, Tick t)
         w.stage(nodes[home].dir, 4, L.dirOccupancy);
         if (!is_write)
             w.stage(nodes[req].busReply, 16, L.busOccupancy);
-        Tick base = is_write ? L.writeLocal - L.uncachedDiscount
-                             : L.readLocal - L.uncachedDiscount;
+        Tick base = checkedBase(
+            static_cast<std::int64_t>(is_write ? L.writeLocal
+                                               : L.readLocal) -
+                static_cast<std::int64_t>(L.uncachedDiscount),
+            is_write ? "uncachedWriteLocal" : "uncachedReadLocal");
         r.dataAt = r.ownAt = w.finish(base);
     } else {
         const Tick hopRH = hopLatency(req, home);
@@ -619,11 +665,19 @@ MemorySystem::walkUncached(NodeId req, Addr a, bool is_write, Tick t)
         // The paper says uncached accesses are "five to ten cycles less"
         // than the cached fills; remote accesses save the larger amount
         // because both the request and reply skip the cache fill stages.
+        const std::int64_t discount =
+            static_cast<std::int64_t>(L.uncachedDiscount) + 2;
+        const std::int64_t hopDelta = static_cast<std::int64_t>(hopRH) -
+                                      static_cast<std::int64_t>(L.netHop);
         Tick base = is_write
-                        ? L.writeHome - L.uncachedDiscount - 2 -
-                              L.netHop + hopRH
-                        : L.readHome - L.uncachedDiscount - 2 -
-                              2 * L.netHop + 2 * hopRH;
+                        ? checkedBase(static_cast<std::int64_t>(
+                                          L.writeHome) -
+                                          discount + hopDelta,
+                                      "uncachedWriteHome")
+                        : checkedBase(static_cast<std::int64_t>(
+                                          L.readHome) -
+                                          discount + 2 * hopDelta,
+                                      "uncachedReadHome");
         r.dataAt = r.ownAt = w.finish(base);
         r.netCycles = is_write ? hopRH : 2 * hopRH;
     }

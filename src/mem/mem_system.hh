@@ -638,6 +638,10 @@ class MemorySystem
      * @p exact is the precise sharer set (minus the requester); any
      * target outside it is an over-invalidation forced by an inexact
      * directory format (broadcast or region cover) and is counted.
+     * Over-invalidated targets are charged the full message/ack
+     * timing and traffic but their cached state (including the
+     * direct-execution cacheEpoch) is left untouched — they never
+     * held a copy.
      */
     Tick sendInvalidations(NodeId req, NodeId home, Addr line,
                            const SharerSet &targets,
@@ -668,7 +672,9 @@ class MemorySystem
      * Book the directional output link of every node along the
      * dimension-order (X then Y) route from @p from to @p to, hop k at
      * uncontended offset @p offset + meshBase + k*meshPerHop. No-op
-     * when the mesh extension is off or the route is empty.
+     * when the mesh extension is off or the route is empty. Hole
+     * positions of a partial grid (numNodes < meshCols * meshRows)
+     * cost their hop of latency but have no link calendar to book.
      */
     void meshRoute(PathWalker &w, NodeId from, NodeId to, Tick offset,
                    Tick occupancy);

@@ -118,9 +118,17 @@ TEST(DirFormat, LimitedPointerOverflowBroadcasts)
     // Exclusive upgrade from node 1: Dir_i_B has lost the sharer
     // identities, so it broadcasts to all 15 other nodes; 13 of them
     // (everyone but exact sharers 2 and 3) are over-invalidations.
+    const std::uint64_t epoch2 = ms.cacheEpoch(2);
+    const std::uint64_t epoch8 = ms.cacheEpoch(8);
     ms.writeSc(1, a, 1, 4, rig.eq.now());
     rig.eq.run();
     EXPECT_EQ(ms.overInvalidationCount(), 13u);
+    // Real copy holders pay a direct-exec window invalidation; a
+    // broadcast target that never held the line must not — its epoch
+    // bump would spuriously kill fast-path state on an uninvolved
+    // node.
+    EXPECT_GT(ms.cacheEpoch(2), epoch2);
+    EXPECT_EQ(ms.cacheEpoch(8), epoch8);
     std::uint64_t received = 0;
     for (NodeId n = 0; n < 16; ++n)
         received += ms.stats(n).invalidationsReceived;
@@ -175,9 +183,15 @@ TEST(DirFormat, CoarseVectorInvalidatesWholeRegions)
     // Exclusive upgrade from node 1: both regions are swept minus the
     // requester, i.e. {0,2,3,4,5,6,7} - 7 invalidations, 5 of which
     // hit nodes with no copy (everyone but 2 and 5).
+    const std::uint64_t epoch5 = ms.cacheEpoch(5);
+    const std::uint64_t epoch3 = ms.cacheEpoch(3);
     ms.writeSc(1, a, 1, 4, rig.eq.now());
     rig.eq.run();
     EXPECT_EQ(ms.overInvalidationCount(), 5u);
+    // Region sweep: sharer 5 pays a direct-exec epoch bump, region
+    // bystander 3 does not.
+    EXPECT_GT(ms.cacheEpoch(5), epoch5);
+    EXPECT_EQ(ms.cacheEpoch(3), epoch3);
     for (NodeId n : {0u, 2u, 3u, 4u, 5u, 6u, 7u})
         EXPECT_EQ(ms.stats(n).invalidationsReceived, 1u) << "node " << n;
     for (NodeId n : {1u, 8u, 12u, 15u})

@@ -10,6 +10,7 @@
 
 #include "mem/mem_system.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 
 using namespace dashsim;
 
@@ -463,6 +464,72 @@ TEST(UncachedMode, PrefetchIsNoop)
     Addr a = mem.allocLocal(256, 0);
     auto p = ms.prefetch(0, a, false, 0);
     EXPECT_TRUE(p.dropped);
+}
+
+// ---------------------------------------------------------------------
+// Contended mesh on a partial grid.
+// ---------------------------------------------------------------------
+
+/**
+ * Five nodes lay out as a ragged 3x2 grid with a hole at position 5
+ * (2,1): a dimension-order route whose Y leg starts above the hole
+ * traverses it. The traversal must cost its hop of latency without
+ * booking a link calendar there (there is no node behind the hole —
+ * indexing one was heap UB before the guard).
+ */
+TEST(PartialGridMesh, RoutesAcrossHolePositions)
+{
+    EventQueue eq;
+    SharedMemory mem(5);
+    MemConfig cfg;
+    cfg.numNodes = 5;
+    cfg.lat.mesh = true;
+    MemorySystem ms(eq, mem, cfg);
+
+    // Node 3 at (0,1) reads a line homed on node 2 at (2,0): the X leg
+    // ends at (2,1) — the hole — and the Y leg crosses it. Manhattan
+    // distance 3 gives hop = 6 + 7*3 = 27; the home-read base swaps
+    // two uniform hops for two mesh hops: 72 - 2*20 + 2*27 = 86.
+    Addr a = mem.allocLocal(lineBytes, 2);
+    auto o = ms.read(3, a, 0);
+    EXPECT_EQ(o.complete, 86u);
+    eq.run();
+
+    // All-pairs sweep: every route in the ragged grid completes.
+    for (NodeId to = 0; to < 5; ++to) {
+        Addr b = mem.allocLocal(lineBytes, to);
+        for (NodeId from = 0; from < 5; ++from) {
+            ms.read(from, b, eq.now());
+            eq.run();
+        }
+        // Exclusive upgrade: invalidation and ack routes for every
+        // sharer also walk the mesh.
+        ms.writeSc(0, b, 1, 4, eq.now());
+        eq.run();
+    }
+}
+
+/**
+ * Mesh hops smaller than netHop can drive the mesh-adjusted walk
+ * bases below the uniform constants they replace; with Tick unsigned,
+ * that underflow used to wrap to an astronomically large tick. It
+ * must fail loudly instead.
+ */
+TEST(PartialGridMesh, UndersizedMeshHopsFailLoudly)
+{
+    EventQueue eq;
+    SharedMemory mem(16);
+    MemConfig cfg;
+    cfg.lat.mesh = true;
+    cfg.lat.meshBase = 1;
+    cfg.lat.meshPerHop = 1;
+    cfg.lat.netHop = 100;
+    MemorySystem ms(eq, mem, cfg);
+    Addr a = mem.allocLocal(lineBytes, 0);
+    // readHome (72) folds in 2*netHop = 200 of uniform latency, but
+    // the adjacent-node mesh path only restores 2*2 cycles: negative.
+    ScopedErrorCapture errors;
+    EXPECT_THROW(ms.read(1, a, 0), SimError);
 }
 
 // ---------------------------------------------------------------------
